@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Core Em Emalg Exp List Printf

@@ -1,0 +1,1 @@
+bench/exp.ml: Core Em Float Int List Printf String

@@ -1,0 +1,1 @@
+bench/figures.ml: Array Core Em Emalg Exp List Printf

@@ -1,0 +1,1 @@
+bench/timing.ml: Analyze Array Bechamel Benchmark Core Em Emalg Exp Hashtbl Instance List Measure Printf Quantile Staged String Test Time Toolkit

@@ -1,0 +1,87 @@
+(* Shared experiment harness: machine presets, measurement, table printing.
+
+   Every experiment runs on a fresh simulated machine, counts exact I/Os,
+   verifies the output against the in-memory oracle, and prints measured
+   cost next to the paper's bound formula.  "ratio" columns are
+   measured / bound: if the implementation matches the bound, the ratio
+   stays within a small constant band across the sweep. *)
+
+type machine = { mem : int; block : int }
+
+let default_machine = { mem = 4096; block = 64 }
+let machine_name m = Printf.sprintf "M=%d B=%d (M/B=%d)" m.mem m.block (m.mem / m.block)
+
+let params m = Em.Params.create ~mem:m.mem ~block:m.block
+
+type measurement = {
+  ios : int;
+  reads : int;
+  writes : int;
+  comparisons : int;
+  peak_mem : int;
+}
+
+(* Run [f] on a fresh machine loaded with a workload; measure only [f]. *)
+let measure ?(machine = default_machine) ?(kind = Core.Workload.Pi_hard) ~seed ~n f =
+  let ctx : int Em.Ctx.t = Em.Ctx.create (params machine) in
+  let v = Core.Workload.vec ctx kind ~seed ~n in
+  let snap = Em.Stats.snapshot ctx.Em.Ctx.stats in
+  f ctx v;
+  let s = ctx.Em.Ctx.stats in
+  {
+    ios = Em.Stats.ios_since s snap;
+    reads = s.Em.Stats.reads;
+    writes = s.Em.Stats.writes;
+    comparisons = Em.Stats.comparisons_since s snap;
+    peak_mem = s.Em.Stats.mem_peak;
+  }
+
+let icmp = Int.compare
+
+(* ---- table printing ---- *)
+
+let hrule width = String.make width '-'
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (hrule (String.length title))
+
+let subsection text = Printf.printf "\n  %s\n" text
+
+let table ~header rows =
+  let ncols = List.length header in
+  let cells = header :: rows in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 cells
+  in
+  let widths = List.init ncols width in
+  let print_row row =
+    let padded =
+      List.map2 (fun cell w -> Printf.sprintf "%*s" w cell) row widths
+    in
+    Printf.printf "  %s\n" (String.concat "  " padded)
+  in
+  print_row header;
+  Printf.printf "  %s\n" (String.concat "  " (List.map hrule widths));
+  List.iter print_row rows
+
+let fmt_f x = Printf.sprintf "%.1f" x
+let fmt_ratio x = Printf.sprintf "%.2f" x
+
+(* Flatness summary: the spread (max/min) of the measured/bound ratios. *)
+let ratio_spread ratios =
+  match List.filter (fun r -> Float.is_finite r && r > 0.) ratios with
+  | [] -> nan
+  | r :: rest ->
+      let mn = List.fold_left Float.min r rest in
+      let mx = List.fold_left Float.max r rest in
+      mx /. mn
+
+let verdict ~what ~spread ~limit =
+  Printf.printf "  => ratio spread across the sweep: %.2fx (%s if <= %.1fx): %s\n"
+    spread what limit
+    (if spread <= limit then "CONSISTENT WITH THE BOUND" else "DEVIATES")
+
+(* Verify helpers (oracle checks; zero simulated I/O). *)
+let expect_ok what = function
+  | Ok () -> ()
+  | Error msg -> failwith (Printf.sprintf "verification failed (%s): %s" what msg)

@@ -1,0 +1,160 @@
+(* Table 1 of the paper, row by row: measured I/Os of each algorithm against
+   the matching bound formula, across a parameter sweep, with the sort-based
+   baseline alongside. *)
+
+let icmp = Exp.icmp
+
+let n_default = 1 lsl 18
+let seed = 2014
+
+let run_splitters spec ~machine ~kind =
+  Exp.measure ~machine ~kind ~seed ~n:spec.Core.Problem.n (fun _ctx v ->
+      let out = Core.Splitters.solve icmp v spec in
+      let input = Em.Vec.to_array v in
+      Exp.expect_ok "splitters"
+        (Core.Verify.splitters icmp ~input spec (Em.Vec.to_array out)))
+
+let run_partitioning spec ~machine ~kind =
+  Exp.measure ~machine ~kind ~seed ~n:spec.Core.Problem.n (fun _ctx v ->
+      let parts = Core.Partitioning.solve icmp v spec in
+      let input = Em.Vec.to_array v in
+      Exp.expect_ok "partitioning"
+        (Core.Verify.partitioning icmp ~input spec (Array.map Em.Vec.to_array parts)))
+
+let run_baseline_splitters spec ~machine ~kind =
+  Exp.measure ~machine ~kind ~seed ~n:spec.Core.Problem.n (fun _ctx v ->
+      ignore (Core.Baseline.splitters icmp v spec))
+
+let run_baseline_partitioning spec ~machine ~kind =
+  Exp.measure ~machine ~kind ~seed ~n:spec.Core.Problem.n (fun _ctx v ->
+      ignore (Core.Baseline.partitioning icmp v spec))
+
+(* Generic sweep runner: one row per spec. *)
+let sweep ~what ~bound ~solve ~baseline ~machine ~kind specs =
+  let p = Exp.params machine in
+  let ratios = ref [] in
+  let rows =
+    List.map
+      (fun (label, spec) ->
+        let ours = (solve spec ~machine ~kind : Exp.measurement) in
+        let base = (baseline spec ~machine ~kind : Exp.measurement) in
+        let b = bound p spec in
+        let ratio = float_of_int ours.Exp.ios /. b in
+        ratios := ratio :: !ratios;
+        [
+          label;
+          string_of_int ours.Exp.ios;
+          Exp.fmt_f b;
+          Exp.fmt_ratio ratio;
+          string_of_int base.Exp.ios;
+        ])
+      specs
+  in
+  Exp.table ~header:[ what; "measured I/O"; "bound"; "ratio"; "sort baseline" ] rows;
+  Exp.verdict ~what ~spread:(Exp.ratio_spread !ratios) ~limit:6.
+
+let row_splitters_right ~machine ~kind =
+  let n = n_default and k = 16 in
+  Exp.section
+    (Printf.sprintf
+       "Table 1 / row 1 — right-grounded K-splitters: Θ((1 + aK/B) lg_{M/B}(K/B))   [N=%d, K=%d, %s, %s]"
+       n k (Exp.machine_name machine) (Core.Workload.kind_name kind));
+  let specs =
+    List.map
+      (fun a -> (Printf.sprintf "a=%d" a, { Core.Problem.n; k; a; b = n }))
+      [ 2; 16; 128; 1_024; 8_192; n / k ]
+  in
+  sweep ~what:"a" ~bound:Core.Bounds.splitters_right_upper ~solve:run_splitters
+    ~baseline:run_baseline_splitters ~machine ~kind specs
+
+let row_splitters_left ~machine ~kind =
+  let n = n_default and k = 64 in
+  Exp.section
+    (Printf.sprintf
+       "Table 1 / row 2 — left-grounded K-splitters: Θ((N/B) lg_{M/B}(N/(bB)))   [N=%d, K=%d, %s, %s]"
+       n k (Exp.machine_name machine) (Core.Workload.kind_name kind));
+  let specs =
+    List.map
+      (fun b -> (Printf.sprintf "b=%d" b, { Core.Problem.n; k; a = 0; b }))
+      [ n / k; n / 16; n / 8; n / 4; n / 2 ]
+  in
+  sweep ~what:"b" ~bound:Core.Bounds.splitters_left_upper ~solve:run_splitters
+    ~baseline:run_baseline_splitters ~machine ~kind specs
+
+let row_splitters_two_sided ~machine ~kind =
+  let n = n_default and k = 64 in
+  Exp.section
+    (Printf.sprintf
+       "Table 1 / row 3 — two-sided K-splitters: O((aK/B) lg_{M/B}(K/B) + (N/B) lg_{M/B}(N/(bB)))   [N=%d, K=%d, %s, %s]"
+       n k (Exp.machine_name machine) (Core.Workload.kind_name kind));
+  let specs =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            let spec = { Core.Problem.n; k; a; b } in
+            match Core.Problem.validate spec with
+            | Ok () -> Some (Printf.sprintf "a=%d b=%d" a b, spec)
+            | Error _ -> None)
+          [ n / 32; n / 8; n / 2 ])
+      [ 2; 256; 4_096 ]
+  in
+  sweep ~what:"(a, b)" ~bound:Core.Bounds.splitters_two_sided_upper ~solve:run_splitters
+    ~baseline:run_baseline_splitters ~machine ~kind specs
+
+let row_partition_right ~machine ~kind =
+  let n = n_default and k = 16 in
+  Exp.section
+    (Printf.sprintf
+       "Table 1 / row 4 — right-grounded K-partitioning: O(N/B + (aK/B) lg_{M/B} min(K, aK/B))   [N=%d, K=%d, %s, %s]"
+       n k (Exp.machine_name machine) (Core.Workload.kind_name kind));
+  let specs =
+    List.map
+      (fun a -> (Printf.sprintf "a=%d" a, { Core.Problem.n; k; a; b = n }))
+      [ 2; 16; 128; 1_024; 8_192; n / k ]
+  in
+  sweep ~what:"a" ~bound:Core.Bounds.partition_right_upper ~solve:run_partitioning
+    ~baseline:run_baseline_partitioning ~machine ~kind specs
+
+let row_partition_left ~machine ~kind =
+  let n = n_default and k = 64 in
+  Exp.section
+    (Printf.sprintf
+       "Table 1 / row 5 — left-grounded K-partitioning: Θ((N/B) lg_{M/B} min(N/b, N/B))   [N=%d, K=%d, %s, %s]"
+       n k (Exp.machine_name machine) (Core.Workload.kind_name kind));
+  let specs =
+    List.map
+      (fun b -> (Printf.sprintf "b=%d" b, { Core.Problem.n; k; a = 0; b }))
+      [ n / k; n / 16; n / 8; n / 4; n / 2 ]
+  in
+  sweep ~what:"b" ~bound:Core.Bounds.partition_left_upper ~solve:run_partitioning
+    ~baseline:run_baseline_partitioning ~machine ~kind specs
+
+let row_partition_two_sided ~machine ~kind =
+  let n = n_default and k = 64 in
+  Exp.section
+    (Printf.sprintf
+       "Table 1 / row 6 — two-sided K-partitioning: O((aK/B) lg_{M/B} min(K, aK/B) + (N/B) lg_{M/B} min(N/b, N/B))   [N=%d, K=%d, %s, %s]"
+       n k (Exp.machine_name machine) (Core.Workload.kind_name kind));
+  let specs =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            let spec = { Core.Problem.n; k; a; b } in
+            match Core.Problem.validate spec with
+            | Ok () -> Some (Printf.sprintf "a=%d b=%d" a b, spec)
+            | Error _ -> None)
+          [ n / 32; n / 8; n / 2 ])
+      [ 2; 256; 4_096 ]
+  in
+  sweep ~what:"(a, b)" ~bound:Core.Bounds.partition_two_sided_upper ~solve:run_partitioning
+    ~baseline:run_baseline_partitioning ~machine ~kind specs
+
+let all ?(machine = Exp.default_machine) ?(kind = Core.Workload.Pi_hard) () =
+  row_splitters_right ~machine ~kind;
+  row_splitters_left ~machine ~kind;
+  row_splitters_two_sided ~machine ~kind;
+  row_partition_right ~machine ~kind;
+  row_partition_left ~machine ~kind;
+  row_partition_two_sided ~machine ~kind

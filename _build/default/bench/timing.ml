@@ -1,0 +1,101 @@
+(* Wall-clock micro-benchmarks (Bechamel): one Test per core algorithm.
+   The primary metric of the reproduction is the simulated I/O count (see
+   Table1 / Figures); this section reports host CPU time per run as a
+   sanity check that the simulator itself is fast. *)
+
+open Bechamel
+open Toolkit
+
+let icmp = Exp.icmp
+let n = 1 lsl 14
+let machine = Exp.default_machine
+let seed = 5
+
+let fresh_input () =
+  let ctx : int Em.Ctx.t = Em.Ctx.create (Exp.params machine) in
+  Core.Workload.vec ctx Core.Workload.Random_perm ~seed ~n
+
+let test_sort =
+  Test.make ~name:"external-sort"
+    (Staged.stage (fun () ->
+         let v = fresh_input () in
+         Em.Vec.free (Emalg.External_sort.sort icmp v)))
+
+let test_em_select =
+  Test.make ~name:"em-select (median)"
+    (Staged.stage (fun () ->
+         let v = fresh_input () in
+         ignore (Emalg.Em_select.select icmp v ~rank:(n / 2))))
+
+let test_mem_splitters =
+  Test.make ~name:"memory-splitters"
+    (Staged.stage (fun () ->
+         let v = fresh_input () in
+         ignore (Quantile.Mem_splitters.memory_splitters icmp v)))
+
+let test_multi_select =
+  let ranks = Array.init 8 (fun i -> (i + 1) * (n / 8)) in
+  Test.make ~name:"multi-select (K=8)"
+    (Staged.stage (fun () ->
+         let v = fresh_input () in
+         ignore (Core.Multi_select.select icmp v ~ranks)))
+
+let test_multi_partition =
+  let sizes = Array.make 16 (n / 16) in
+  Test.make ~name:"multi-partition (K=16)"
+    (Staged.stage (fun () ->
+         let v = fresh_input () in
+         Array.iter Em.Vec.free (Core.Multi_partition.partition_sizes icmp v ~sizes)))
+
+let test_splitters =
+  let spec = { Core.Problem.n; k = 16; a = n / 64; b = n / 4 } in
+  Test.make ~name:"two-sided splitters"
+    (Staged.stage (fun () ->
+         let v = fresh_input () in
+         Em.Vec.free (Core.Splitters.solve icmp v spec)))
+
+let test_partitioning =
+  let spec = { Core.Problem.n; k = 16; a = n / 64; b = n / 4 } in
+  Test.make ~name:"two-sided partitioning"
+    (Staged.stage (fun () ->
+         let v = fresh_input () in
+         Array.iter Em.Vec.free (Core.Partitioning.solve icmp v spec)))
+
+let all () =
+  Exp.section
+    (Printf.sprintf
+       "Timing — host wall-clock per run (Bechamel, simulated N=%d, %s)" n
+       (Exp.machine_name machine));
+  let tests =
+    Test.make_grouped ~name:"repro"
+      [
+        test_sort;
+        test_em_select;
+        test_mem_splitters;
+        test_multi_select;
+        test_multi_partition;
+        test_splitters;
+        test_partitioning;
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let time_ns =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t
+          | Some [] | None -> nan
+        in
+        (name, time_ns) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (name, t) ->
+           [ name; Printf.sprintf "%.3f ms/run" (t /. 1e6) ])
+  in
+  Exp.table ~header:[ "benchmark"; "monotonic clock" ] rows

@@ -1,0 +1,354 @@
+(* Command-line driver: run any algorithm of the library on a synthetic
+   workload, on a simulated EM machine of chosen geometry, and report exact
+   I/O statistics plus oracle verification.
+
+     em_repro splitters -n 262144 -k 16 -a 128 -b 262144
+     em_repro partition -n 100000 -k 10 -a 0 -b 20000 --workload sorted
+     em_repro multiselect -n 65536 --ranks 1,1000,32768
+     em_repro bounds -n 1048576 -k 64 -a 256 -b 65536
+*)
+
+open Cmdliner
+
+let icmp = Int.compare
+
+(* ---- common options ---- *)
+
+let mem_t =
+  Arg.(value & opt int 4096 & info [ "mem"; "M" ] ~docv:"WORDS" ~doc:"Memory size M in words.")
+
+let block_t =
+  Arg.(value & opt int 64 & info [ "block"; "B" ] ~docv:"WORDS" ~doc:"Block size B in words.")
+
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload PRNG seed.")
+
+let workload_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "random" ] | [ "random-perm" ] -> Ok Core.Workload.Random_perm
+    | [ "sorted" ] -> Ok Core.Workload.Sorted
+    | [ "reverse" ] | [ "reverse-sorted" ] -> Ok Core.Workload.Reverse_sorted
+    | [ "pi-hard" ] -> Ok Core.Workload.Pi_hard
+    | [ "organ-pipe" ] -> Ok Core.Workload.Organ_pipe
+    | [ "few-distinct"; d ] -> (
+        match int_of_string_opt d with
+        | Some d when d > 0 -> Ok (Core.Workload.Few_distinct d)
+        | _ -> Error (`Msg "few-distinct:<count> needs a positive count"))
+    | [ "runs"; r ] -> (
+        match int_of_string_opt r with
+        | Some r when r > 0 -> Ok (Core.Workload.Runs r)
+        | _ -> Error (`Msg "runs:<count> needs a positive count"))
+    | [ "zipf"; sk ] -> (
+        match float_of_string_opt sk with
+        | Some sk when sk > 1. -> Ok (Core.Workload.Zipf sk)
+        | _ -> Error (`Msg "zipf:<skew> needs a skew > 1"))
+    | _ ->
+        Error
+          (`Msg
+            "expected one of: random, sorted, reverse, pi-hard, organ-pipe, \
+             few-distinct:<d>, runs:<r>, zipf:<skew>")
+  in
+  let print ppf k = Format.pp_print_string ppf (Core.Workload.kind_name k) in
+  Arg.conv (parse, print)
+
+let workload_t =
+  Arg.(
+    value
+    & opt workload_conv Core.Workload.Random_perm
+    & info [ "workload"; "w" ] ~docv:"KIND" ~doc:"Input layout (see --help).")
+
+let n_t = Arg.(required & opt (some int) None & info [ "n" ] ~docv:"N" ~doc:"Input size.")
+let k_t = Arg.(required & opt (some int) None & info [ "k" ] ~docv:"K" ~doc:"Partition count.")
+let a_t = Arg.(value & opt int 0 & info [ "a" ] ~docv:"A" ~doc:"Lower partition-size bound.")
+
+let b_opt_t =
+  Arg.(value & opt (some int) None & info [ "b" ] ~docv:"B" ~doc:"Upper partition-size bound (default: n).")
+
+let baseline_t =
+  Arg.(value & flag & info [ "baseline" ] ~doc:"Run the sort-based baseline instead.")
+
+let verbose_t =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print debug logs of the recursions.")
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let make_ctx ~mem ~block : int Em.Ctx.t = Em.Ctx.create (Em.Params.create ~mem ~block)
+
+let report_stats ctx =
+  let s = ctx.Em.Ctx.stats in
+  Printf.printf "I/O:          %d (reads %d, writes %d)\n" (Em.Stats.ios s)
+    s.Em.Stats.reads s.Em.Stats.writes;
+  Printf.printf "comparisons:  %d\n" s.Em.Stats.comparisons;
+  Printf.printf "peak memory:  %d / %d words\n" s.Em.Stats.mem_peak
+    ctx.Em.Ctx.params.Em.Params.mem
+
+let print_verified = function
+  | Ok () -> Printf.printf "verification: OK\n"
+  | Error msg ->
+      Printf.printf "verification: FAILED (%s)\n" msg;
+      exit 2
+
+let spec_of ~n ~k ~a ~b =
+  let b = Option.value b ~default:n in
+  let spec = { Core.Problem.n; k; a; b } in
+  (match Core.Problem.validate spec with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "invalid spec: %s\n" msg;
+      exit 1);
+  spec
+
+let describe_machine ~mem ~block =
+  Printf.printf "machine:      M=%d, B=%d (fanout M/B = %d)\n" mem block (mem / block)
+
+(* ---- splitters ---- *)
+
+let run_splitters verbose mem block seed workload n k a b baseline =
+  setup_logs verbose;
+  let spec = spec_of ~n ~k ~a ~b in
+  let ctx = make_ctx ~mem ~block in
+  let v = Core.Workload.vec ctx workload ~seed ~n in
+  describe_machine ~mem ~block;
+  Printf.printf "problem:      %s K-splitters, %s\n"
+    (Core.Problem.variant_name (Core.Problem.classify spec))
+    (Format.asprintf "%a" Core.Problem.pp_spec spec);
+  let cmp = Em.Ctx.counted ctx icmp in
+  let out =
+    if baseline then Core.Baseline.splitters cmp v spec
+    else Core.Splitters.solve cmp v spec
+  in
+  report_stats ctx;
+  Printf.printf "bound:        lower %.1f, upper %.1f I/Os (Table 1, no constants)\n"
+    (Core.Bounds.splitters_lower ctx.Em.Ctx.params spec)
+    (Core.Bounds.splitters_upper ctx.Em.Ctx.params spec);
+  print_verified
+    (Core.Verify.splitters icmp ~input:(Em.Vec.to_array v) spec (Em.Vec.to_array out))
+
+let splitters_cmd =
+  let doc = "Solve the approximate K-splitters problem." in
+  Cmd.v
+    (Cmd.info "splitters" ~doc)
+    Term.(
+      const run_splitters $ verbose_t $ mem_t $ block_t $ seed_t $ workload_t $ n_t $ k_t $ a_t
+      $ b_opt_t $ baseline_t)
+
+(* ---- partitioning ---- *)
+
+let run_partition verbose mem block seed workload n k a b baseline =
+  setup_logs verbose;
+  let spec = spec_of ~n ~k ~a ~b in
+  let ctx = make_ctx ~mem ~block in
+  let v = Core.Workload.vec ctx workload ~seed ~n in
+  describe_machine ~mem ~block;
+  Printf.printf "problem:      %s K-partitioning, %s\n"
+    (Core.Problem.variant_name (Core.Problem.classify spec))
+    (Format.asprintf "%a" Core.Problem.pp_spec spec);
+  let cmp = Em.Ctx.counted ctx icmp in
+  let parts =
+    if baseline then Core.Baseline.partitioning cmp v spec
+    else Core.Partitioning.solve cmp v spec
+  in
+  report_stats ctx;
+  Printf.printf "bound:        lower %.1f, upper %.1f I/Os (Table 1, no constants)\n"
+    (Core.Bounds.partitioning_lower ctx.Em.Ctx.params spec)
+    (Core.Bounds.partitioning_upper ctx.Em.Ctx.params spec);
+  Printf.printf "partitions:   %s\n"
+    (String.concat ", "
+       (Array.to_list (Array.map (fun p -> string_of_int (Em.Vec.length p)) parts)));
+  print_verified
+    (Core.Verify.partitioning icmp ~input:(Em.Vec.to_array v) spec
+       (Array.map Em.Vec.to_array parts))
+
+let partition_cmd =
+  let doc = "Solve the approximate K-partitioning problem." in
+  Cmd.v
+    (Cmd.info "partition" ~doc)
+    Term.(
+      const run_partition $ verbose_t $ mem_t $ block_t $ seed_t $ workload_t $ n_t $ k_t $ a_t
+      $ b_opt_t $ baseline_t)
+
+(* ---- multi-selection ---- *)
+
+let ranks_t =
+  Arg.(
+    required
+    & opt (some (list int)) None
+    & info [ "ranks" ] ~docv:"R1,R2,..." ~doc:"Strictly increasing 1-based ranks.")
+
+let run_multiselect verbose mem block seed workload n ranks baseline =
+  setup_logs verbose;
+  let ranks = Array.of_list ranks in
+  let ctx = make_ctx ~mem ~block in
+  let v = Core.Workload.vec ctx workload ~seed ~n in
+  describe_machine ~mem ~block;
+  Printf.printf "problem:      multi-selection of %d ranks from %d elements\n"
+    (Array.length ranks) n;
+  let cmp = Em.Ctx.counted ctx icmp in
+  let results =
+    if baseline then Core.Baseline.multi_select cmp v ~ranks
+    else Core.Multi_select.select cmp v ~ranks
+  in
+  report_stats ctx;
+  Printf.printf "bound:        %.1f I/Os (Theorem 4, no constants)\n"
+    (Core.Bounds.multi_select ctx.Em.Ctx.params ~n ~k:(Array.length ranks));
+  Array.iteri (fun i r -> Printf.printf "rank %-8d -> %d\n" ranks.(i) r) results;
+  print_verified (Core.Verify.multi_select icmp ~input:(Em.Vec.to_array v) ~ranks results)
+
+let multiselect_cmd =
+  let doc = "Report the elements of the given ranks (Theorem 4)." in
+  Cmd.v
+    (Cmd.info "multiselect" ~doc)
+    Term.(const run_multiselect $ verbose_t $ mem_t $ block_t $ seed_t $ workload_t $ n_t $ ranks_t $ baseline_t)
+
+(* ---- multi-partition ---- *)
+
+let sizes_t =
+  Arg.(
+    required
+    & opt (some (list int)) None
+    & info [ "sizes" ] ~docv:"S1,S2,..." ~doc:"Positive partition sizes summing to n.")
+
+let run_multipartition verbose mem block seed workload n sizes baseline =
+  setup_logs verbose;
+  let sizes = Array.of_list sizes in
+  let ctx = make_ctx ~mem ~block in
+  let v = Core.Workload.vec ctx workload ~seed ~n in
+  describe_machine ~mem ~block;
+  Printf.printf "problem:      multi-partition into %d prescribed sizes\n" (Array.length sizes);
+  let cmp = Em.Ctx.counted ctx icmp in
+  let parts =
+    if baseline then Core.Baseline.multi_partition cmp v ~sizes
+    else Core.Multi_partition.partition_sizes cmp v ~sizes
+  in
+  report_stats ctx;
+  Printf.printf "bound:        %.1f I/Os (Aggarwal-Vitter, no constants)\n"
+    (Core.Bounds.multi_partition ctx.Em.Ctx.params ~n ~k:(Array.length sizes));
+  print_verified
+    (Core.Verify.multi_partition icmp ~input:(Em.Vec.to_array v) ~sizes
+       (Array.map Em.Vec.to_array parts))
+
+let multipartition_cmd =
+  let doc = "Physically partition into prescribed sizes." in
+  Cmd.v
+    (Cmd.info "multipartition" ~doc)
+    Term.(const run_multipartition $ verbose_t $ mem_t $ block_t $ seed_t $ workload_t $ n_t $ sizes_t $ baseline_t)
+
+(* ---- quantiles ---- *)
+
+let run_quantiles verbose mem block seed workload n k =
+  setup_logs verbose;
+  let ctx = make_ctx ~mem ~block in
+  let v = Core.Workload.vec ctx workload ~seed ~n in
+  describe_machine ~mem ~block;
+  Printf.printf "problem:      exact (1/%d)-quantiles of %d elements
+" k n;
+  let cmp = Em.Ctx.counted ctx icmp in
+  let out = Core.Splitters.quantiles cmp v ~k in
+  report_stats ctx;
+  let values = Em.Vec.to_array out in
+  Array.iteri (fun i q -> Printf.printf "q%-3d -> %d
+" (i + 1) q) values;
+  let ranks = Core.Splitters.quantile_ranks ~n ~k in
+  print_verified (Core.Verify.multi_select icmp ~input:(Em.Vec.to_array v) ~ranks values)
+
+let quantiles_cmd =
+  let doc = "Report the exact (1/K)-quantile elements (equi-depth boundaries)." in
+  Cmd.v
+    (Cmd.info "quantiles" ~doc)
+    Term.(const run_quantiles $ verbose_t $ mem_t $ block_t $ seed_t $ workload_t $ n_t $ k_t)
+
+(* ---- reduce (Section 3) ---- *)
+
+let chunk_t =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "chunk" ] ~docv:"SIZE" ~doc:"Exact partition size for the precise reduction.")
+
+let run_reduce verbose mem block seed workload n chunk =
+  setup_logs verbose;
+  let ctx = make_ctx ~mem ~block in
+  let v = Core.Workload.vec ctx workload ~seed ~n in
+  describe_machine ~mem ~block;
+  Printf.printf "problem:      precise partitioning into chunks of %d (Section 3 reduction)
+" chunk;
+  let cmp = Em.Ctx.counted ctx icmp in
+  let parts = Core.Reduction.precise_by_approximate cmp v ~chunk in
+  report_stats ctx;
+  Printf.printf "partitions:   %s
+"
+    (String.concat ", "
+       (Array.to_list (Array.map (fun p -> string_of_int (Em.Vec.length p)) parts)));
+  let sizes = Array.map Em.Vec.length parts in
+  print_verified
+    (Core.Verify.multi_partition icmp ~input:(Em.Vec.to_array v) ~sizes
+       (Array.map Em.Vec.to_array parts))
+
+let reduce_cmd =
+  let doc = "Precise partitioning via the Section 3 reduction." in
+  Cmd.v
+    (Cmd.info "reduce" ~doc)
+    Term.(const run_reduce $ verbose_t $ mem_t $ block_t $ seed_t $ workload_t $ n_t $ chunk_t)
+
+(* ---- bounds ---- *)
+
+let run_bounds mem block n k a b =
+  let spec = spec_of ~n ~k ~a ~b in
+  let p = Em.Params.create ~mem ~block in
+  describe_machine ~mem ~block;
+  Printf.printf "spec:         %s (%s)\n"
+    (Format.asprintf "%a" Core.Problem.pp_spec spec)
+    (Core.Problem.variant_name (Core.Problem.classify spec));
+  Printf.printf "Table 1 predictions (I/Os, constants omitted):\n";
+  Printf.printf "  splitters:     lower %.1f   upper %.1f\n"
+    (Core.Bounds.splitters_lower p spec)
+    (Core.Bounds.splitters_upper p spec);
+  Printf.printf "  partitioning:  lower %.1f   upper %.1f\n"
+    (Core.Bounds.partitioning_lower p spec)
+    (Core.Bounds.partitioning_upper p spec);
+  Printf.printf "  one scan:      %.1f\n" (Core.Bounds.scan p ~n);
+  Printf.printf "  full sort:     %.1f\n" (Core.Bounds.sort p ~n);
+  Printf.printf "  multi-select (K ranks):    %.1f\n" (Core.Bounds.multi_select p ~n ~k);
+  Printf.printf "  multi-partition (K parts): %.1f\n" (Core.Bounds.multi_partition p ~n ~k)
+
+let bounds_cmd =
+  let doc = "Evaluate the paper's Table 1 bound formulas for a spec." in
+  Cmd.v (Cmd.info "bounds" ~doc) Term.(const run_bounds $ mem_t $ block_t $ n_t $ k_t $ a_t $ b_opt_t)
+
+(* ---- info ---- *)
+
+let run_info mem block =
+  let ctx = make_ctx ~mem ~block in
+  describe_machine ~mem ~block;
+  Printf.printf "merge fanout:            %d runs\n" (Emalg.Merge.max_fanout ctx);
+  Printf.printf "distribution fanout:     %d buckets\n" (Emalg.Distribute.max_fanout ctx);
+  Printf.printf "half-load (base cases):  %d words\n" (Emalg.Layout.half_load ctx);
+  Printf.printf "sample-splitter max k:   %d\n" (Emalg.Sample_splitters.max_k ctx);
+  Printf.printf "intermixed max groups:   %d\n" (Core.Intermixed.max_groups ctx);
+  Printf.printf "multi-select batch m:    %d\n" (Core.Multi_select.batch_size ctx)
+
+let info_cmd =
+  let doc = "Print the derived parameters of a machine geometry." in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run_info $ mem_t $ block_t)
+
+let () =
+  let doc =
+    "I/O-optimal approximate partitions and splitters in external memory \
+     (reproduction of Hu, Tao, Yang, Zhou; SPAA 2014)"
+  in
+  let main = Cmd.group (Cmd.info "em_repro" ~doc)
+      [
+        splitters_cmd;
+        partition_cmd;
+        multiselect_cmd;
+        multipartition_cmd;
+        quantiles_cmd;
+        reduce_cmd;
+        bounds_cmd;
+        info_cmd;
+      ]
+  in
+  exit (Cmd.eval main)

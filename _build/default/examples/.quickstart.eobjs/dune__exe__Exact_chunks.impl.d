@@ -1,0 +1,1 @@
+examples/exact_chunks.ml: Array Core Em Emalg Int Printf

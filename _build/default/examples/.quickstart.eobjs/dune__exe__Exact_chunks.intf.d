@@ -1,0 +1,1 @@
+examples/exact_chunks.mli:

@@ -1,0 +1,1 @@
+examples/histogram.ml: Array Core Em Int List Printf Quantile

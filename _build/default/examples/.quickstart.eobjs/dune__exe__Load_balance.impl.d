@@ -1,0 +1,1 @@
+examples/load_balance.ml: Array Core Em Int Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Core Em Emalg Int Printf String

@@ -1,0 +1,1 @@
+examples/sublinear.ml: Core Em Int List Printf

@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Array Em Emalg List Problem Splitters

@@ -1,0 +1,1 @@
+lib/core/bounds.ml: Em Float Problem

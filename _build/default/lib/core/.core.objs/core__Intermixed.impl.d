@@ -1,0 +1,1 @@
+lib/core/intermixed.ml: Array Em Emalg Int Logs

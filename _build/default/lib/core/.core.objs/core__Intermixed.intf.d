@@ -1,0 +1,1 @@
+lib/core/intermixed.mli: Em

@@ -1,0 +1,1 @@
+lib/core/multi_partition.ml: Array Em Emalg List Logs

@@ -1,0 +1,1 @@
+lib/core/multi_partition.mli: Em

@@ -1,0 +1,1 @@
+lib/core/multi_select.ml: Array Em Emalg Intermixed Multi_partition Quantile

@@ -1,0 +1,1 @@
+lib/core/partitioning.ml: Array Em Emalg Multi_partition Problem

@@ -1,0 +1,1 @@
+lib/core/reduction.ml: Array Em Emalg List Partitioning Problem

@@ -1,0 +1,1 @@
+lib/core/splitters.ml: Array Em Emalg Int List Multi_select Problem

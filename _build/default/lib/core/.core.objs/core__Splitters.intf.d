@@ -1,0 +1,1 @@
+lib/core/splitters.mli: Em Problem

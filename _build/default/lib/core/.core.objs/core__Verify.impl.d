@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Format Problem

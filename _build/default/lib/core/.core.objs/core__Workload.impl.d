@@ -1,0 +1,1 @@
+lib/core/workload.ml: Array Em Int Int64 Printf

@@ -1,0 +1,99 @@
+(* Sort-then-cut baselines.  {!Emalg.External_sort} is stable, which gives
+   the positional rank semantics shared with the optimal algorithms without
+   any tagging. *)
+
+let sorted_vec cmp v = Emalg.External_sort.sort cmp v
+
+(* Stream the sorted vector, cutting after each position in [cuts]
+   (1-based, strictly increasing, the last implicit cut is at n). *)
+let cut_sorted sorted ~ctx ~cuts =
+  let parts = ref [] in
+  let writer = ref (Em.Writer.create ctx) in
+  let next_cut = ref 0 in
+  let ncuts = Array.length cuts in
+  let pos = ref 0 in
+  Emalg.Scan.iter
+    (fun e ->
+      Em.Writer.push !writer e;
+      incr pos;
+      if !next_cut < ncuts && cuts.(!next_cut) = !pos then begin
+        parts := Em.Writer.finish !writer :: !parts;
+        writer := Em.Writer.create ctx;
+        incr next_cut
+      end)
+    sorted;
+  parts := Em.Writer.finish !writer :: !parts;
+  Array.of_list (List.rev !parts)
+
+let splitters cmp v spec =
+  Problem.validate_exn spec;
+  if spec.Problem.n <> Em.Vec.length v then
+    invalid_arg "Baseline.splitters: spec.n does not match the input length";
+  let { Problem.n; k; _ } = spec in
+  let ctx = Em.Vec.ctx v in
+  let sorted = sorted_vec cmp v in
+  let targets = Splitters.quantile_ranks ~n ~k in
+  let out =
+    Em.Writer.with_writer ctx (fun w ->
+        let next = ref 0 in
+        let pos = ref 0 in
+        Emalg.Scan.iter
+          (fun e ->
+            incr pos;
+            if !next < Array.length targets && targets.(!next) = !pos then begin
+              Em.Writer.push w e;
+              incr next
+            end)
+          sorted)
+  in
+  Em.Vec.free sorted;
+  out
+
+let partitioning cmp v spec =
+  Problem.validate_exn spec;
+  if spec.Problem.n <> Em.Vec.length v then
+    invalid_arg "Baseline.partitioning: spec.n does not match the input length";
+  let { Problem.n; k; _ } = spec in
+  let ctx = Em.Vec.ctx v in
+  let sorted = sorted_vec cmp v in
+  let cuts = Splitters.quantile_ranks ~n ~k in
+  let parts = cut_sorted sorted ~ctx ~cuts in
+  Em.Vec.free sorted;
+  parts
+
+let multi_select cmp v ~ranks =
+  let sorted = sorted_vec cmp v in
+  let out = Array.make (Array.length ranks) None in
+  let next = ref 0 in
+  let pos = ref 0 in
+  Emalg.Scan.iter
+    (fun e ->
+      incr pos;
+      while !next < Array.length ranks && ranks.(!next) = !pos do
+        out.(!next) <- Some e;
+        incr next
+      done)
+    sorted;
+  Em.Vec.free sorted;
+  Array.map
+    (function
+      | Some e -> e
+      | None -> invalid_arg "Baseline.multi_select: rank out of range")
+    out
+
+let multi_partition cmp v ~sizes =
+  let total = Array.fold_left ( + ) 0 sizes in
+  if total <> Em.Vec.length v then
+    invalid_arg "Baseline.multi_partition: sizes must sum to the input length";
+  let ctx = Em.Vec.ctx v in
+  let sorted = sorted_vec cmp v in
+  let cuts = Array.make (max 0 (Array.length sizes - 1)) 0 in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i s ->
+      acc := !acc + s;
+      if i < Array.length cuts then cuts.(i) <- !acc)
+    sizes;
+  let parts = cut_sorted sorted ~ctx ~cuts in
+  Em.Vec.free sorted;
+  parts

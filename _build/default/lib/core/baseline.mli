@@ -1,0 +1,20 @@
+(** Sort-based baselines: the trivial [O((N/B) lg_{M/B} (N/B))] solutions the
+    paper compares its bounds against (Section 1.2).  Every benchmark pits
+    an optimal algorithm against the corresponding baseline here. *)
+
+val splitters :
+  ('a -> 'a -> int) -> 'a Em.Vec.t -> Problem.spec -> 'a Em.Vec.t
+(** Externally sort, then emit the even [1/K]-quantile elements (valid for
+    every regime, since [a <= floor(n/k)] and [ceil(n/k) <= b]). *)
+
+val partitioning :
+  ('a -> 'a -> int) -> 'a Em.Vec.t -> Problem.spec -> 'a Em.Vec.t array
+(** Externally sort, then cut the sorted stream at the even positions. *)
+
+val multi_select :
+  ('a -> 'a -> int) -> 'a Em.Vec.t -> ranks:int array -> 'a array
+(** Sort, then collect the requested ranks in one scan. *)
+
+val multi_partition :
+  ('a -> 'a -> int) -> 'a Em.Vec.t -> sizes:int array -> 'a Em.Vec.t array
+(** Sort, then cut at the prescribed cumulative sizes in one scan. *)

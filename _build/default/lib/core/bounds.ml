@@ -1,0 +1,89 @@
+let fanout p = float_of_int p.Em.Params.mem /. float_of_int p.Em.Params.block
+
+let lg p y =
+  if y <= 1. then 1. else Float.max 1. (Float.log y /. Float.log (fanout p))
+
+let fi = float_of_int
+let fdiv a b = fi a /. fi b
+
+let scan p ~n = fdiv n p.Em.Params.block
+let sort p ~n = scan p ~n *. lg p (fdiv n p.Em.Params.block)
+
+let splitters_right_lower p { Problem.k; a; _ } =
+  let b = p.Em.Params.block in
+  (1. +. fdiv (a * k) b) *. lg p (fdiv k b)
+
+let splitters_right_upper = splitters_right_lower
+
+let splitters_left_lower p { Problem.n; b; _ } =
+  let blk = p.Em.Params.block in
+  fdiv n blk *. lg p (fdiv n (b * blk))
+
+let splitters_left_upper = splitters_left_lower
+
+let splitters_two_sided_lower p spec =
+  Float.max (splitters_right_lower p spec) (splitters_left_lower p spec)
+
+let splitters_two_sided_upper p spec =
+  let blk = p.Em.Params.block in
+  let { Problem.n; k; a; b } = spec in
+  (fdiv (a * k) blk *. lg p (fdiv k blk)) +. (fdiv n blk *. lg p (fdiv n (b * blk)))
+
+let partition_right_lower p { Problem.n; _ } = scan p ~n
+
+let partition_right_upper p { Problem.n; k; a; _ } =
+  let blk = p.Em.Params.block in
+  scan p ~n +. (fdiv (a * k) blk *. lg p (Float.min (fi k) (fdiv (a * k) blk)))
+
+let partition_left_lower p { Problem.n; b; _ } =
+  let blk = p.Em.Params.block in
+  scan p ~n *. lg p (Float.min (fdiv n b) (fdiv n blk))
+
+let partition_left_upper = partition_left_lower
+
+let partition_two_sided_lower = partition_left_lower
+
+let partition_two_sided_upper p spec =
+  let blk = p.Em.Params.block in
+  let { Problem.n; k; a; b } = spec in
+  (fdiv (a * k) blk *. lg p (Float.min (fi k) (fdiv (a * k) blk)))
+  +. (scan p ~n *. lg p (Float.min (fdiv n b) (fdiv n blk)))
+
+let multi_select p ~n ~k =
+  let blk = p.Em.Params.block in
+  scan p ~n *. lg p (fdiv k blk)
+
+let multi_partition p ~n ~k = scan p ~n *. lg p (fi k)
+
+let dispatch spec ~unconstrained ~right ~left ~two =
+  match Problem.classify spec with
+  | Problem.Unconstrained -> unconstrained
+  | Problem.Right_grounded -> right
+  | Problem.Left_grounded -> left
+  | Problem.Two_sided -> two
+
+let splitters_lower p spec =
+  dispatch spec ~unconstrained:1.
+    ~right:(splitters_right_lower p spec)
+    ~left:(splitters_left_lower p spec)
+    ~two:(splitters_two_sided_lower p spec)
+
+let splitters_upper p spec =
+  dispatch spec
+    ~unconstrained:(fdiv spec.Problem.k p.Em.Params.block)
+    ~right:(splitters_right_upper p spec)
+    ~left:(splitters_left_upper p spec)
+    ~two:(splitters_two_sided_upper p spec)
+
+let partitioning_lower p spec =
+  dispatch spec ~unconstrained:1.
+    ~right:(partition_right_lower p spec)
+    ~left:(partition_left_lower p spec)
+    ~two:(partition_two_sided_lower p spec)
+
+let partitioning_upper p spec =
+  dispatch spec
+    ~unconstrained:(scan p ~n:spec.Problem.n)
+    ~right:(partition_right_upper p spec)
+    ~left:(partition_left_upper p spec)
+    ~two:(partition_two_sided_upper p spec)

@@ -1,0 +1,63 @@
+(** The paper's Table 1 as evaluable formulas.
+
+    Every function returns the {e predicted number of I/Os without its hidden
+    constant}; benchmarks report the ratio measured/predicted, which should
+    stay flat (bounded above and below) across a sweep if the implementation
+    matches the bound.  Following the paper's convention, [lg_x y] denotes
+    [max 1 (log_x y)]. *)
+
+val lg : Em.Params.t -> float -> float
+(** [lg p y] is [lg_{M/B} y = max 1 (log y / log (M/B))]. *)
+
+val scan : Em.Params.t -> n:int -> float
+(** [N/B], the cost of one pass. *)
+
+val sort : Em.Params.t -> n:int -> float
+(** [(N/B) lg_{M/B} (N/B)] — the sorting bound and hence the baselines'. *)
+
+(** Table 1, row by row. *)
+
+val splitters_right_lower : Em.Params.t -> Problem.spec -> float
+(** [Θ((1 + aK/B) lg_{M/B} (K/B))] — Theorems 1 and 5 (tight). *)
+
+val splitters_right_upper : Em.Params.t -> Problem.spec -> float
+
+val splitters_left_lower : Em.Params.t -> Problem.spec -> float
+(** [Θ((N/B) lg_{M/B} (N/(bB)))] — Theorems 2 and 5 (tight). *)
+
+val splitters_left_upper : Em.Params.t -> Problem.spec -> float
+
+val splitters_two_sided_lower : Em.Params.t -> Problem.spec -> float
+(** [max] of the two grounded lower bounds (the paper's corollary). *)
+
+val splitters_two_sided_upper : Em.Params.t -> Problem.spec -> float
+(** [(aK/B) lg_{M/B}(K/B) + (N/B) lg_{M/B}(N/(bB))] — Theorem 5. *)
+
+val partition_right_lower : Em.Params.t -> Problem.spec -> float
+(** [Ω(N/B)] — Section 3. *)
+
+val partition_right_upper : Em.Params.t -> Problem.spec -> float
+(** [N/B + (aK/B) lg_{M/B} min(K, aK/B)] — Theorem 6. *)
+
+val partition_left_lower : Em.Params.t -> Problem.spec -> float
+(** [Θ((N/B) lg_{M/B} min(N/b, N/B))] — Theorems 3 and 6 (tight). *)
+
+val partition_left_upper : Em.Params.t -> Problem.spec -> float
+
+val partition_two_sided_lower : Em.Params.t -> Problem.spec -> float
+val partition_two_sided_upper : Em.Params.t -> Problem.spec -> float
+
+(** Companion problems (Section 1.2 and Theorem 4). *)
+
+val multi_select : Em.Params.t -> n:int -> k:int -> float
+(** [(N/B) lg_{M/B} (K/B)] — Theorem 4, tight. *)
+
+val multi_partition : Em.Params.t -> n:int -> k:int -> float
+(** [(N/B) lg_{M/B} K] — Aggarwal–Vitter, tight (Lemma 5). *)
+
+(** Dispatchers over the spec's variant. *)
+
+val splitters_lower : Em.Params.t -> Problem.spec -> float
+val splitters_upper : Em.Params.t -> Problem.spec -> float
+val partitioning_lower : Em.Params.t -> Problem.spec -> float
+val partitioning_upper : Em.Params.t -> Problem.spec -> float

@@ -1,0 +1,76 @@
+let ln2 = Float.log 2.
+
+(* Exact lg(n!) below the threshold (memoised prefix sums), Stirling above. *)
+let exact_threshold = 1 lsl 16
+
+let exact_table =
+  lazy
+    (let t = Array.make (exact_threshold + 1) 0. in
+     for i = 2 to exact_threshold do
+       t.(i) <- t.(i - 1) +. (Float.log (float_of_int i) /. ln2)
+     done;
+     t)
+
+let log2_factorial n =
+  if n < 0 then invalid_arg "Counting.log2_factorial: negative argument";
+  if n <= exact_threshold then (Lazy.force exact_table).(n)
+  else begin
+    (* Stirling series: ln n! = n ln n - n + (1/2) ln(2 pi n) + 1/(12n) - ... *)
+    let x = float_of_int n in
+    let ln_fact =
+      (x *. Float.log x) -. x
+      +. (0.5 *. Float.log (2. *. Float.pi *. x))
+      +. (1. /. (12. *. x))
+      -. (1. /. (360. *. (x ** 3.)))
+    in
+    ln_fact /. ln2
+  end
+
+let log2_choose n k =
+  if k < 0 || k > n || n < 0 then 0.
+  else log2_factorial n -. log2_factorial k -. log2_factorial (n - k)
+
+let pi_hard_log2_size ~n ~block =
+  if block < 1 || n < block then 0.
+  else float_of_int block *. log2_factorial (n / block)
+
+let decision_tree_ios p ~log2_states =
+  let fanout_bits = log2_choose p.Em.Params.mem p.Em.Params.block in
+  if fanout_bits <= 0. then Float.infinity else Float.max 0. (log2_states /. fanout_bits)
+
+let fi = float_of_int
+
+let lg_pos x = if x <= 1. then 0. else Float.log x /. ln2
+
+let splitters_right_floor p { Problem.k; a; _ } =
+  let b = p.Em.Params.block and m = p.Em.Params.mem in
+  let seen = fi (a * k) /. fi b in
+  (* Lemma 2's entropy deficit: aK lg(K/B), distinguished at B lg(M/B) bits
+     per I/O (the simplified form the paper derives after Lemma 1). *)
+  let counting = fi (a * k) *. lg_pos (fi k /. fi b) /. (fi b *. lg_pos (fi m /. fi b)) in
+  Float.max seen counting
+
+let splitters_left_floor p { Problem.n; k; b; _ } =
+  let blk = p.Em.Params.block and m = p.Em.Params.mem in
+  let t = max 1 (n - k + 1) in
+  let seen = fi n /. (2. *. fi blk) in
+  let counting =
+    fi t *. lg_pos (fi t /. fi (b * blk)) /. (fi blk *. lg_pos (fi m /. fi blk))
+  in
+  Float.max seen counting
+
+let machine_state_bits p ~n =
+  (* Lemma 7: at most 2 N lg N * (M choose B) successor states per I/O. *)
+  lg_pos (2. *. fi n *. lg_pos (fi n)) +. log2_choose p.Em.Params.mem p.Em.Params.block
+
+let precise_partition_floor p ~n ~k =
+  if k < 1 || n < k then 0.
+  else begin
+    let outcomes = log2_factorial n -. (fi k *. log2_factorial (n / k)) in
+    let per_io = machine_state_bits p ~n in
+    if per_io <= 0. then Float.infinity else Float.max 0. (outcomes /. per_io)
+  end
+
+let permuting_floor p ~n =
+  let per_io = machine_state_bits p ~n in
+  if per_io <= 0. then Float.infinity else log2_factorial n /. per_io

@@ -1,0 +1,45 @@
+(** The paper's counting arguments as executable mathematics.
+
+    Sections 2 and 3 prove lower bounds by comparing the number of machine
+    states (or consistent permutations) an algorithm can distinguish in [H]
+    I/Os against the number it must distinguish.  This module evaluates
+    those quantities numerically, giving {e constant-free} I/O floors that
+    the benchmarks print next to measured costs.  (They are worst-case
+    bounds, so a single measured run is expected to sit above them but is
+    not logically forced to; the bench reports, the tests check the maths.)
+
+    All logarithms are base 2; factorials use exact summation below 2^16 and
+    the Stirling series beyond (relative error < 1e-12 there). *)
+
+val log2_factorial : int -> float
+(** [lg (n!)]. *)
+
+val log2_choose : int -> int -> float
+(** [lg (n choose k)]; 0 when the binomial is degenerate. *)
+
+val pi_hard_log2_size : n:int -> block:int -> float
+(** [lg |Π_hard| = B * lg((N/B)!)] — the appendix's hard-family size. *)
+
+val decision_tree_ios : Em.Params.t -> log2_states:float -> float
+(** Lemma 1's skeleton: a comparison-based algorithm distinguishing
+    [2^log2_states] outcomes with fanout [(M choose B)] per I/O needs at
+    least [log2_states / lg (M choose B)] I/Os. *)
+
+val splitters_right_floor : Em.Params.t -> Problem.spec -> float
+(** Theorem 1's counting floor (the [K >= αM] branch):
+    [(aK lg(K/B)) / (B lg(M/B))] from Lemma 2, combined with the seen-elements
+    floor [aK/B]; returns the max of the two (no hidden constants). *)
+
+val splitters_left_floor : Em.Params.t -> Problem.spec -> float
+(** Theorem 2's counting floor: [max(N/(2B), |T| lg(|T|/(bB)) / (B lg(M/B)))]
+    with [|T| = N - K + 1] non-splitter elements (Lemma 4). *)
+
+val precise_partition_floor : Em.Params.t -> n:int -> k:int -> float
+(** Lemma 5's machine-state floor: [H] with
+    [(2 N lg N * (M choose B))^H >= N! / ((N/K)!)^K], i.e.
+    [H >= lg(N!/((N/K)!)^K) / (lg(2 N lg N) + lg(M choose B))]. *)
+
+val permuting_floor : Em.Params.t -> n:int -> float
+(** The classic sorting/permuting information floor
+    [lg(N!) / lg(2 N lg N * (M choose B))] — what {!precise_partition_floor}
+    degenerates to at [K = N]. *)

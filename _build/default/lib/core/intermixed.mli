@@ -1,0 +1,36 @@
+(** L-intermixed selection (Section 4.1 of the paper).
+
+    The input is a set [D] of (key, group) pairs with [L] groups and a target
+    rank [t_g] per group; the output is, for every group [g], the element
+    with the [t_g]-th smallest key in group [g].  The algorithm runs [L]
+    median-of-medians threads concurrently in [O(|D| / B)] I/Os using O(1)
+    words of resident state per thread:
+
+    - one scan splits every group into subgroups of at most five elements
+      (a 5-slot stash per group) and collects subgroup medians into [Σ];
+    - a recursive call finds the median [μ_g] of every [Σ_g];
+    - one scan computes the rank [θ_g] of [μ_g] in its group;
+    - one scan builds the shrunken instance [D'] ([|D'_g| <= 7/10 |D_g| + 3])
+      and the recursion continues on it, with in-memory solving below a
+      memory load.
+
+    As in the paper, the group count is capped at [m = c * M] for a small
+    constant [c] (here [c = 1/100]; the paper needs [c] small enough that
+    [|Σ| + |D'| <= (9/10 + 12c) |D|] keeps shrinking).  Arrays that must
+    survive the recursive call (the targets) are spilled to disk and reloaded
+    — that is what keeps the per-thread resident state O(1).
+
+    Duplicate keys are handled by breaking ties with the pair's position in
+    [D], so ranks are positional (stable). *)
+
+val max_groups : 'a Em.Ctx.t -> int
+(** The largest supported [L]: [max 1 ((M - 2B) / 100)]. *)
+
+val select :
+  ('a -> 'a -> int) -> ('a * int) Em.Vec.t -> targets:int array -> 'a array
+(** [select cmp d ~targets] where group ids in [d] lie in
+    [0 .. Array.length targets - 1] and [1 <= targets.(g) <= |D_g|].
+    Returns the selected key per group, indexed by group id.  [d] is
+    preserved; the targets array ([L] words) and the result ([L] words) are
+    charged to the caller.
+    @raise Invalid_argument on malformed input or [L > max_groups]. *)

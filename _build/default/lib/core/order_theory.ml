@@ -1,0 +1,125 @@
+type t = { n : int; less : bool array array }
+
+let size p = p.n
+let precedes p i j = p.less.(i).(j)
+
+let close less n =
+  (* Floyd–Warshall transitive closure. *)
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if less.(i).(k) then
+        for j = 0 to n - 1 do
+          if less.(k).(j) then less.(i).(j) <- true
+        done
+    done
+  done
+
+let of_relation ~n rel =
+  if n < 0 then invalid_arg "Order_theory.of_relation: negative size";
+  let less = Array.init n (fun i -> Array.init n (fun j -> rel i j)) in
+  close less n;
+  for i = 0 to n - 1 do
+    if less.(i).(i) then invalid_arg "Order_theory.of_relation: cyclic relation"
+  done;
+  { n; less }
+
+let random rng ~n ~density =
+  let order = Array.init n (fun i -> i) in
+  Workload.Rng.shuffle rng order;
+  let threshold = int_of_float (density *. 1_000_000.) in
+  of_relation ~n (fun i j ->
+      (* Edges only forward along the hidden topological order. *)
+      let pos = Array.make n 0 in
+      Array.iteri (fun idx v -> pos.(v) <- idx) order;
+      pos.(i) < pos.(j) && Workload.Rng.int rng 1_000_000 < threshold)
+
+(* Count linear extensions by dynamic programming over downsets: the number
+   of extensions of a downset S is the sum over maximal elements of S of
+   the extensions of S minus that element. *)
+let count_linear_extensions p =
+  let n = p.n in
+  if n > 20 then invalid_arg "Order_theory.count_linear_extensions: too large";
+  let full = (1 lsl n) - 1 in
+  let memo = Hashtbl.create 1024 in
+  let is_downset s =
+    (* every element of s has all its predecessors in s *)
+    let ok = ref true in
+    for j = 0 to n - 1 do
+      if s land (1 lsl j) <> 0 then
+        for i = 0 to n - 1 do
+          if p.less.(i).(j) && s land (1 lsl i) = 0 then ok := false
+        done
+    done;
+    !ok
+  in
+  let rec count s =
+    if s = 0 then 1
+    else
+      match Hashtbl.find_opt memo s with
+      | Some c -> c
+      | None ->
+          let total = ref 0 in
+          for j = 0 to n - 1 do
+            if s land (1 lsl j) <> 0 then begin
+              (* j removable iff it is maximal within s *)
+              let maximal = ref true in
+              for k = 0 to n - 1 do
+                if s land (1 lsl k) <> 0 && p.less.(j).(k) then maximal := false
+              done;
+              if !maximal then total := !total + count (s lxor (1 lsl j))
+            end
+          done;
+          Hashtbl.add memo s !total;
+          !total
+  in
+  if not (is_downset full) then invalid_arg "Order_theory: internal error"
+  else count full
+
+let width p =
+  let n = p.n in
+  if n > 22 then invalid_arg "Order_theory.width: too large";
+  let best = ref 0 in
+  for s = 0 to (1 lsl n) - 1 do
+    let antichain = ref true in
+    let count = ref 0 in
+    for i = 0 to n - 1 do
+      if s land (1 lsl i) <> 0 then begin
+        incr count;
+        for j = 0 to n - 1 do
+          if s land (1 lsl j) <> 0 && p.less.(i).(j) then antichain := false
+        done
+      end
+    done;
+    if !antichain && !count > !best then best := !count
+  done;
+  !best
+
+(* Minimum chain cover = n - maximum matching in the bipartite graph with an
+   edge (i, j) whenever i < j (Fulkerson). *)
+let min_chain_cover p =
+  let n = p.n in
+  let matched_right = Array.make n (-1) in
+  let rec augment i seen =
+    let found = ref false in
+    let j = ref 0 in
+    while (not !found) && !j < n do
+      if p.less.(i).(!j) && not seen.(!j) then begin
+        seen.(!j) <- true;
+        if matched_right.(!j) = -1 || augment matched_right.(!j) seen then begin
+          matched_right.(!j) <- i;
+          found := true
+        end
+      end;
+      incr j
+    done;
+    !found
+  in
+  let matching = ref 0 in
+  for i = 0 to n - 1 do
+    if augment i (Array.make n false) then incr matching
+  done;
+  n - !matching
+
+let restrict p elements =
+  let m = Array.length elements in
+  of_relation ~n:m (fun i j -> p.less.(elements.(i)).(elements.(j)))

@@ -1,0 +1,50 @@
+(** The order-theoretic toolkit behind the paper's lower-bound appendix,
+    executable at toy scale.
+
+    The proofs of Lemmas 2–4 count permutations consistent with a partial
+    order ([CP(≺, X)]) and invoke Dilworth's theorem and two composition
+    facts (Facts 4 and 5).  This module provides exact brute-force
+    evaluation of those quantities for small posets, so the appendix's
+    inequalities can be {e tested}, not just cited (see
+    [test/test_order_theory.ml]):
+
+    - Fact 4: [|CP(X1 ∪ X2)| = |CP(X1)| * |CP(X2)|] when every element of
+      [X1] precedes every element of [X2];
+    - Fact 5: [|CP(X)| <= |CP(Y)| * |CP(X \ Y)| * (|X| choose |Y|)];
+    - Lemma 3 (via Dilworth): [|CP(X)| <= w^n] when the largest antichain
+      has [w] elements;
+    - Theorem 7 (Dilworth): the largest antichain equals the minimum chain
+      cover. *)
+
+type t
+(** A strict partial order on elements [0 .. size - 1], transitively
+    closed. *)
+
+val size : t -> int
+
+val of_relation : n:int -> (int -> int -> bool) -> t
+(** [of_relation ~n rel] closes [rel] transitively.
+    @raise Invalid_argument if the closure contains a cycle. *)
+
+val random : Workload.Rng.t -> n:int -> density:float -> t
+(** A random DAG on a random topological order, transitively closed.
+    [density] is the probability of each forward edge. *)
+
+val precedes : t -> int -> int -> bool
+(** Strict order test after closure. *)
+
+val count_linear_extensions : t -> int
+(** Exact [|CP(≺, X)|] by memoised downset enumeration — feasible for
+    [size <= ~16]. *)
+
+val width : t -> int
+(** Size of the largest antichain (brute force over subsets;
+    [size <= ~20]). *)
+
+val min_chain_cover : t -> int
+(** Minimum number of chains covering the poset, computed as
+    [n - maximum bipartite matching] (Fulkerson's reduction) — the other
+    side of Dilworth's theorem. *)
+
+val restrict : t -> int array -> t
+(** The induced sub-order on the given (distinct) elements. *)

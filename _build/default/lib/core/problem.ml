@@ -1,0 +1,38 @@
+type spec = { n : int; k : int; a : int; b : int }
+type variant = Right_grounded | Left_grounded | Two_sided | Unconstrained
+
+let validate { n; k; a; b } =
+  if n < 1 then Error "n must be >= 1"
+  else if k < 1 then Error "k must be >= 1"
+  else if k > n then Error "k must be <= n"
+  else if a < 0 then Error "a must be >= 0"
+  else if b < a then Error "b must be >= a"
+  else if b > n then Error "b must be <= n"
+  else if a * k > n then Error "infeasible: a * k > n (partitions cannot all reach a)"
+  else if b * k < n then Error "infeasible: b * k < n (partitions cannot cover n)"
+  else Ok ()
+
+let validate_exn spec =
+  match validate spec with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Problem.validate: " ^ msg)
+
+let classify { n; a; b; _ } =
+  match (a = 0, b = n) with
+  | true, true -> Unconstrained
+  | true, false -> Left_grounded
+  | false, true -> Right_grounded
+  | false, false -> Two_sided
+
+let even_spec ~n ~k = { n; k; a = n / k; b = (n + k - 1) / k }
+
+let variant_name = function
+  | Right_grounded -> "right-grounded"
+  | Left_grounded -> "left-grounded"
+  | Two_sided -> "two-sided"
+  | Unconstrained -> "unconstrained"
+
+let pp_variant ppf v = Format.pp_print_string ppf (variant_name v)
+
+let pp_spec ppf { n; k; a; b } =
+  Format.fprintf ppf "{ n = %d; k = %d; a = %d; b = %d }" n k a b

@@ -1,0 +1,32 @@
+(** Problem specifications for approximate K-partitioning / K-splitters.
+
+    Both problems share the same parameters: a set of [n] elements, a target
+    count [k], and an integer interval [[a, b]] every induced partition size
+    must fall into.  The paper distinguishes three regimes:
+    right-grounded ([b = n]), left-grounded ([a = 0]) and two-sided. *)
+
+type spec = { n : int; k : int; a : int; b : int }
+
+type variant =
+  | Right_grounded  (** [b = n] *)
+  | Left_grounded  (** [a = 0] (and [b < n]) *)
+  | Two_sided  (** [0 < a] and [b < n] *)
+  | Unconstrained  (** [a = 0] and [b = n]: any split works *)
+
+val validate : spec -> (unit, string) result
+(** Feasibility: [n >= 1], [1 <= k <= n], [0 <= a <= b <= n], [a * k <= n]
+    (every partition can reach its minimum) and [b * k >= n] (the partitions
+    can cover the input). *)
+
+val validate_exn : spec -> unit
+(** @raise Invalid_argument when {!validate} returns an error. *)
+
+val classify : spec -> variant
+
+val even_spec : n:int -> k:int -> spec
+(** The perfectly balanced instance [a = floor(n/k)], [b = ceil(n/k)] (the
+    paper's [a = b = N/K] when [k] divides [n]). *)
+
+val pp_spec : Format.formatter -> spec -> unit
+val pp_variant : Format.formatter -> variant -> unit
+val variant_name : variant -> string

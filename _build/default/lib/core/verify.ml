@@ -1,0 +1,137 @@
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let sorted_copy cmp a =
+  let c = Array.copy a in
+  Array.sort cmp c;
+  c
+
+(* Number of elements < x / <= x in a sorted array. *)
+let count_lt cmp sorted x =
+  let lo = ref 0 and hi = ref (Array.length sorted) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp sorted.(mid) x < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let count_le cmp sorted x =
+  let lo = ref 0 and hi = ref (Array.length sorted) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp sorted.(mid) x <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let splitters cmp ~input spec proposed =
+  let* () = Problem.validate spec in
+  let { Problem.n; k; a; b } = spec in
+  if n <> Array.length input then err "input length %d <> spec.n %d" (Array.length input) n
+  else if Array.length proposed <> k - 1 then
+    err "expected %d splitters, got %d" (k - 1) (Array.length proposed)
+  else begin
+    let sorted = sorted_copy cmp input in
+    let sp = sorted_copy cmp proposed in
+    (* Each splitter stands for an occurrence: its sorted position r_i must
+       satisfy count_lt < r_i <= count_le (membership), positions strictly
+       increase, and consecutive gaps lie in [a, b].  Greedy-minimal choice
+       of r_i is optimal for this forward-constrained chain. *)
+    let rec walk i prev =
+      if i = Array.length sp then
+        let gap = n - prev in
+        if gap < a || gap > b then err "last bucket has %d elements (not in [%d, %d])" gap a b
+        else Ok ()
+      else begin
+        let x = sp.(i) in
+        let lo = count_lt cmp sorted x and hi = count_le cmp sorted x in
+        if hi = lo then err "splitter %d is not an element of the input" i
+        else begin
+          let r = max (lo + 1) (prev + a) in
+          if r > hi then err "bucket %d cannot reach the minimum size %d" i a
+          else if r - prev > b then err "bucket %d has more than %d elements" i b
+          else walk (i + 1) r
+        end
+      end
+    in
+    walk 0 0
+  end
+
+let partitioning cmp ~input spec parts =
+  let* () = Problem.validate spec in
+  let { Problem.n; k; a; b } = spec in
+  if n <> Array.length input then err "input length %d <> spec.n %d" (Array.length input) n
+  else if Array.length parts <> k then err "expected %d partitions, got %d" k (Array.length parts)
+  else begin
+    let sizes_ok = ref (Ok ()) in
+    Array.iteri
+      (fun i p ->
+        let s = Array.length p in
+        if (s < a || s > b) && !sizes_ok = Ok () then
+          sizes_ok := err "partition %d has %d elements (not in [%d, %d])" i s a b)
+      parts;
+    let* () = !sizes_ok in
+    (* Ordering: max of earlier non-empty <= min of later non-empty. *)
+    let max_of p = Array.fold_left (fun acc e -> if cmp e acc > 0 then e else acc) p.(0) p in
+    let min_of p = Array.fold_left (fun acc e -> if cmp e acc < 0 then e else acc) p.(0) p in
+    let rec order_ok i last_max =
+      if i = Array.length parts then Ok ()
+      else if Array.length parts.(i) = 0 then order_ok (i + 1) last_max
+      else begin
+        let mn = min_of parts.(i) in
+        match last_max with
+        | Some m when cmp m mn > 0 -> err "partition %d overlaps an earlier partition" i
+        | _ -> order_ok (i + 1) (Some (max_of parts.(i)))
+      end
+    in
+    let* () = order_ok 0 None in
+    let together = Array.concat (Array.to_list parts) in
+    if Array.length together <> n then err "partitions hold %d elements, expected %d" (Array.length together) n
+    else begin
+      let s1 = sorted_copy cmp together and s2 = sorted_copy cmp input in
+      let mismatch = ref None in
+      Array.iteri
+        (fun i e -> if !mismatch = None && cmp e s2.(i) <> 0 then mismatch := Some i)
+        s1;
+      match !mismatch with
+      | Some i -> err "partitions are not a permutation of the input (at sorted index %d)" i
+      | None -> Ok ()
+    end
+  end
+
+let multi_select cmp ~input ~ranks results =
+  if Array.length ranks <> Array.length results then
+    err "expected %d results, got %d" (Array.length ranks) (Array.length results)
+  else begin
+    let sorted = sorted_copy cmp input in
+    let n = Array.length sorted in
+    let rec walk i =
+      if i = Array.length ranks then Ok ()
+      else begin
+        let r = ranks.(i) in
+        if r < 1 || r > n then err "rank %d out of range" r
+        else if cmp results.(i) sorted.(r - 1) <> 0 then
+          err "result %d is not the element of rank %d" i r
+        else walk (i + 1)
+      end
+    in
+    walk 0
+  end
+
+let multi_partition cmp ~input ~sizes parts =
+  if Array.length sizes <> Array.length parts then
+    err "expected %d partitions, got %d" (Array.length sizes) (Array.length parts)
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun i p ->
+        if !bad = None && Array.length p <> sizes.(i) then
+          bad := Some (i, Array.length p))
+      parts;
+    match !bad with
+    | Some (i, got) -> err "partition %d has %d elements, expected %d" i got sizes.(i)
+    | None ->
+        let n = Array.length input in
+        let spec = { Problem.n; k = max 1 (Array.length sizes); a = 0; b = n } in
+        partitioning cmp ~input spec parts
+  end

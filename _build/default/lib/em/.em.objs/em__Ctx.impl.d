@@ -1,0 +1,1 @@
+lib/em/ctx.ml: Device Mem Params Stats

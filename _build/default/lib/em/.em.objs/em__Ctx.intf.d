@@ -1,0 +1,1 @@
+lib/em/ctx.mli: Device Params Stats

@@ -1,0 +1,1 @@
+lib/em/device.ml: Array Params Stats

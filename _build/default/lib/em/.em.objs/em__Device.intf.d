@@ -1,0 +1,1 @@
+lib/em/device.mli: Params Stats

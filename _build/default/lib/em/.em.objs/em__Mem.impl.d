@@ -1,0 +1,1 @@
+lib/em/mem.ml: Params Stats

@@ -1,0 +1,1 @@
+lib/em/mem.mli: Params Stats

@@ -1,0 +1,1 @@
+lib/em/params.mli: Format

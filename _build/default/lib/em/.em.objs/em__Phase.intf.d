@@ -1,0 +1,1 @@
+lib/em/phase.mli: Ctx

@@ -1,0 +1,1 @@
+lib/em/reader.ml: Array Ctx Device Mem Vec

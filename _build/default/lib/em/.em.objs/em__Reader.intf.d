@@ -1,0 +1,1 @@
+lib/em/reader.mli: Vec

@@ -1,0 +1,1 @@
+lib/em/stats.ml: Format Hashtbl Int List Option

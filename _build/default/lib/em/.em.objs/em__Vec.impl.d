@@ -1,0 +1,1 @@
+lib/em/vec.ml: Array Ctx Device List Params

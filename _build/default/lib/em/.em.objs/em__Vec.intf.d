@@ -1,0 +1,1 @@
+lib/em/vec.mli: Ctx

@@ -1,0 +1,1 @@
+lib/em/writer.ml: Array Ctx Device List Mem Vec

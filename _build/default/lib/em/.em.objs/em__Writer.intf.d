@@ -1,0 +1,1 @@
+lib/em/writer.mli: Ctx Vec

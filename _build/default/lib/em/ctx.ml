@@ -1,0 +1,17 @@
+type 'a t = { params : Params.t; stats : Stats.t; dev : 'a Device.t }
+
+let create params =
+  let stats = Stats.create () in
+  { params; stats; dev = Device.create params stats }
+
+let linked ctx =
+  { params = ctx.params; stats = ctx.stats; dev = Device.create ctx.params ctx.stats }
+
+let counted ctx cmp x y =
+  ctx.stats.Stats.comparisons <- ctx.stats.Stats.comparisons + 1;
+  cmp x y
+
+let mem_capacity ctx = ctx.params.Params.mem
+let block_size ctx = ctx.params.Params.block
+let fanout ctx = Params.fanout ctx.params
+let with_words ctx n f = Mem.with_words ctx.params ctx.stats n f

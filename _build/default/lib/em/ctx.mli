@@ -1,0 +1,27 @@
+(** A simulated EM machine: parameters, cost counters and a block device.
+
+    Every algorithm in this repository runs against a ['a Ctx.t].  Elements
+    are of an arbitrary type ['a] (one element = one word); algorithms are
+    comparison-based and receive an explicit comparator. *)
+
+type 'a t = { params : Params.t; stats : Stats.t; dev : 'a Device.t }
+
+val create : Params.t -> 'a t
+(** Fresh machine with zeroed counters. *)
+
+val linked : 'a t -> 'b t
+(** A context over a fresh device for elements of another type, sharing the
+    parameters, I/O counters and memory ledger of the original machine.  Used
+    for auxiliary streams (rank lists, tagged pairs): all their I/Os and
+    buffers are charged to the same meters. *)
+
+val counted : 'a t -> ('a -> 'a -> int) -> 'a -> 'a -> int
+(** [counted ctx cmp] behaves as [cmp] but increments the comparison
+    counter on every call. *)
+
+val mem_capacity : 'a t -> int
+val block_size : 'a t -> int
+val fanout : 'a t -> int
+
+val with_words : 'a t -> int -> (unit -> 'b) -> 'b
+(** Charge the memory ledger around a computation; see {!Mem.with_words}. *)

@@ -1,0 +1,70 @@
+type 'a t = {
+  params : Params.t;
+  stats : Stats.t;
+  mutable store : 'a array option array;
+  mutable next_id : int;
+  mutable free_list : int list;
+  mutable live : int;
+}
+
+let create params stats =
+  { params; stats; store = Array.make 64 None; next_id = 0; free_list = []; live = 0 }
+
+let params d = d.params
+let stats d = d.stats
+
+let ensure_capacity d id =
+  let n = Array.length d.store in
+  if id >= n then begin
+    let grown = Array.make (max (2 * n) (id + 1)) None in
+    Array.blit d.store 0 grown 0 n;
+    d.store <- grown
+  end
+
+let alloc d =
+  d.live <- d.live + 1;
+  d.stats.Stats.allocated_blocks <- d.stats.Stats.allocated_blocks + 1;
+  match d.free_list with
+  | id :: rest ->
+      d.free_list <- rest;
+      id
+  | [] ->
+      let id = d.next_id in
+      d.next_id <- id + 1;
+      ensure_capacity d id;
+      id
+
+let free d id =
+  if id < 0 || id >= d.next_id then invalid_arg "Device.free: bad block id";
+  d.store.(id) <- None;
+  d.free_list <- id :: d.free_list;
+  d.live <- d.live - 1;
+  d.stats.Stats.freed_blocks <- d.stats.Stats.freed_blocks + 1
+
+let check_payload d payload =
+  if Array.length payload > d.params.Params.block then
+    invalid_arg "Device.write: payload exceeds block size"
+
+let write_free d id payload =
+  check_payload d payload;
+  if id < 0 || id >= d.next_id then invalid_arg "Device.write: bad block id";
+  d.store.(id) <- Some (Array.copy payload)
+
+let write d id payload =
+  write_free d id payload;
+  d.stats.Stats.writes <- d.stats.Stats.writes + 1;
+  Stats.record_phase_io d.stats
+
+let read_free d id =
+  if id < 0 || id >= d.next_id then invalid_arg "Device.read: bad block id";
+  match d.store.(id) with
+  | None -> invalid_arg "Device.read: block was never written (or was freed)"
+  | Some payload -> Array.copy payload
+
+let read d id =
+  let payload = read_free d id in
+  d.stats.Stats.reads <- d.stats.Stats.reads + 1;
+  Stats.record_phase_io d.stats;
+  payload
+
+let live_blocks d = d.live

@@ -1,0 +1,40 @@
+(** A simulated block device.
+
+    The device stores blocks of at most [B] elements each, addressed by
+    integer block ids.  Every [read] and every [write] costs exactly one I/O,
+    which is recorded in the device's {!Stats.t}.  Freed blocks are recycled
+    through a free list so that long experiments do not grow without bound. *)
+
+type 'a t
+
+val create : Params.t -> Stats.t -> 'a t
+
+val params : 'a t -> Params.t
+val stats : 'a t -> Stats.t
+
+val alloc : 'a t -> int
+(** Reserve a fresh (or recycled) block id.  Costs no I/O by itself. *)
+
+val free : 'a t -> int -> unit
+(** Return a block to the free list.  Costs no I/O. *)
+
+val write : 'a t -> int -> 'a array -> unit
+(** [write dev id payload] stores [payload] (length <= B) in block [id] and
+    costs one I/O.  The payload is copied, so later mutation of the argument
+    does not affect the device.
+    @raise Invalid_argument if the payload exceeds the block size. *)
+
+val read : 'a t -> int -> 'a array
+(** [read dev id] costs one I/O and returns a copy of the block contents.
+    @raise Invalid_argument if the block was never written. *)
+
+val read_free : 'a t -> int -> 'a array
+(** Zero-cost block access for test set-up and verification only.  Never use
+    this inside an algorithm under measurement. *)
+
+val write_free : 'a t -> int -> 'a array -> unit
+(** Zero-cost block write for test set-up only (placing the input on disk is
+    not part of an algorithm's cost). *)
+
+val live_blocks : 'a t -> int
+(** Number of blocks currently allocated and not freed. *)

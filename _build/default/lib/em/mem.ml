@@ -1,0 +1,27 @@
+exception Memory_exceeded of { requested : int; in_use : int; capacity : int }
+
+let charge p s n =
+  if n < 0 then invalid_arg "Mem.charge: negative word count";
+  let in_use = s.Stats.mem_in_use in
+  let capacity = p.Params.mem in
+  if in_use + n > capacity then
+    raise (Memory_exceeded { requested = n; in_use; capacity });
+  s.Stats.mem_in_use <- in_use + n;
+  if s.Stats.mem_in_use > s.Stats.mem_peak then
+    s.Stats.mem_peak <- s.Stats.mem_in_use
+
+let release _p s n =
+  if n < 0 then invalid_arg "Mem.release: negative word count";
+  if n > s.Stats.mem_in_use then
+    invalid_arg "Mem.release: releasing more memory than is in use";
+  s.Stats.mem_in_use <- s.Stats.mem_in_use - n
+
+let with_words p s n f =
+  charge p s n;
+  match f () with
+  | result ->
+      release p s n;
+      result
+  | exception e ->
+      release p s n;
+      raise e

@@ -1,0 +1,20 @@
+(** Memory-budget ledger.
+
+    Every in-memory buffer an algorithm holds must be charged here.  The
+    ledger raises {!Memory_exceeded} as soon as the total exceeds the machine
+    parameter [M], which turns memory-budget violations into immediate test
+    failures rather than silent modelling errors. *)
+
+exception Memory_exceeded of { requested : int; in_use : int; capacity : int }
+
+val charge : Params.t -> Stats.t -> int -> unit
+(** [charge p s n] records [n] more words in use.
+    @raise Memory_exceeded if the budget [p.mem] would be exceeded. *)
+
+val release : Params.t -> Stats.t -> int -> unit
+(** [release p s n] returns [n] words.
+    @raise Invalid_argument if more words are released than are in use. *)
+
+val with_words : Params.t -> Stats.t -> int -> (unit -> 'a) -> 'a
+(** [with_words p s n f] charges [n] words around the call to [f], releasing
+    them even if [f] raises. *)

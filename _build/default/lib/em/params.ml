@@ -1,0 +1,15 @@
+type t = { mem : int; block : int }
+
+let create ~mem ~block =
+  if block < 1 then invalid_arg "Params.create: block size must be >= 1";
+  if mem < 2 * block then
+    invalid_arg "Params.create: memory must hold at least two blocks (M >= 2B)";
+  { mem; block }
+
+let fanout p = p.mem / p.block
+
+let blocks_of_elems p n =
+  if n < 0 then invalid_arg "Params.blocks_of_elems: negative element count";
+  (n + p.block - 1) / p.block
+
+let pp ppf p = Format.fprintf ppf "{ M = %d; B = %d }" p.mem p.block

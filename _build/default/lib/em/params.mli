@@ -1,0 +1,23 @@
+(** Parameters of the external-memory (EM) machine.
+
+    The machine of Aggarwal and Vitter has a memory of [mem] words and a disk
+    formatted into blocks of [block] words.  One element occupies one word, so
+    a block holds [block] elements and the memory holds [mem] elements.  The
+    model requires [mem >= 2 * block]. *)
+
+type t = private {
+  mem : int;  (** M: memory capacity in words *)
+  block : int;  (** B: block size in words *)
+}
+
+val create : mem:int -> block:int -> t
+(** [create ~mem ~block] validates [block >= 1] and [mem >= 2 * block].
+    @raise Invalid_argument otherwise. *)
+
+val fanout : t -> int
+(** [fanout p] is [M / B], the number of blocks that fit in memory. *)
+
+val blocks_of_elems : t -> int -> int
+(** [blocks_of_elems p n] is [ceil (n / B)]: blocks needed for [n] elements. *)
+
+val pp : Format.formatter -> t -> unit

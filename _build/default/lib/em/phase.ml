@@ -1,0 +1,17 @@
+let with_label ctx label f =
+  let s = ctx.Ctx.stats in
+  s.Stats.phase_stack <- label :: s.Stats.phase_stack;
+  let pop () =
+    match s.Stats.phase_stack with
+    | _ :: rest -> s.Stats.phase_stack <- rest
+    | [] -> ()
+  in
+  match f () with
+  | result ->
+      pop ();
+      result
+  | exception e ->
+      pop ();
+      raise e
+
+let report ctx = Stats.phase_report ctx.Ctx.stats

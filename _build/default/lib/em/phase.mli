@@ -1,0 +1,13 @@
+(** Per-phase I/O attribution.
+
+    Algorithms label their passes ([with_label ctx "distribute" f]); every
+    block read/write performed while a label is active is attributed to the
+    innermost label.  The report makes the cost structure of a composed
+    algorithm visible (the benchmarks print it), at zero simulated cost. *)
+
+val with_label : 'a Ctx.t -> string -> (unit -> 'b) -> 'b
+(** Push a label around a computation (restored on exceptions too). *)
+
+val report : 'a Ctx.t -> (string * int) list
+(** Per-phase I/O counts since the last {!Stats.reset}, largest first;
+    unlabeled I/O appears as ["(other)"]. *)

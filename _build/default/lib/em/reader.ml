@@ -1,0 +1,71 @@
+type 'a t = {
+  vec : 'a Vec.t;
+  mutable pos : int;  (* absolute index of the next element to deliver *)
+  mutable buffer : 'a array;  (* contents of the block containing [pos] *)
+  mutable buffer_base : int;  (* absolute index of buffer.(0); -1 if none *)
+  mutable closed : bool;
+}
+
+let buffer_words r = Ctx.block_size (Vec.ctx r.vec)
+
+let open_vec vec =
+  let ctx = Vec.ctx vec in
+  Mem.charge ctx.Ctx.params ctx.Ctx.stats (Ctx.block_size ctx);
+  { vec; pos = 0; buffer = [||]; buffer_base = -1; closed = false }
+
+let check_open r = if r.closed then invalid_arg "Reader: already closed"
+let has_next r = (not r.closed) && r.pos < Vec.length r.vec
+let remaining r = max 0 (Vec.length r.vec - r.pos)
+
+let load_block r =
+  let ctx = Vec.ctx r.vec in
+  let b = Ctx.block_size ctx in
+  let block_index = r.pos / b in
+  let ids = Vec.block_ids r.vec in
+  r.buffer <- Device.read ctx.Ctx.dev ids.(block_index);
+  r.buffer_base <- block_index * b
+
+let ensure_loaded r =
+  check_open r;
+  if r.pos >= Vec.length r.vec then invalid_arg "Reader: end of input";
+  if r.buffer_base < 0 || r.pos - r.buffer_base >= Array.length r.buffer then
+    load_block r
+
+let peek r =
+  ensure_loaded r;
+  r.buffer.(r.pos - r.buffer_base)
+
+let next r =
+  let e = peek r in
+  r.pos <- r.pos + 1;
+  e
+
+let take r n =
+  if n < 0 then invalid_arg "Reader.take: negative count";
+  let count = min n (remaining r) in
+  if count = 0 then [||]
+  else begin
+    let out = Array.make count (peek r) in
+    for i = 0 to count - 1 do
+      out.(i) <- next r
+    done;
+    out
+  end
+
+let close r =
+  if not r.closed then begin
+    let ctx = Vec.ctx r.vec in
+    Mem.release ctx.Ctx.params ctx.Ctx.stats (buffer_words r);
+    r.closed <- true;
+    r.buffer <- [||]
+  end
+
+let with_reader vec f =
+  let r = open_vec vec in
+  match f r with
+  | result ->
+      close r;
+      result
+  | exception e ->
+      close r;
+      raise e

@@ -1,0 +1,27 @@
+(** Buffered sequential reader over a {!Vec}.
+
+    A reader holds one block buffer, charged as [B] words against the memory
+    budget for its whole lifetime; each block of the vector is read exactly
+    once (one I/O per block).  Always [close] a reader (or use {!with_reader})
+    to release its buffer. *)
+
+type 'a t
+
+val open_vec : 'a Vec.t -> 'a t
+val has_next : 'a t -> bool
+val peek : 'a t -> 'a
+(** @raise Invalid_argument at end of input. *)
+
+val next : 'a t -> 'a
+(** Return the next element and advance.
+    @raise Invalid_argument at end of input. *)
+
+val take : 'a t -> int -> 'a array
+(** [take r n] returns the next [min n remaining] elements.  The caller is
+    responsible for charging memory for the result. *)
+
+val remaining : 'a t -> int
+val close : 'a t -> unit
+
+val with_reader : 'a Vec.t -> ('a t -> 'b) -> 'b
+(** Open, run, and close (also on exception). *)

@@ -1,0 +1,62 @@
+type t = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable comparisons : int;
+  mutable allocated_blocks : int;
+  mutable freed_blocks : int;
+  mutable mem_in_use : int;
+  mutable mem_peak : int;
+  mutable phase_stack : string list;
+  phase_ios : (string, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    reads = 0;
+    writes = 0;
+    comparisons = 0;
+    allocated_blocks = 0;
+    freed_blocks = 0;
+    mem_in_use = 0;
+    mem_peak = 0;
+    phase_stack = [];
+    phase_ios = Hashtbl.create 16;
+  }
+
+let reset s =
+  s.reads <- 0;
+  s.writes <- 0;
+  s.comparisons <- 0;
+  s.allocated_blocks <- 0;
+  s.freed_blocks <- 0;
+  s.mem_in_use <- 0;
+  s.mem_peak <- 0;
+  s.phase_stack <- [];
+  Hashtbl.reset s.phase_ios
+
+let current_phase s =
+  match s.phase_stack with [] -> "(other)" | label :: _ -> label
+
+let record_phase_io s =
+  let label = current_phase s in
+  let previous = Option.value (Hashtbl.find_opt s.phase_ios label) ~default:0 in
+  Hashtbl.replace s.phase_ios label (previous + 1)
+
+let phase_report s =
+  Hashtbl.fold (fun label ios acc -> (label, ios) :: acc) s.phase_ios []
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+
+let ios s = s.reads + s.writes
+
+type snapshot = { at_reads : int; at_writes : int; at_comparisons : int }
+
+let snapshot s =
+  { at_reads = s.reads; at_writes = s.writes; at_comparisons = s.comparisons }
+
+let ios_since s snap = s.reads + s.writes - snap.at_reads - snap.at_writes
+let comparisons_since s snap = s.comparisons - snap.at_comparisons
+
+let pp ppf s =
+  Format.fprintf ppf
+    "{ reads = %d; writes = %d; ios = %d; comparisons = %d; mem_peak = %d }"
+    s.reads s.writes (ios s) s.comparisons s.mem_peak

@@ -1,0 +1,44 @@
+(** Cost counters of a simulated EM machine.
+
+    The primary metric of the EM model is the number of block reads and
+    writes.  We additionally count comparisons (the algorithms are
+    comparison-based) and track the peak number of memory words in use, so
+    that violating the memory budget is observable. *)
+
+type t = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable comparisons : int;
+  mutable allocated_blocks : int;
+  mutable freed_blocks : int;
+  mutable mem_in_use : int;  (** words currently charged to memory *)
+  mutable mem_peak : int;  (** high-water mark of [mem_in_use] *)
+  mutable phase_stack : string list;  (** innermost phase label first *)
+  phase_ios : (string, int) Hashtbl.t;  (** I/Os attributed per phase *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val ios : t -> int
+(** [ios s] is [s.reads + s.writes], the total I/O cost. *)
+
+type snapshot = { at_reads : int; at_writes : int; at_comparisons : int }
+
+val snapshot : t -> snapshot
+
+val ios_since : t -> snapshot -> int
+(** I/Os performed since the snapshot was taken. *)
+
+val comparisons_since : t -> snapshot -> int
+
+val current_phase : t -> string
+(** Innermost active phase label, or ["(other)"]. *)
+
+val record_phase_io : t -> unit
+(** Attribute one I/O to the current phase (called by {!Device}). *)
+
+val phase_report : t -> (string * int) list
+(** Per-phase I/O counts, largest first.  See {!Phase}. *)
+
+val pp : Format.formatter -> t -> unit

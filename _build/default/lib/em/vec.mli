@@ -1,0 +1,38 @@
+(** An external vector: a sequence of elements laid out across disk blocks.
+
+    Every block is full except possibly the last.  A vector is immutable once
+    built; sequential access goes through {!Reader} and construction through
+    {!Writer} (both of which pay I/Os), while [of_array] / [to_array] are
+    zero-cost conveniences reserved for test set-up and verification. *)
+
+type 'a t
+
+val ctx : 'a t -> 'a Ctx.t
+val length : 'a t -> int
+val num_blocks : 'a t -> int
+val block_ids : 'a t -> int array
+
+val empty : 'a Ctx.t -> 'a t
+
+val of_array : 'a Ctx.t -> 'a array -> 'a t
+(** Place the array on disk {e without} charging I/Os: the EM model assumes
+    the input already resides in [ceil (N/B)] input blocks. *)
+
+val to_array : 'a t -> 'a array
+(** Zero-cost readback for verification; never use inside an algorithm. *)
+
+val free : 'a t -> unit
+(** Return all blocks of the vector to the device free list. *)
+
+val of_blocks : 'a Ctx.t -> int array -> int -> 'a t
+(** [of_blocks ctx ids len] wraps already-written blocks; used by {!Writer}
+    and by algorithms that hand off block ownership without copying. *)
+
+val concat_free : 'a t list -> 'a t
+(** Concatenate vectors by block-id juxtaposition {e without} I/O.  Only legal
+    when every vector but the last has a full final block; raises
+    [Invalid_argument] otherwise.  Models handing over a linked list of full
+    blocks, as the partitioning output format permits. *)
+
+val get_free : 'a t -> int -> 'a
+(** Zero-cost random access for verification. *)

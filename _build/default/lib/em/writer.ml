@@ -1,0 +1,67 @@
+type 'a t = {
+  ctx : 'a Ctx.t;
+  mutable buffer : 'a option array;  (* staged elements of the current block *)
+  mutable fill : int;
+  mutable blocks : int list;  (* written block ids, newest first *)
+  mutable written : int;  (* elements already flushed to disk *)
+  mutable closed : bool;
+}
+
+let create ctx =
+  let b = Ctx.block_size ctx in
+  Mem.charge ctx.Ctx.params ctx.Ctx.stats b;
+  { ctx; buffer = Array.make b None; fill = 0; blocks = []; written = 0; closed = false }
+
+let check_open w = if w.closed then invalid_arg "Writer: already closed"
+
+let flush w =
+  if w.fill > 0 then begin
+    let payload =
+      Array.init w.fill (fun i ->
+          match w.buffer.(i) with
+          | Some e -> e
+          | None -> assert false)
+    in
+    let id = Device.alloc w.ctx.Ctx.dev in
+    Device.write w.ctx.Ctx.dev id payload;
+    w.blocks <- id :: w.blocks;
+    w.written <- w.written + w.fill;
+    w.fill <- 0
+  end
+
+let push w e =
+  check_open w;
+  w.buffer.(w.fill) <- Some e;
+  w.fill <- w.fill + 1;
+  if w.fill = Array.length w.buffer then flush w
+
+let push_array w a = Array.iter (push w) a
+let length w = w.written + w.fill
+
+let release_buffer w =
+  let b = Ctx.block_size w.ctx in
+  Mem.release w.ctx.Ctx.params w.ctx.Ctx.stats b;
+  w.closed <- true;
+  w.buffer <- [||]
+
+let finish w =
+  check_open w;
+  flush w;
+  let len = w.written in
+  let blocks = Array.of_list (List.rev w.blocks) in
+  release_buffer w;
+  Vec.of_blocks w.ctx blocks len
+
+let abandon w =
+  check_open w;
+  List.iter (Device.free w.ctx.Ctx.dev) w.blocks;
+  w.blocks <- [];
+  release_buffer w
+
+let with_writer ctx f =
+  let w = create ctx in
+  match f w with
+  | () -> finish w
+  | exception e ->
+      abandon w;
+      raise e

@@ -1,0 +1,22 @@
+(** Buffered sequential writer producing a {!Vec}.
+
+    A writer holds one block buffer ([B] words charged for its lifetime) and
+    pays one write I/O per block it fills, plus one for a final partial block.
+    [finish] returns the vector and releases the buffer. *)
+
+type 'a t
+
+val create : 'a Ctx.t -> 'a t
+val push : 'a t -> 'a -> unit
+val push_array : 'a t -> 'a array -> unit
+val length : 'a t -> int
+(** Elements pushed so far. *)
+
+val finish : 'a t -> 'a Vec.t
+(** Flush the last partial block, release the buffer and return the vector.
+    The writer must not be used afterwards. *)
+
+val abandon : 'a t -> unit
+(** Release the buffer and free all blocks written so far. *)
+
+val with_writer : 'a Ctx.t -> ('a t -> unit) -> 'a Vec.t

@@ -1,0 +1,1 @@
+lib/emalg/distribute.mli: Em

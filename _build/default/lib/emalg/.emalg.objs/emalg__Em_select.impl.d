@@ -1,0 +1,1 @@
+lib/emalg/em_select.ml: Array Distribute Em Layout Mem_sort Order Sample_splitters Scan Select_mem

@@ -1,0 +1,1 @@
+lib/emalg/em_select.mli: Em

@@ -1,0 +1,1 @@
+lib/emalg/external_sort.ml: Em Layout List Mem_sort Merge Scan

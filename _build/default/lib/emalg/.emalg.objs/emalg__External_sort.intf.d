@@ -1,0 +1,1 @@
+lib/emalg/external_sort.mli: Em

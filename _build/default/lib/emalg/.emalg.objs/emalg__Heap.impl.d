@@ -1,0 +1,1 @@
+lib/emalg/heap.ml: Array

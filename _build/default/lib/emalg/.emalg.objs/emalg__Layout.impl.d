@@ -1,0 +1,1 @@
+lib/emalg/layout.ml: Em

@@ -1,0 +1,1 @@
+lib/emalg/mem_sort.ml: Array

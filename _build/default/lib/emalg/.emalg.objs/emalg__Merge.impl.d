@@ -1,0 +1,1 @@
+lib/emalg/merge.ml: Array Em Heap Int List

@@ -1,0 +1,1 @@
+lib/emalg/merge.mli: Em

@@ -1,0 +1,1 @@
+lib/emalg/order.ml: Int

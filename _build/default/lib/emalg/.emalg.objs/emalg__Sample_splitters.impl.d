@@ -1,0 +1,1 @@
+lib/emalg/sample_splitters.ml: Array Em Float Layout Mem_sort Order Scan

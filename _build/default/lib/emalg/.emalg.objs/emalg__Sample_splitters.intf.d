@@ -1,0 +1,1 @@
+lib/emalg/sample_splitters.mli: Em

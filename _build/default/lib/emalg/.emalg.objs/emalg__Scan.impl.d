@@ -1,0 +1,1 @@
+lib/emalg/scan.ml: Array Em

@@ -1,0 +1,1 @@
+lib/emalg/scan.mli: Em

@@ -1,0 +1,1 @@
+lib/emalg/select_mem.ml: Array

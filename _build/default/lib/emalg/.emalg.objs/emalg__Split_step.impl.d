@@ -1,0 +1,1 @@
+lib/emalg/split_step.ml: Array Distribute Em Em_select Layout Logs Order Sample_splitters Scan

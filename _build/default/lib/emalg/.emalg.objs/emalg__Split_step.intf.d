@@ -1,0 +1,1 @@
+lib/emalg/split_step.mli: Em

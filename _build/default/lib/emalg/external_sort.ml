@@ -1,0 +1,40 @@
+let run_formation cmp v =
+  let ctx = Em.Vec.ctx v in
+  Layout.require_min_geometry ctx;
+  let load = Layout.load_size ctx ~reserved_blocks:2 in
+  let runs = ref [] in
+  Em.Phase.with_label ctx "run-formation" (fun () ->
+      Scan.chunks ~size:load
+        (fun chunk ->
+          Mem_sort.sort cmp chunk;
+          runs := Scan.vec_of_array_io ctx chunk :: !runs)
+        v);
+  List.rev !runs
+
+let rec merge_passes cmp runs =
+  match runs with
+  | [] -> invalid_arg "External_sort.merge_passes: no runs"
+  | [ single ] -> single
+  | _ :: _ ->
+      let ctx = Em.Vec.ctx (List.hd runs) in
+      let fanout = Merge.max_fanout ctx in
+      let rec split_at n acc = function
+        | rest when n = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: rest -> split_at (n - 1) (x :: acc) rest
+      in
+      let rec one_pass acc = function
+        | [] -> List.rev acc
+        | runs ->
+            let group, rest = split_at fanout [] runs in
+            let merged = Em.Phase.with_label ctx "merge" (fun () -> Merge.merge cmp group) in
+            List.iter Em.Vec.free group;
+            one_pass (merged :: acc) rest
+      in
+      merge_passes cmp (one_pass [] runs)
+
+let sort cmp v =
+  let runs = run_formation cmp v in
+  match runs with
+  | [] -> Em.Vec.empty (Em.Vec.ctx v)
+  | _ :: _ -> merge_passes cmp runs

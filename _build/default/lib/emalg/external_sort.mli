@@ -1,0 +1,17 @@
+(** External merge sort: run formation followed by multiway merge passes.
+    This is the classic [O((N/B) lg_{M/B} (N/B))] algorithm of Aggarwal and
+    Vitter, used here both as a baseline and as a substrate.  The sort is
+    {e stable}: run formation uses a stable in-memory sort, runs are merged
+    in input order, and the merge breaks ties by run index. *)
+
+val run_formation : ('a -> 'a -> int) -> 'a Em.Vec.t -> 'a Em.Vec.t list
+(** Split the input into memory loads, sort each, and write it back as a
+    sorted run.  Linear I/O.  The input is not freed. *)
+
+val sort : ('a -> 'a -> int) -> 'a Em.Vec.t -> 'a Em.Vec.t
+(** Fully sort the vector (input not freed).  Intermediate runs are freed. *)
+
+val merge_passes : ('a -> 'a -> int) -> 'a Em.Vec.t list -> 'a Em.Vec.t
+(** Repeatedly merge up to [Merge.max_fanout] runs until one remains.  The
+    given runs are consumed (freed), except when a single run is passed,
+    which is returned as-is. *)

@@ -1,0 +1,16 @@
+(** A plain binary min-heap with an explicit comparator, used by the k-way
+    merge.  The caller charges its memory ([2 * capacity] words is a fair
+    price: one word per payload plus one per heap slot). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> capacity:int -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+val min : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val pop : 'a t -> 'a
+(** Remove and return the minimum.
+    @raise Invalid_argument on an empty heap. *)

@@ -1,0 +1,21 @@
+let require_min_geometry ctx =
+  let m = Em.Ctx.mem_capacity ctx and b = Em.Ctx.block_size ctx in
+  if b < 4 then invalid_arg "emalg: algorithms require a block size B >= 4";
+  if m < 8 * b then invalid_arg "emalg: algorithms require M >= 8B"
+
+let half_load ctx =
+  let m = Em.Ctx.mem_capacity ctx and b = Em.Ctx.block_size ctx in
+  (m / 2) - (2 * b)
+
+let big_load ctx =
+  let m = Em.Ctx.mem_capacity ctx and b = Em.Ctx.block_size ctx in
+  (* Floor at half_load: on tiny geometries the 10-block reservation would
+     consume everything, and half_load's safety argument takes over. *)
+  max (half_load ctx) (m - max (10 * b) (m / 8))
+
+let load_size ctx ~reserved_blocks =
+  let m = Em.Ctx.mem_capacity ctx and b = Em.Ctx.block_size ctx in
+  let available = m - (reserved_blocks * b) in
+  if available < 1 then
+    invalid_arg "Layout.load_size: no memory left after reserving stream buffers";
+  available

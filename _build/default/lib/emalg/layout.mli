@@ -1,0 +1,33 @@
+(** Memory-layout helpers shared by the EM algorithms.
+
+    The EM model only demands [M >= 2B]; the algorithms in this library need a
+    little headroom for their stream buffers, so they all require the slightly
+    stronger geometry [B >= 4] and [M >= 8B] (asserted here, once, with a
+    clear error).
+
+    Reservation policy: every in-memory load is capped at {!half_load}
+    ([M/2 - 2B]), so any composition holding at most [M/2 - 2B] words of
+    buffers and arrays stays inside the budget (the {!Em.Mem} ledger
+    enforces this at run time). *)
+
+val require_min_geometry : 'a Em.Ctx.t -> unit
+(** @raise Invalid_argument if [B < 4] or [M < 8B]. *)
+
+val half_load : 'a Em.Ctx.t -> int
+(** [M/2 - 2B]: the uniform cap on in-memory base-case loads and chunked
+    scans throughout the library.  Capping loads at half the memory means a
+    caller composition may hold up to [M/2 - 2B] words of buffers and arrays
+    while calling into any routine, and the ledger never overflows. *)
+
+val big_load : 'a Em.Ctx.t -> int
+(** [max(half_load, M - max(10B, M/8))]: the cap on leaf loads in the
+    distribution-sort recursions.  The reservation covers every composition
+    in this library (a caller holds at most a few stream buffers plus
+    O(M/25) words of rank arrays); unlike {!half_load} it is not tied to
+    the sampling analysis, so it can be generous, and on tiny geometries it
+    falls back to {!half_load}. *)
+
+val load_size : 'a Em.Ctx.t -> reserved_blocks:int -> int
+(** [load_size ctx ~reserved_blocks:r] is the number of elements an algorithm
+    may stage in memory while also holding [r] stream buffers: [M - r*B].
+    @raise Invalid_argument if nothing is left. *)

@@ -1,0 +1,37 @@
+let sort cmp a = Array.stable_sort cmp a
+
+let is_sorted cmp a =
+  let n = Array.length a in
+  let rec check i = i >= n || (cmp a.(i - 1) a.(i) <= 0 && check (i + 1)) in
+  check 1
+
+let quantile_splitters cmp a ~k =
+  let n = Array.length a in
+  if k < 1 || k > n then
+    invalid_arg "Mem_sort.quantile_splitters: k out of range";
+  sort cmp a;
+  Array.init (k - 1) (fun i ->
+      let rank = (((i + 1) * n) + k - 1) / k in
+      a.(rank - 1))
+
+let merge_into cmp xs ys =
+  let nx = Array.length xs and ny = Array.length ys in
+  if nx = 0 then Array.copy ys
+  else if ny = 0 then Array.copy xs
+  else begin
+    let out = Array.make (nx + ny) xs.(0) in
+    let rec go i j k =
+      if i = nx then Array.blit ys j out k (ny - j)
+      else if j = ny then Array.blit xs i out k (nx - i)
+      else if cmp xs.(i) ys.(j) <= 0 then begin
+        out.(k) <- xs.(i);
+        go (i + 1) j (k + 1)
+      end
+      else begin
+        out.(k) <- ys.(j);
+        go i (j + 1) (k + 1)
+      end
+    in
+    go 0 0 0;
+    out
+  end

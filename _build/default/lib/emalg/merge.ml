@@ -1,0 +1,35 @@
+let max_fanout ctx =
+  let m = Em.Ctx.mem_capacity ctx and b = Em.Ctx.block_size ctx in
+  max 1 ((m - b) / (b + 2))
+
+let merge cmp vecs =
+  match vecs with
+  | [] -> invalid_arg "Merge.merge: no input runs"
+  | first :: _ ->
+      let ctx = Em.Vec.ctx first in
+      let nruns = List.length vecs in
+      if nruns > max_fanout ctx then
+        invalid_arg "Merge.merge: too many runs for the memory budget";
+      let readers = Array.of_list (List.map Em.Reader.open_vec vecs) in
+      (* Ties break by run index, which makes the merge stable with respect
+         to the run order (runs are formed and merged in input order). *)
+      let heap_cmp (x, i) (y, j) =
+        let c = cmp x y in
+        if c <> 0 then c else Int.compare i j
+      in
+      Em.Ctx.with_words ctx (2 * nruns) (fun () ->
+          let heap = Heap.create ~cmp:heap_cmp ~capacity:nruns in
+          Array.iteri
+            (fun i r -> if Em.Reader.has_next r then Heap.push heap (Em.Reader.next r, i))
+            readers;
+          let out =
+            Em.Writer.with_writer ctx (fun w ->
+                while not (Heap.is_empty heap) do
+                  let e, i = Heap.pop heap in
+                  Em.Writer.push w e;
+                  if Em.Reader.has_next readers.(i) then
+                    Heap.push heap (Em.Reader.next readers.(i), i)
+                done)
+          in
+          Array.iter Em.Reader.close readers;
+          out)

@@ -1,0 +1,13 @@
+(** Multiway merge of sorted external vectors. *)
+
+val max_fanout : 'a Em.Ctx.t -> int
+(** The largest number of runs that can be merged at once: each run needs one
+    reader buffer ([B] words), plus one writer buffer and two words per heap
+    entry: [(M - B) / (B + 2)]. *)
+
+val merge : ('a -> 'a -> int) -> 'a Em.Vec.t list -> 'a Em.Vec.t
+(** Merge sorted vectors into one sorted vector on the same context.  Equal
+    keys are emitted in run order, so a merge of runs formed left-to-right
+    from a stable run formation is itself stable.  Inputs are {e not} freed.
+    Cost: one read per input block, one write per output block.
+    @raise Invalid_argument if the list is empty or exceeds [max_fanout]. *)

@@ -1,0 +1,70 @@
+let iter f v =
+  Em.Reader.with_reader v (fun r ->
+      while Em.Reader.has_next r do
+        f (Em.Reader.next r)
+      done)
+
+let fold f init v =
+  let acc = ref init in
+  iter (fun e -> acc := f !acc e) v;
+  !acc
+
+let map_into ctx f v =
+  Em.Writer.with_writer ctx (fun w -> iter (fun e -> Em.Writer.push w (f e)) v)
+
+let mapi_into ctx f v =
+  let i = ref 0 in
+  Em.Writer.with_writer ctx (fun w ->
+      iter
+        (fun e ->
+          Em.Writer.push w (f !i e);
+          incr i)
+        v)
+
+let copy v = map_into (Em.Vec.ctx v) (fun e -> e) v
+
+let filter keep v =
+  Em.Writer.with_writer (Em.Vec.ctx v) (fun w ->
+      iter (fun e -> if keep e then Em.Writer.push w e) v)
+
+let append w v = iter (Em.Writer.push w) v
+
+let prefix v count =
+  if count < 0 then invalid_arg "Scan.prefix: negative count";
+  let ctx = Em.Vec.ctx v in
+  Em.Writer.with_writer ctx (fun w ->
+      Em.Reader.with_reader v (fun r ->
+          let remaining = ref (min count (Em.Vec.length v)) in
+          while !remaining > 0 do
+            Em.Writer.push w (Em.Reader.next r);
+            decr remaining
+          done))
+let rank_of cmp v x = fold (fun acc e -> if cmp e x <= 0 then acc + 1 else acc) 0 v
+let count p v = fold (fun acc e -> if p e then acc + 1 else acc) 0 v
+
+let chunks ~size f v =
+  if size < 1 then invalid_arg "Scan.chunks: size must be >= 1";
+  let ctx = Em.Vec.ctx v in
+  Em.Reader.with_reader v (fun r ->
+      while Em.Reader.has_next r do
+        let load = Em.Reader.take r size in
+        Em.Ctx.with_words ctx (Array.length load) (fun () -> f load)
+      done)
+
+let vec_of_array_io ctx a =
+  Em.Writer.with_writer ctx (fun w -> Em.Writer.push_array w a)
+
+let array_of_vec_io v =
+  match Em.Vec.length v with
+  | 0 -> [||]
+  | n ->
+      Em.Reader.with_reader v (fun r ->
+          let out = Array.make n (Em.Reader.peek r) in
+          for i = 0 to n - 1 do
+            out.(i) <- Em.Reader.next r
+          done;
+          out)
+
+let with_loaded v f =
+  let ctx = Em.Vec.ctx v in
+  Em.Ctx.with_words ctx (Em.Vec.length v) (fun () -> f (array_of_vec_io v))

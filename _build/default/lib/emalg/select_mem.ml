@@ -1,0 +1,74 @@
+(* Median-of-medians over array ranges [lo, hi).  Group medians are swapped
+   to the front of the range so the pivot recursion needs no extra storage;
+   the partition step is a three-way (Dutch-flag) pass, which keeps the
+   algorithm linear even with many duplicate keys. *)
+
+let swap a i j =
+  let tmp = a.(i) in
+  a.(i) <- a.(j);
+  a.(j) <- tmp
+
+(* Insertion sort of [lo, hi): used on ranges of at most five elements. *)
+let tiny_sort cmp a lo hi =
+  for i = lo + 1 to hi - 1 do
+    let x = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= lo && cmp a.(!j) x > 0 do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- x
+  done
+
+(* Three-way partition of [lo, hi) around [pivot].  Returns [(lt, gt)] such
+   that after the call, elements of [lo, lt) are < pivot, [lt, gt) are equal
+   to it, and [gt, hi) are greater. *)
+let partition3 cmp a lo hi pivot =
+  let lt = ref lo and i = ref lo and gt = ref hi in
+  while !i < !gt do
+    let c = cmp a.(!i) pivot in
+    if c < 0 then begin
+      swap a !lt !i;
+      incr lt;
+      incr i
+    end
+    else if c > 0 then begin
+      decr gt;
+      swap a !i !gt
+    end
+    else incr i
+  done;
+  (!lt, !gt)
+
+let rec select_range cmp a lo hi rank =
+  let n = hi - lo in
+  if n <= 5 then begin
+    tiny_sort cmp a lo hi;
+    a.(lo + rank - 1)
+  end
+  else begin
+    let ngroups = (n + 4) / 5 in
+    for g = 0 to ngroups - 1 do
+      let glo = lo + (5 * g) in
+      let ghi = min hi (glo + 5) in
+      tiny_sort cmp a glo ghi;
+      let median_index = glo + ((ghi - glo - 1) / 2) in
+      swap a (lo + g) median_index
+    done;
+    let pivot = select_range cmp a lo (lo + ngroups) ((ngroups + 1) / 2) in
+    let lt, gt = partition3 cmp a lo hi pivot in
+    let n_less = lt - lo and n_equal = gt - lt in
+    if rank <= n_less then select_range cmp a lo lt rank
+    else if rank <= n_less + n_equal then pivot
+    else select_range cmp a gt hi (rank - n_less - n_equal)
+  end
+
+let select cmp a ~rank =
+  let n = Array.length a in
+  if rank < 1 || rank > n then invalid_arg "Select_mem.select: rank out of range";
+  select_range cmp a 0 n rank
+
+let median cmp a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Select_mem.median: empty array";
+  select cmp a ~rank:((n + 1) / 2)

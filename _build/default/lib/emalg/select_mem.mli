@@ -1,0 +1,16 @@
+(** Exact in-memory selection by rank — the median-of-medians algorithm of
+    Blum, Floyd, Pratt, Rivest and Tarjan (groups of five), as used by the
+    paper's intermixed selection (Section 4.1).
+
+    The routines work {e in place} on an array the caller has already charged
+    to the memory ledger and use only O(1) extra words, so nothing further
+    needs to be accounted. *)
+
+val select : ('a -> 'a -> int) -> 'a array -> rank:int -> 'a
+(** [select cmp a ~rank] returns the element with the given 1-based [rank]
+    (the [rank]-th smallest).  The array is permuted.
+    @raise Invalid_argument unless [1 <= rank <= Array.length a]. *)
+
+val median : ('a -> 'a -> int) -> 'a array -> 'a
+(** The element of rank [ceil (n/2)].  The array is permuted.
+    @raise Invalid_argument on an empty array. *)

@@ -1,0 +1,30 @@
+(** One level of distribution-sort recursion: split a vector into value
+    buckets with guaranteed progress.
+
+    [split cmp v ~target_buckets] picks pivots with {!Sample_splitters},
+    checks that the resulting bucket-size bound actually shrinks the input,
+    and distributes (hierarchically if needed).  In the degenerate geometries
+    where the sampling bound is useless (M barely above 4B with huge N), it
+    falls back to an exact median split via {!Em_select}, which always
+    halves.  The input must have pairwise-distinct keys (tag with positions
+    if necessary) and is always consumed (freed).
+
+    Returned buckets are in ascending value order; concatenating them is a
+    permutation of the input.  Every bucket is strictly smaller than the
+    input whenever the input has at least two elements. *)
+
+val split :
+  ('a -> 'a -> int) -> 'a Em.Vec.t -> target_buckets:int -> 'a Em.Vec.t array
+
+val split_tagging :
+  ('a -> 'a -> int) -> 'a Em.Vec.t -> target_buckets:int -> ('a * int) Em.Vec.t array
+(** First-level variant for raw inputs with possibly duplicate keys: tags
+    each element with its position {e inline} during sampling and
+    distribution (the tagged copy of the input is never written to disk,
+    saving two scans), and returns buckets of (key, position) pairs that are
+    pairwise distinct and ready for {!split}.  The input is {e preserved}. *)
+
+val default_target : 'a Em.Ctx.t -> n:int -> int
+(** A good [target_buckets] for level-by-level recursion: large enough that
+    buckets fit a memory load when possible, capped at [M/8] so the pivot
+    array stays a small fraction of memory, and never below 2. *)

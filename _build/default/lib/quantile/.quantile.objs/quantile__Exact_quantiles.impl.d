@@ -1,0 +1,1 @@
+lib/quantile/exact_quantiles.ml: Array Emalg

@@ -1,0 +1,1 @@
+lib/quantile/histogram.ml: Array Em Float Format Mem_splitters

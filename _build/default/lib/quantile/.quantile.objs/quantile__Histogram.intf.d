@@ -1,0 +1,1 @@
+lib/quantile/histogram.mli: Em Format

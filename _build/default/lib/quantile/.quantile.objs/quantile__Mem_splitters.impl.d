@@ -1,0 +1,1 @@
+lib/quantile/mem_splitters.ml: Array Em Emalg

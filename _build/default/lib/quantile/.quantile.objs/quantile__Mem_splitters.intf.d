@@ -1,0 +1,1 @@
+lib/quantile/mem_splitters.mli: Em

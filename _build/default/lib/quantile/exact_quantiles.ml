@@ -1,0 +1,17 @@
+let splitters cmp a ~k = Emalg.Mem_sort.quantile_splitters cmp (Array.copy a) ~k
+
+let rank cmp sorted x =
+  let lo = ref 0 and hi = ref (Array.length sorted) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp sorted.(mid) x <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let phi_quantile cmp a ~phi =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Exact_quantiles.phi_quantile: empty array";
+  if not (phi > 0. && phi <= 1.) then
+    invalid_arg "Exact_quantiles.phi_quantile: phi must be in (0, 1]";
+  let r = max 1 (int_of_float (ceil (phi *. float_of_int n))) in
+  Emalg.Select_mem.select cmp (Array.copy a) ~rank:(min n r)

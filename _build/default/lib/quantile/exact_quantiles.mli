@@ -1,0 +1,14 @@
+(** In-memory exact quantiles (free of I/O; comparisons only). *)
+
+val splitters : ('a -> 'a -> int) -> 'a array -> k:int -> 'a array
+(** Exact (1/k)-quantile splitters of a copy of the array (the input is not
+    permuted, unlike {!Emalg.Mem_sort.quantile_splitters}). *)
+
+val rank : ('a -> 'a -> int) -> 'a array -> 'a -> int
+(** [rank cmp sorted x] counts elements [<= x] in a sorted array (binary
+    search). *)
+
+val phi_quantile : ('a -> 'a -> int) -> 'a array -> phi:float -> 'a
+(** The element of rank [max 1 (ceil (phi * n))] of a copy of the array.
+    @raise Invalid_argument unless [0 < phi <= 1] and the array is
+    non-empty. *)

@@ -1,0 +1,68 @@
+type 'a t = {
+  boundaries : 'a array;
+  depth : int;
+  last_depth : int;
+  total : int;
+}
+
+let build cmp v ~buckets =
+  if buckets < 1 then invalid_arg "Histogram.build: buckets must be >= 1";
+  let n = Em.Vec.length v in
+  if n = 0 then invalid_arg "Histogram.build: empty input";
+  let depth = max 1 ((n + buckets - 1) / buckets) in
+  let boundaries = Mem_splitters.find cmp v ~spacing:depth in
+  let last_depth = n - (Array.length boundaries * depth) in
+  { boundaries; depth; last_depth; total = n }
+
+let bucket_count h = Array.length h.boundaries + 1
+
+let bucket_of cmp h x =
+  (* Least i with x <= boundaries.(i), else the last bucket. *)
+  let lo = ref 0 and hi = ref (Array.length h.boundaries) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp x h.boundaries.(mid) <= 0 then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let depth_of_bucket h i =
+  let k = bucket_count h in
+  if i < 0 || i >= k then invalid_arg "Histogram.depth_of_bucket: bad index";
+  if i = k - 1 then h.last_depth else h.depth
+
+let quantile h ~phi =
+  if not (phi > 0. && phi < 1.) then
+    invalid_arg "Histogram.quantile: phi must be in (0, 1)";
+  let nb = Array.length h.boundaries in
+  if nb = 0 then invalid_arg "Histogram.quantile: single-bucket histogram";
+  let target = phi *. float_of_int h.total in
+  let idx = int_of_float (Float.round (target /. float_of_int h.depth)) - 1 in
+  h.boundaries.(max 0 (min (nb - 1) idx))
+
+let selectivity cmp h ~lo ~hi =
+  if cmp hi lo <= 0 then 0.
+  else begin
+    let blo = bucket_of cmp h lo and bhi = bucket_of cmp h hi in
+    let full_between =
+      let acc = ref 0 in
+      for i = blo + 1 to bhi - 1 do
+        acc := !acc + depth_of_bucket h i
+      done;
+      !acc
+    in
+    let partial =
+      if blo = bhi then 0.5 *. float_of_int (depth_of_bucket h blo)
+      else
+        0.5 *. float_of_int (depth_of_bucket h blo)
+        +. (0.5 *. float_of_int (depth_of_bucket h bhi))
+    in
+    (float_of_int full_between +. partial) /. float_of_int h.total
+  end
+
+let pp pp_elt ppf h =
+  Format.fprintf ppf "@[<v>equi-depth histogram: %d buckets, depth %d (last %d), %d elements@,"
+    (bucket_count h) h.depth h.last_depth h.total;
+  Array.iteri
+    (fun i b -> Format.fprintf ppf "  boundary %d: %a@," i pp_elt b)
+    h.boundaries;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,37 @@
+(** Equi-depth histograms over external data — the statistical-profile
+    application from the paper's introduction.  Bucket boundaries are the
+    output of the approximate (here: exact-spacing) splitters problem. *)
+
+type 'a t = private {
+  boundaries : 'a array;  (** ascending bucket upper bounds, length K-1 *)
+  depth : int;  (** exact number of elements in every bucket but the last *)
+  last_depth : int;  (** number of elements in the last bucket *)
+  total : int;
+}
+
+val build : ('a -> 'a -> int) -> 'a Em.Vec.t -> buckets:int -> 'a t
+(** [build cmp v ~buckets] builds an equi-depth histogram with at most
+    [buckets] buckets in (near-)linear I/O via {!Mem_splitters}.
+    @raise Invalid_argument if [buckets < 1] or the vector is empty. *)
+
+val bucket_count : 'a t -> int
+
+val bucket_of : ('a -> 'a -> int) -> 'a t -> 'a -> int
+(** Index of the bucket [(b_{i-1}, b_i]] a value falls into, in [0 ..
+    bucket_count - 1]. *)
+
+val depth_of_bucket : 'a t -> int -> int
+
+val quantile : 'a t -> phi:float -> 'a
+(** [quantile h ~phi] returns the bucket boundary closest to the
+    [phi]-quantile (exact whenever [phi] is a multiple of [1/K], within one
+    bucket otherwise).
+    @raise Invalid_argument unless [0 < phi < 1] or the histogram has a
+    single bucket. *)
+
+val selectivity : ('a -> 'a -> int) -> 'a t -> lo:'a -> hi:'a -> float
+(** Estimated fraction of elements in [(lo, hi]], the classic equi-depth
+    histogram estimator (whole buckets inside the range count fully, the
+    two boundary buckets count half). *)
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

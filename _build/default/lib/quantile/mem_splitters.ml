@@ -1,0 +1,93 @@
+(* Splitters at exact rank spacing in (near-)linear I/O; see the interface
+   for the algorithm outline.  All work past the tagging pass happens on
+   (key, position) pairs so that keys are pairwise distinct, which the
+   sample-splitter guarantee requires. *)
+
+let tagged_cmp = Emalg.Order.tagged
+
+type 'a emit_state = {
+  out : ('a * int) array;  (* collected splitters, with input positions *)
+  mutable emitted : int;
+  total : int;  (* number of splitters to produce *)
+  spacing : int;
+  mutable carry : int;  (* elements seen since the last emitted splitter *)
+}
+
+(* Feed a sorted in-memory batch of tagged elements through the emitter. *)
+let emit_sorted_batch st batch =
+  Array.iter
+    (fun tagged ->
+      st.carry <- st.carry + 1;
+      if st.carry = st.spacing then begin
+        if st.emitted < st.total then begin
+          st.out.(st.emitted) <- tagged;
+          st.emitted <- st.emitted + 1
+        end;
+        st.carry <- 0
+      end)
+    batch
+
+(* Process (and free) a tagged vector, emitting splitters in order. *)
+let rec go ctx cmp st tv =
+  let tcmp = tagged_cmp cmp in
+  let nt = Em.Vec.length tv in
+  let base = Emalg.Layout.big_load ctx in
+  if nt = 0 then Em.Vec.free tv
+  else if nt <= base then begin
+    Em.Phase.with_label ctx "splitter-leaf" (fun () ->
+        Emalg.Scan.with_loaded tv (fun batch ->
+            Emalg.Mem_sort.sort tcmp batch;
+            emit_sorted_batch st batch));
+    Em.Vec.free tv
+  end
+  else begin
+    let target = Emalg.Split_step.default_target ctx ~n:nt in
+    let buckets = Emalg.Split_step.split tcmp tv ~target_buckets:target in
+    Array.iter (go ctx cmp st) buckets
+  end
+
+let find_tagged cmp v ~spacing =
+  let ctx = Em.Vec.ctx v in
+  Emalg.Layout.require_min_geometry ctx;
+  if spacing < 1 then invalid_arg "Mem_splitters.find: spacing must be >= 1";
+  let n = Em.Vec.length v in
+  let total = max 0 (((n + spacing - 1) / spacing) - 1) in
+  if total = 0 then [||]
+  else begin
+    let first = (Em.Vec.get_free v 0, 0) in
+    let st = { out = Array.make total first; emitted = 0; total; spacing; carry = 0 } in
+    let base = Emalg.Layout.big_load ctx in
+    if n <= base then
+      (* Small input: read it once, tagging in memory. *)
+      Em.Ctx.with_words ctx n (fun () ->
+          Em.Reader.with_reader v (fun r ->
+              let pairs = Array.make n first in
+              for i = 0 to n - 1 do
+                pairs.(i) <- (Em.Reader.next r, i)
+              done;
+              Emalg.Mem_sort.sort (tagged_cmp cmp) pairs;
+              emit_sorted_batch st pairs))
+    else begin
+      (* First level tags inline; deeper levels work on the tagged pairs. *)
+      let target = Emalg.Split_step.default_target ctx ~n in
+      let buckets = Emalg.Split_step.split_tagging cmp v ~target_buckets:target in
+      Array.iter (go ctx cmp st) buckets
+    end;
+    if st.emitted <> total then
+      invalid_arg "Mem_splitters.find: internal error (emitted count mismatch)";
+    st.out
+  end
+
+let find cmp v ~spacing = Array.map fst (find_tagged cmp v ~spacing)
+
+let default_spacing ctx ~n =
+  let m = Em.Ctx.mem_capacity ctx in
+  max 1 (((8 * n) + m - 1) / m)
+
+let memory_splitters_tagged cmp v =
+  let spacing = default_spacing (Em.Vec.ctx v) ~n:(Em.Vec.length v) in
+  (find_tagged cmp v ~spacing, spacing)
+
+let memory_splitters cmp v =
+  let spacing = default_spacing (Em.Vec.ctx v) ~n:(Em.Vec.length v) in
+  (find cmp v ~spacing, spacing)

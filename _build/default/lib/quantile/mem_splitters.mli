@@ -1,0 +1,46 @@
+(** Linear-I/O splitters at exact rank spacing — the stand-in for the
+    [Θ(M)]-splitter routine of Hu et al. (SODA 2013) that the paper's
+    multi-selection base case relies on (Section 4.2).
+
+    [find cmp v ~spacing:t] returns the elements of ranks [t, 2t, ...,
+    (ceil(n/t) - 1) * t]: the induced buckets all have exactly [t] elements,
+    except the last, which has between 1 and [t].  This is {e stronger} than
+    the paper's requirement (bucket sizes in [[c1*N/M, c2*N/M]]) and costs:
+
+    - one linear pass to tag elements with their position (making keys
+      distinct so that value distribution is well-defined under duplicates),
+    - a {!Emalg.Sample_splitters} recursion (linear I/O) for coarse pivots,
+    - [ceil(log_f K_A)] distribution passes ([f = Θ(M/B)] fanout,
+      [K_A = Θ(M / log(N/M))] coarse buckets),
+    - one load-and-emit pass over the coarse buckets, walking them in order
+      with a carry so splitters land at exact global ranks.
+
+    Coarse buckets larger than a memory load (possible once
+    [N = ω(M² / log M)]) are handled by recursing, so the total cost is
+    [O((N/B) * ceil(log_Θ(M)(N/M²) + 1))] — linear in every configuration
+    this repository exercises (see DESIGN.md §2 for the substitution note). *)
+
+val find : ('a -> 'a -> int) -> 'a Em.Vec.t -> spacing:int -> 'a array
+(** @raise Invalid_argument if [spacing < 1].  The result has
+    [max 0 (ceil (n / spacing) - 1)] elements, charged to the caller.
+
+    Duplicates: the paper defines the problems on a {e set} (pairwise
+    distinct elements).  With duplicate keys this routine breaks ties by
+    input position, so splitter [i] is the value at sorted {e position}
+    [(i+1) * spacing] (position, not [<=]-rank). *)
+
+val find_tagged :
+  ('a -> 'a -> int) -> 'a Em.Vec.t -> spacing:int -> ('a * int) array
+(** Like {!find} but each splitter comes with its position in the input, so
+    callers can compare elements against splitters under the
+    {!Emalg.Order.tagged} order (exact bucketing even with duplicates). *)
+
+val memory_splitters_tagged :
+  ('a -> 'a -> int) -> 'a Em.Vec.t -> ('a * int) array * int
+(** Tagged variant of {!memory_splitters}. *)
+
+val memory_splitters : ('a -> 'a -> int) -> 'a Em.Vec.t -> 'a array * int
+(** [memory_splitters cmp v] picks [spacing = max 1 (ceil (8n/M))] — giving
+    [Θ(M)] buckets of exactly that many elements — and returns
+    [(splitters, spacing)].  This is the contract used by multi-selection's
+    base case. *)

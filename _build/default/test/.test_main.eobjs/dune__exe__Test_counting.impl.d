@@ -1,0 +1,1 @@
+test/test_counting.ml: Alcotest Array Core Em Float List Printf Tu

@@ -1,0 +1,1 @@
+test/test_em.ml: Alcotest Array Em Tu

@@ -1,0 +1,1 @@
+test/test_emalg.ml: Alcotest Array Em Emalg List Printf Tu

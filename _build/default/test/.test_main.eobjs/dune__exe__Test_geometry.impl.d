@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Array Core Em Emalg Format List Printf Tu

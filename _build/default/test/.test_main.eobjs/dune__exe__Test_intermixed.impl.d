@@ -1,0 +1,1 @@
+test/test_intermixed.ml: Alcotest Array Core Em List Printf Tu

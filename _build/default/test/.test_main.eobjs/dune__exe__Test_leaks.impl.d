@@ -1,0 +1,1 @@
+test/test_leaks.ml: Alcotest Array Core Em Emalg List Quantile Tu

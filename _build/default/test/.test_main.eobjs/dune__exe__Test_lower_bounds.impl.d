@@ -1,0 +1,1 @@
+test/test_lower_bounds.ml: Alcotest Array Core Em List Printf Tu

@@ -1,0 +1,1 @@
+test/test_multi_partition.ml: Alcotest Array Core Em List Printf Tu

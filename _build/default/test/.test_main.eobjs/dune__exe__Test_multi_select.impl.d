@@ -1,0 +1,1 @@
+test/test_multi_select.ml: Alcotest Array Core Em Hashtbl List Printf Tu

@@ -1,0 +1,1 @@
+test/test_order_theory.ml: Alcotest Array Core Fun List Printf Tu

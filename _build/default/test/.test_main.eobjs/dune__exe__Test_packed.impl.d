@@ -1,0 +1,1 @@
+test/test_packed.ml: Alcotest Array Core Em Printf Tu

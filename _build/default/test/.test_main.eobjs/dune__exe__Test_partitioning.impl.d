@@ -1,0 +1,1 @@
+test/test_partitioning.ml: Alcotest Array Core Em Format List Printf Tu

@@ -1,0 +1,1 @@
+test/test_phase.ml: Alcotest Array Core Em Emalg List Tu

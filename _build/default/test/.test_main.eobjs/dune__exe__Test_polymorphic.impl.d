@@ -1,0 +1,1 @@
+test/test_polymorphic.ml: Alcotest Array Char Core Em Emalg Float Int Printf Quantile String Tu

@@ -1,0 +1,1 @@
+test/test_problem.ml: Alcotest Core Format Tu

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Core Em Emalg Format Gen Hashtbl List QCheck2 Quantile Test Tu

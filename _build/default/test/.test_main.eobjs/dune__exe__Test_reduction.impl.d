@@ -1,0 +1,1 @@
+test/test_reduction.ml: Alcotest Array Core Em Emalg Printf Tu

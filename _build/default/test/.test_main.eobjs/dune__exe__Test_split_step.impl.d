@@ -1,0 +1,1 @@
+test/test_split_step.ml: Alcotest Array Em Emalg List Tu

@@ -1,0 +1,1 @@
+test/test_splitters.ml: Alcotest Core Em Format List Printf Tu

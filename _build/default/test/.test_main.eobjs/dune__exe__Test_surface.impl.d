@@ -1,0 +1,1 @@
+test/test_surface.ml: Alcotest Array Core Em Emalg Float Format List Quantile String Tu

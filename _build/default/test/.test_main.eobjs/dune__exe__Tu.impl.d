@@ -1,0 +1,1 @@
+test/tu.ml: Alcotest Array Core Em Int QCheck2 QCheck_alcotest

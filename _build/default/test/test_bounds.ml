@@ -1,0 +1,79 @@
+(* Tests for the Table 1 bound formulas. *)
+
+let p = Em.Params.create ~mem:4096 ~block:64  (* M/B = 64 *)
+let spec n k a b = { Core.Problem.n; k; a; b }
+let close what expected actual = Alcotest.(check (float 1e-9)) what expected actual
+
+let test_lg_convention () =
+  (* lg_x y = max(1, log_x y), per the paper. *)
+  close "lg of small value floors at 1" 1.0 (Core.Bounds.lg p 2.);
+  close "lg of 64 is 1" 1.0 (Core.Bounds.lg p 64.);
+  close "lg of 4096" 2.0 (Core.Bounds.lg p 4096.);
+  close "lg of 0.5 floors at 1" 1.0 (Core.Bounds.lg p 0.5)
+
+let test_scan_and_sort () =
+  close "scan" 1024.0 (Core.Bounds.scan p ~n:65_536);
+  (* N/B = 1024, lg_64 1024 = 10/6 *)
+  close "sort" (1024. *. (10. /. 6.)) (Core.Bounds.sort p ~n:65_536)
+
+let test_splitters_right () =
+  (* (1 + aK/B) * lg_{M/B}(K/B): a = 64, K = 64 -> aK/B = 64, K/B = 1 -> lg = 1 *)
+  close "right" 65.0 (Core.Bounds.splitters_right_lower p (spec 1_000_000 64 64 1_000_000))
+
+let test_splitters_left () =
+  (* N/B * lg(N/(bB)): N = 2^20, b = 2^8, B = 2^6: N/(bB) = 2^6 -> lg = 1 *)
+  let n = 1 lsl 20 in
+  close "left" (float_of_int (n / 64))
+    (Core.Bounds.splitters_left_lower p (spec n 4_096 0 256))
+
+let test_two_sided_is_max_and_sum () =
+  let s = spec 1_000_000 64 64 4_096 in
+  let r = Core.Bounds.splitters_right_lower p s in
+  let l = Core.Bounds.splitters_left_lower p s in
+  close "lower = max" (Float.max r l) (Core.Bounds.splitters_two_sided_lower p s);
+  Tu.check_bool "upper >= lower" true
+    (Core.Bounds.splitters_two_sided_upper p s >= Core.Bounds.splitters_two_sided_lower p s)
+
+let test_partition_bounds () =
+  let s = spec 1_000_000 64 64 1_000_000 in
+  close "right lower is a scan" (1_000_000. /. 64.) (Core.Bounds.partition_right_lower p s);
+  Tu.check_bool "right upper >= scan" true
+    (Core.Bounds.partition_right_upper p s >= Core.Bounds.partition_right_lower p s);
+  let sl = spec 1_000_000 4_096 0 256 in
+  Tu.check_bool "left >= scan" true
+    (Core.Bounds.partition_left_lower p sl >= Core.Bounds.scan p ~n:1_000_000)
+
+let test_companions () =
+  (* Separation: multi-selection beats multi-partition for small K. *)
+  let n = 1 lsl 22 in
+  let small_k = 128 in
+  Tu.check_bool "separation at small K" true
+    (Core.Bounds.multi_select p ~n ~k:small_k < Core.Bounds.multi_partition p ~n ~k:small_k);
+  (* Same hardness for large K: lg(K/B) ~ lg(K). *)
+  let big_k = 1 lsl 20 in
+  let ratio =
+    Core.Bounds.multi_partition p ~n ~k:big_k /. Core.Bounds.multi_select p ~n ~k:big_k
+  in
+  Tu.check_bool "same order at large K" true (ratio < 1.5)
+
+let test_dispatchers () =
+  let right = spec 1_000 4 10 1_000 in
+  close "dispatch right"
+    (Core.Bounds.splitters_right_lower p right)
+    (Core.Bounds.splitters_lower p right);
+  let left = spec 1_000 4 0 500 in
+  close "dispatch left"
+    (Core.Bounds.partition_left_upper p left)
+    (Core.Bounds.partitioning_upper p left)
+
+let suite =
+  [
+    Alcotest.test_case "lg convention" `Quick test_lg_convention;
+    Alcotest.test_case "scan and sort" `Quick test_scan_and_sort;
+    Alcotest.test_case "splitters right" `Quick test_splitters_right;
+    Alcotest.test_case "splitters left" `Quick test_splitters_left;
+    Alcotest.test_case "two-sided max/sum" `Quick test_two_sided_is_max_and_sum;
+    Alcotest.test_case "partition bounds" `Quick test_partition_bounds;
+    Alcotest.test_case "companion problems + separation" `Quick test_companions;
+    Alcotest.test_case "dispatchers" `Quick test_dispatchers;
+  ]

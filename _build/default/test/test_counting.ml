@@ -1,0 +1,98 @@
+(* Tests for the executable counting arguments. *)
+
+let close what expected actual =
+  Alcotest.(check (float 1e-6)) what expected actual
+
+let p = Em.Params.create ~mem:4096 ~block:64
+
+let test_log2_factorial_small () =
+  close "0!" 0. (Core.Counting.log2_factorial 0);
+  close "1!" 0. (Core.Counting.log2_factorial 1);
+  close "2!" 1. (Core.Counting.log2_factorial 2);
+  close "4! = 24" (Float.log 24. /. Float.log 2.) (Core.Counting.log2_factorial 4);
+  close "10!" (Float.log 3628800. /. Float.log 2.) (Core.Counting.log2_factorial 10)
+
+let test_log2_factorial_stirling_agrees () =
+  (* Around the exact/Stirling threshold the two evaluations must agree. *)
+  let below = Core.Counting.log2_factorial 65_536 in
+  let above = Core.Counting.log2_factorial 65_537 in
+  let step = above -. below in
+  close "step = lg 65537" (Float.log 65_537. /. Float.log 2.) step;
+  Tu.check_bool "monotone" true (above > below)
+
+let test_log2_choose () =
+  close "6 choose 2 = 15" (Float.log 15. /. Float.log 2.) (Core.Counting.log2_choose 6 2);
+  close "n choose 0" 0. (Core.Counting.log2_choose 10 0);
+  close "n choose n" 0. (Core.Counting.log2_choose 10 10);
+  close "degenerate" 0. (Core.Counting.log2_choose 3 7)
+
+let test_pi_hard_size () =
+  (* N = 8, B = 2: |Π_hard| = (4!)^2 = 576. *)
+  close "lg 576" (Float.log 576. /. Float.log 2.)
+    (Core.Counting.pi_hard_log2_size ~n:8 ~block:2)
+
+let test_decision_tree () =
+  let ios = Core.Counting.decision_tree_ios p ~log2_states:1000. in
+  let fanout_bits = Core.Counting.log2_choose 4096 64 in
+  close "lemma 1" (1000. /. fanout_bits) ios;
+  close "zero states" 0. (Core.Counting.decision_tree_ios p ~log2_states:0.)
+
+let test_floors_positive_and_ordered () =
+  let n = 1 lsl 20 in
+  let right = { Core.Problem.n; k = 4_096; a = 64; b = n } in
+  Tu.check_bool "right floor positive" true (Core.Counting.splitters_right_floor p right > 0.);
+  let left = { Core.Problem.n; k = 64; a = 0; b = n / 64 } in
+  Tu.check_bool "left floor at least half a scan" true
+    (Core.Counting.splitters_left_floor p left >= float_of_int n /. 128. /. 2.);
+  (* Precise partitioning at larger K can only be harder. *)
+  let f16 = Core.Counting.precise_partition_floor p ~n ~k:16 in
+  let f1024 = Core.Counting.precise_partition_floor p ~n ~k:1_024 in
+  Tu.check_bool "monotone in K" true (f1024 > f16);
+  (* ... and never exceeds the permuting floor (K = N degenerate case). *)
+  Tu.check_bool "below permuting" true
+    (f1024 <= Core.Counting.permuting_floor p ~n)
+
+let test_floor_below_measured () =
+  (* The unconditional floor must sit below what our (correct) algorithm
+     actually pays on a hard input. *)
+  let ctx = Tu.ctx ~mem:4096 ~block:64 () in
+  let n = 1 lsl 16 in
+  let v = Tu.int_vec ctx (Core.Workload.generate Core.Workload.Pi_hard ~seed:1 ~n ~block:64) in
+  let k = 256 in
+  let snap = Em.Stats.snapshot ctx.Em.Ctx.stats in
+  let parts = Core.Multi_partition.partition_sizes Tu.icmp v ~sizes:(Array.make k (n / k)) in
+  let measured = Em.Stats.ios_since ctx.Em.Ctx.stats snap in
+  Array.iter Em.Vec.free parts;
+  let floor = Core.Counting.precise_partition_floor ctx.Em.Ctx.params ~n ~k in
+  Tu.check_bool
+    (Printf.sprintf "measured %d above the counting floor %.1f" measured floor)
+    true
+    (float_of_int measured >= floor)
+
+let test_floor_vs_bounds_formula () =
+  (* The counting floor and the Table-1 formula agree up to a moderate
+     constant for precise partitioning across K. *)
+  let n = 1 lsl 20 in
+  List.iter
+    (fun k ->
+      let floor = Core.Counting.precise_partition_floor p ~n ~k in
+      let formula = Core.Bounds.multi_partition p ~n ~k in
+      Tu.check_bool
+        (Printf.sprintf "k=%d: floor %.1f within [formula/50, formula] (%.1f)" k floor formula)
+        true
+        (floor <= formula && floor >= formula /. 50.))
+    [ 256; 4_096; 65_536 ]
+
+let suite =
+  [
+    Alcotest.test_case "log2_factorial: small exact" `Quick test_log2_factorial_small;
+    Alcotest.test_case "log2_factorial: Stirling seam" `Quick
+      test_log2_factorial_stirling_agrees;
+    Alcotest.test_case "log2_choose" `Quick test_log2_choose;
+    Alcotest.test_case "pi_hard size" `Quick test_pi_hard_size;
+    Alcotest.test_case "decision tree skeleton" `Quick test_decision_tree;
+    Alcotest.test_case "floors: positivity + ordering" `Quick
+      test_floors_positive_and_ordered;
+    Alcotest.test_case "floor below measured" `Quick test_floor_below_measured;
+    Alcotest.test_case "floor vs Table 1 formula" `Quick test_floor_vs_bounds_formula;
+  ]

@@ -1,0 +1,239 @@
+(* Tests for the EM machine simulator: params, stats, device, mem ledger,
+   vec, reader, writer. *)
+
+let test_params_valid () =
+  let p = Em.Params.create ~mem:64 ~block:8 in
+  Tu.check_int "mem" 64 p.Em.Params.mem;
+  Tu.check_int "block" 8 p.Em.Params.block;
+  Tu.check_int "fanout" 8 (Em.Params.fanout p)
+
+let test_params_invalid () =
+  Alcotest.check_raises "block 0" (Invalid_argument "Params.create: block size must be >= 1")
+    (fun () -> ignore (Em.Params.create ~mem:64 ~block:0));
+  Alcotest.check_raises "M < 2B"
+    (Invalid_argument "Params.create: memory must hold at least two blocks (M >= 2B)")
+    (fun () -> ignore (Em.Params.create ~mem:15 ~block:8))
+
+let test_blocks_of_elems () =
+  let p = Em.Params.create ~mem:64 ~block:8 in
+  Tu.check_int "0 elems" 0 (Em.Params.blocks_of_elems p 0);
+  Tu.check_int "1 elem" 1 (Em.Params.blocks_of_elems p 1);
+  Tu.check_int "8 elems" 1 (Em.Params.blocks_of_elems p 8);
+  Tu.check_int "9 elems" 2 (Em.Params.blocks_of_elems p 9)
+
+let test_device_roundtrip () =
+  let ctx = Tu.ctx () in
+  let dev = ctx.Em.Ctx.dev in
+  let id = Em.Device.alloc dev in
+  Em.Device.write dev id [| 1; 2; 3 |];
+  Tu.check_int_array "roundtrip" [| 1; 2; 3 |] (Em.Device.read dev id);
+  Tu.check_int "one read" 1 ctx.Em.Ctx.stats.Em.Stats.reads;
+  Tu.check_int "one write" 1 ctx.Em.Ctx.stats.Em.Stats.writes
+
+let test_device_copy_semantics () =
+  let ctx = Tu.ctx () in
+  let dev = ctx.Em.Ctx.dev in
+  let id = Em.Device.alloc dev in
+  let payload = [| 1; 2 |] in
+  Em.Device.write dev id payload;
+  payload.(0) <- 99;
+  Tu.check_int_array "payload copied on write" [| 1; 2 |] (Em.Device.read dev id);
+  let out = Em.Device.read dev id in
+  out.(0) <- 42;
+  Tu.check_int_array "payload copied on read" [| 1; 2 |] (Em.Device.read dev id)
+
+let test_device_free_recycles () =
+  let ctx = Tu.ctx () in
+  let dev = ctx.Em.Ctx.dev in
+  let id = Em.Device.alloc dev in
+  Em.Device.write dev id [| 7 |];
+  Em.Device.free dev id;
+  Tu.check_int "live count" 0 (Em.Device.live_blocks dev);
+  let id2 = Em.Device.alloc dev in
+  Tu.check_int "id recycled" id id2;
+  Alcotest.check_raises "freed block unreadable"
+    (Invalid_argument "Device.read: block was never written (or was freed)")
+    (fun () -> ignore (Em.Device.read dev id2))
+
+let test_device_oversize_payload () =
+  let ctx = Tu.ctx ~mem:64 ~block:8 () in
+  let dev = ctx.Em.Ctx.dev in
+  let id = Em.Device.alloc dev in
+  Alcotest.check_raises "payload too big"
+    (Invalid_argument "Device.write: payload exceeds block size")
+    (fun () -> Em.Device.write dev id (Array.make 9 0))
+
+let test_mem_ledger () =
+  let p = Tu.params ~mem:64 ~block:8 () in
+  let s = Em.Stats.create () in
+  Em.Mem.charge p s 40;
+  Em.Mem.charge p s 24;
+  Tu.check_int "in use" 64 s.Em.Stats.mem_in_use;
+  Tu.check_int "peak" 64 s.Em.Stats.mem_peak;
+  Em.Mem.release p s 64;
+  Tu.check_int "drained" 0 s.Em.Stats.mem_in_use;
+  Tu.check_int "peak sticks" 64 s.Em.Stats.mem_peak
+
+let test_mem_ledger_overflow () =
+  let p = Tu.params ~mem:64 ~block:8 () in
+  let s = Em.Stats.create () in
+  Em.Mem.charge p s 60;
+  (match Em.Mem.charge p s 5 with
+  | () -> Alcotest.fail "expected Memory_exceeded"
+  | exception Em.Mem.Memory_exceeded { requested; in_use; capacity } ->
+      Tu.check_int "requested" 5 requested;
+      Tu.check_int "in_use" 60 in_use;
+      Tu.check_int "capacity" 64 capacity);
+  Em.Mem.release p s 60
+
+let test_mem_with_words_releases_on_raise () =
+  let p = Tu.params () in
+  let s = Em.Stats.create () in
+  (match Em.Mem.with_words p s 10 (fun () -> failwith "boom") with
+  | () -> Alcotest.fail "expected exception"
+  | exception Failure _ -> ());
+  Tu.check_int "released after raise" 0 s.Em.Stats.mem_in_use
+
+let test_vec_of_array_costs_nothing () =
+  let ctx = Tu.ctx () in
+  let v = Tu.int_vec ctx (Array.init 100 (fun i -> i)) in
+  Tu.check_int "no I/O for setup" 0 (Em.Stats.ios ctx.Em.Ctx.stats);
+  Tu.check_int "length" 100 (Em.Vec.length v);
+  Tu.check_int "blocks" 7 (Em.Vec.num_blocks v)
+
+let test_vec_roundtrip () =
+  let ctx = Tu.ctx () in
+  let a = Tu.random_ints ~seed:7 ~bound:1000 123 in
+  let v = Tu.int_vec ctx a in
+  Tu.check_int_array "roundtrip" a (Em.Vec.to_array v)
+
+let test_vec_get_free () =
+  let ctx = Tu.ctx () in
+  let a = Array.init 50 (fun i -> i * 3) in
+  let v = Tu.int_vec ctx a in
+  Tu.check_int "get 0" 0 (Em.Vec.get_free v 0);
+  Tu.check_int "get 17" 51 (Em.Vec.get_free v 17);
+  Tu.check_int "get 49" 147 (Em.Vec.get_free v 49);
+  Alcotest.check_raises "oob" (Invalid_argument "Vec.get_free: index out of bounds")
+    (fun () -> ignore (Em.Vec.get_free v 50))
+
+let test_reader_sequential () =
+  let ctx = Tu.ctx ~mem:64 ~block:8 () in
+  let a = Array.init 20 (fun i -> i * i) in
+  let v = Tu.int_vec ctx a in
+  Em.Reader.with_reader v (fun r ->
+      for i = 0 to 19 do
+        Tu.check_int "peek" a.(i) (Em.Reader.peek r);
+        Tu.check_int "next" a.(i) (Em.Reader.next r)
+      done;
+      Tu.check_bool "exhausted" false (Em.Reader.has_next r));
+  Tu.check_int "reads = ceil(20/8)" 3 ctx.Em.Ctx.stats.Em.Stats.reads;
+  Tu.check_no_leaks ~live:3 ctx
+
+let test_reader_charges_buffer () =
+  let ctx = Tu.ctx ~mem:64 ~block:8 () in
+  let v = Tu.int_vec ctx [| 1; 2; 3 |] in
+  let r = Em.Reader.open_vec v in
+  Tu.check_int "buffer charged" 8 ctx.Em.Ctx.stats.Em.Stats.mem_in_use;
+  Em.Reader.close r;
+  Tu.check_int "buffer released" 0 ctx.Em.Ctx.stats.Em.Stats.mem_in_use
+
+let test_reader_take () =
+  let ctx = Tu.ctx () in
+  let a = Array.init 37 (fun i -> i) in
+  let v = Tu.int_vec ctx a in
+  Em.Reader.with_reader v (fun r ->
+      Tu.check_int_array "take 10" (Array.init 10 (fun i -> i)) (Em.Reader.take r 10);
+      Tu.check_int "remaining" 27 (Em.Reader.remaining r);
+      Tu.check_int_array "take rest" (Array.init 27 (fun i -> 10 + i)) (Em.Reader.take r 100);
+      Tu.check_int_array "take at end" [||] (Em.Reader.take r 5))
+
+let test_writer_roundtrip () =
+  let ctx = Tu.ctx ~mem:64 ~block:8 () in
+  let v =
+    Em.Writer.with_writer ctx (fun w ->
+        for i = 0 to 19 do
+          Em.Writer.push w (i * 2)
+        done)
+  in
+  Tu.check_int "writes = ceil(20/8)" 3 ctx.Em.Ctx.stats.Em.Stats.writes;
+  Tu.check_int_array "contents" (Array.init 20 (fun i -> i * 2)) (Em.Vec.to_array v);
+  Tu.check_no_leaks ~live:3 ctx
+
+let test_writer_empty () =
+  let ctx = Tu.ctx () in
+  let v = Em.Writer.with_writer ctx (fun _ -> ()) in
+  Tu.check_int "empty vec" 0 (Em.Vec.length v);
+  Tu.check_int "no I/O" 0 (Em.Stats.ios ctx.Em.Ctx.stats)
+
+let test_writer_abandon_frees () =
+  let ctx = Tu.ctx ~mem:64 ~block:8 () in
+  let w = Em.Writer.create ctx in
+  for i = 0 to 19 do
+    Em.Writer.push w i
+  done;
+  Em.Writer.abandon w;
+  Tu.check_int "no live blocks" 0 (Em.Device.live_blocks ctx.Em.Ctx.dev);
+  Tu.check_int "ledger drained" 0 ctx.Em.Ctx.stats.Em.Stats.mem_in_use
+
+let test_vec_concat_free () =
+  let ctx = Tu.ctx ~mem:64 ~block:8 () in
+  let v1 = Tu.int_vec ctx (Array.init 16 (fun i -> i)) in
+  let v2 = Tu.int_vec ctx (Array.init 5 (fun i -> 100 + i)) in
+  let v = Em.Vec.concat_free [ v1; v2 ] in
+  Tu.check_int "length" 21 (Em.Vec.length v);
+  Tu.check_int_array "contents"
+    (Array.append (Array.init 16 (fun i -> i)) (Array.init 5 (fun i -> 100 + i)))
+    (Em.Vec.to_array v);
+  Alcotest.check_raises "partial non-final block rejected"
+    (Invalid_argument "Vec.concat_free: non-final vector has a partial last block")
+    (fun () -> ignore (Em.Vec.concat_free [ v2; v1 ]))
+
+let test_stats_snapshot () =
+  let ctx = Tu.ctx () in
+  let v = Tu.int_vec ctx (Array.init 64 (fun i -> i)) in
+  let snap = Em.Stats.snapshot ctx.Em.Ctx.stats in
+  Em.Reader.with_reader v (fun r -> while Em.Reader.has_next r do ignore (Em.Reader.next r) done);
+  Tu.check_int "ios since" 4 (Em.Stats.ios_since ctx.Em.Ctx.stats snap)
+
+let test_counted_comparator () =
+  let ctx = Tu.ctx () in
+  let cmp = Em.Ctx.counted ctx Tu.icmp in
+  ignore (cmp 1 2);
+  ignore (cmp 3 3);
+  Tu.check_int "two comparisons" 2 ctx.Em.Ctx.stats.Em.Stats.comparisons
+
+let test_linked_ctx_shares_meters () =
+  let ctx = Tu.ctx ~mem:64 ~block:8 () in
+  let pair_ctx : (int * int) Em.Ctx.t = Em.Ctx.linked ctx in
+  let v = Em.Writer.with_writer pair_ctx (fun w -> Em.Writer.push w (1, 2)) in
+  Tu.check_int "write counted on shared stats" 1 ctx.Em.Ctx.stats.Em.Stats.writes;
+  Tu.check_int "pair vec length" 1 (Em.Vec.length v)
+
+let suite =
+  [
+    Alcotest.test_case "params: valid" `Quick test_params_valid;
+    Alcotest.test_case "params: invalid" `Quick test_params_invalid;
+    Alcotest.test_case "params: blocks_of_elems" `Quick test_blocks_of_elems;
+    Alcotest.test_case "device: roundtrip + counters" `Quick test_device_roundtrip;
+    Alcotest.test_case "device: copy semantics" `Quick test_device_copy_semantics;
+    Alcotest.test_case "device: free recycles ids" `Quick test_device_free_recycles;
+    Alcotest.test_case "device: oversize payload" `Quick test_device_oversize_payload;
+    Alcotest.test_case "mem: charge/release/peak" `Quick test_mem_ledger;
+    Alcotest.test_case "mem: overflow raises" `Quick test_mem_ledger_overflow;
+    Alcotest.test_case "mem: with_words releases on raise" `Quick
+      test_mem_with_words_releases_on_raise;
+    Alcotest.test_case "vec: of_array is free" `Quick test_vec_of_array_costs_nothing;
+    Alcotest.test_case "vec: roundtrip" `Quick test_vec_roundtrip;
+    Alcotest.test_case "vec: get_free" `Quick test_vec_get_free;
+    Alcotest.test_case "vec: concat_free" `Quick test_vec_concat_free;
+    Alcotest.test_case "reader: sequential + I/O count" `Quick test_reader_sequential;
+    Alcotest.test_case "reader: charges buffer" `Quick test_reader_charges_buffer;
+    Alcotest.test_case "reader: take" `Quick test_reader_take;
+    Alcotest.test_case "writer: roundtrip + I/O count" `Quick test_writer_roundtrip;
+    Alcotest.test_case "writer: empty" `Quick test_writer_empty;
+    Alcotest.test_case "writer: abandon frees blocks" `Quick test_writer_abandon_frees;
+    Alcotest.test_case "stats: snapshot deltas" `Quick test_stats_snapshot;
+    Alcotest.test_case "ctx: counted comparator" `Quick test_counted_comparator;
+    Alcotest.test_case "ctx: linked shares meters" `Quick test_linked_ctx_shares_meters;
+  ]

@@ -1,0 +1,380 @@
+(* Tests for the classic EM algorithm substrate: scans, sorting, merging,
+   selection, distribution, sample splitters. *)
+
+let sorted = Tu.sorted_copy
+
+let test_scan_fold_iter () =
+  let ctx = Tu.ctx () in
+  let a = Array.init 100 (fun i -> i) in
+  let v = Tu.int_vec ctx a in
+  Tu.check_int "fold sum" 4950 (Emalg.Scan.fold ( + ) 0 v);
+  let count = ref 0 in
+  Emalg.Scan.iter (fun _ -> incr count) v;
+  Tu.check_int "iter count" 100 !count;
+  Tu.check_no_leaks ~live:(Em.Vec.num_blocks v) ctx
+
+let test_scan_copy_cost () =
+  let ctx = Tu.ctx ~mem:256 ~block:16 () in
+  let v = Tu.int_vec ctx (Array.init 160 (fun i -> i)) in
+  let snap = Em.Stats.snapshot ctx.Em.Ctx.stats in
+  let c = Emalg.Scan.copy v in
+  Tu.check_int "copy = 2N/B I/Os" 20 (Em.Stats.ios_since ctx.Em.Ctx.stats snap);
+  Tu.check_int_array "copy contents" (Em.Vec.to_array v) (Em.Vec.to_array c)
+
+let test_scan_filter_map () =
+  let ctx = Tu.ctx () in
+  let v = Tu.int_vec ctx (Array.init 50 (fun i -> i)) in
+  let evens = Emalg.Scan.filter (fun x -> x mod 2 = 0) v in
+  Tu.check_int_array "filter" (Array.init 25 (fun i -> 2 * i)) (Em.Vec.to_array evens);
+  let doubled = Emalg.Scan.map_into ctx (fun x -> x * 2) v in
+  Tu.check_int_array "map" (Array.init 50 (fun i -> 2 * i)) (Em.Vec.to_array doubled);
+  let tagged = Emalg.Scan.mapi_into (Em.Ctx.linked ctx) (fun i x -> (x, i)) v in
+  Tu.check_int "mapi length" 50 (Em.Vec.length tagged)
+
+let test_scan_rank_of () =
+  let ctx = Tu.ctx () in
+  let v = Tu.int_vec ctx [| 5; 1; 9; 3; 7; 3 |] in
+  Tu.check_int "rank of 3" 3 (Emalg.Scan.rank_of Tu.icmp v 3);
+  Tu.check_int "rank of 0" 0 (Emalg.Scan.rank_of Tu.icmp v 0);
+  Tu.check_int "rank of 9" 6 (Emalg.Scan.rank_of Tu.icmp v 9)
+
+let test_scan_chunks () =
+  let ctx = Tu.ctx ~mem:64 ~block:8 () in
+  let v = Tu.int_vec ctx (Array.init 100 (fun i -> i)) in
+  let sizes = ref [] in
+  Emalg.Scan.chunks ~size:30 (fun c -> sizes := Array.length c :: !sizes) v;
+  Alcotest.(check (list int)) "chunk sizes" [ 30; 30; 30; 10 ] (List.rev !sizes)
+
+let test_mem_sort () =
+  let a = Tu.random_ints ~seed:3 ~bound:50 200 in
+  let b = Array.copy a in
+  Emalg.Mem_sort.sort Tu.icmp b;
+  Tu.check_bool "sorted" true (Emalg.Mem_sort.is_sorted Tu.icmp b);
+  Tu.check_int_array "same multiset" (sorted a) b
+
+let test_mem_sort_merge_into () =
+  let xs = [| 1; 3; 5 |] and ys = [| 2; 3; 4; 9 |] in
+  Tu.check_int_array "merge" [| 1; 2; 3; 3; 4; 5; 9 |]
+    (Emalg.Mem_sort.merge_into Tu.icmp xs ys);
+  Tu.check_int_array "merge empty left" ys (Emalg.Mem_sort.merge_into Tu.icmp [||] ys);
+  Tu.check_int_array "merge empty right" xs (Emalg.Mem_sort.merge_into Tu.icmp xs [||])
+
+let test_quantile_splitters_exact () =
+  let a = Tu.random_perm ~seed:11 100 in
+  let s = Emalg.Mem_sort.quantile_splitters Tu.icmp a ~k:4 in
+  Tu.check_int_array "quartiles of 0..99" [| 24; 49; 74 |] s;
+  let b = Tu.random_perm ~seed:12 10 in
+  Tu.check_int_array "k=1 gives none" [||] (Emalg.Mem_sort.quantile_splitters Tu.icmp b ~k:1);
+  let c = Tu.random_perm ~seed:13 10 in
+  Tu.check_int_array "k=n gives all but max" [| 0; 1; 2; 3; 4; 5; 6; 7; 8 |]
+    (Emalg.Mem_sort.quantile_splitters Tu.icmp c ~k:10)
+
+let test_select_mem_exhaustive () =
+  let a = Tu.random_perm ~seed:5 137 in
+  for rank = 1 to 137 do
+    let scratch = Array.copy a in
+    Tu.check_int "rank element" (rank - 1)
+      (Emalg.Select_mem.select Tu.icmp scratch ~rank)
+  done
+
+let test_select_mem_duplicates () =
+  let a = Array.concat [ Array.make 40 7; Array.make 40 3; Array.make 40 11 ] in
+  Tu.shuffle (Tu.rng 9) a;
+  Tu.check_int "rank 1" 3 (Emalg.Select_mem.select Tu.icmp (Array.copy a) ~rank:1);
+  Tu.check_int "rank 40" 3 (Emalg.Select_mem.select Tu.icmp (Array.copy a) ~rank:40);
+  Tu.check_int "rank 41" 7 (Emalg.Select_mem.select Tu.icmp (Array.copy a) ~rank:41);
+  Tu.check_int "rank 80" 7 (Emalg.Select_mem.select Tu.icmp (Array.copy a) ~rank:80);
+  Tu.check_int "rank 120" 11 (Emalg.Select_mem.select Tu.icmp (Array.copy a) ~rank:120)
+
+let test_select_mem_median () =
+  Tu.check_int "median odd" 3 (Emalg.Select_mem.median Tu.icmp [| 5; 1; 3; 2; 4 |]);
+  Tu.check_int "median even picks lower" 2 (Emalg.Select_mem.median Tu.icmp [| 4; 1; 3; 2 |]);
+  Alcotest.check_raises "median empty" (Invalid_argument "Select_mem.median: empty array")
+    (fun () -> ignore (Emalg.Select_mem.median Tu.icmp [||]))
+
+let test_heap_sorts () =
+  let h = Emalg.Heap.create ~cmp:Tu.icmp ~capacity:4 in
+  let input = Tu.random_ints ~seed:21 ~bound:100 50 in
+  Array.iter (Emalg.Heap.push h) input;
+  Tu.check_int "size" 50 (Emalg.Heap.size h);
+  let out = Array.init 50 (fun _ -> Emalg.Heap.pop h) in
+  Tu.check_int_array "heap drains sorted" (sorted input) out;
+  Tu.check_bool "empty" true (Emalg.Heap.is_empty h)
+
+let test_merge_two_runs () =
+  let ctx = Tu.ctx ~mem:256 ~block:16 () in
+  let r1 = Tu.int_vec ctx (Array.init 40 (fun i -> 2 * i)) in
+  let r2 = Tu.int_vec ctx (Array.init 40 (fun i -> (2 * i) + 1)) in
+  let merged = Emalg.Merge.merge Tu.icmp [ r1; r2 ] in
+  Tu.check_int_array "interleave" (Array.init 80 (fun i -> i)) (Em.Vec.to_array merged);
+  Tu.check_no_leaks ~live:(Em.Vec.num_blocks r1 + Em.Vec.num_blocks r2 + Em.Vec.num_blocks merged) ctx
+
+let test_merge_fanout_guard () =
+  let ctx = Tu.ctx ~mem:64 ~block:16 () in
+  (* max_fanout = (64-16)/18 = 2 *)
+  Tu.check_int "max fanout" 2 (Emalg.Merge.max_fanout ctx);
+  let mk i = Tu.int_vec ctx [| i |] in
+  Alcotest.check_raises "too many runs"
+    (Invalid_argument "Merge.merge: too many runs for the memory budget")
+    (fun () -> ignore (Emalg.Merge.merge Tu.icmp [ mk 1; mk 2; mk 3 ]))
+
+let test_external_sort_correct () =
+  let ctx = Tu.ctx ~mem:256 ~block:16 () in
+  let a = Tu.random_ints ~seed:31 ~bound:10_000 5_000 in
+  let v = Tu.int_vec ctx a in
+  let s = Emalg.External_sort.sort Tu.icmp v in
+  Tu.check_int_array "sorted output" (sorted a) (Em.Vec.to_array s);
+  Tu.check_int "ledger drained" 0 ctx.Em.Ctx.stats.Em.Stats.mem_in_use
+
+let test_external_sort_io_bound () =
+  (* N/B = 1024 blocks, fanout >= 14: two merge passes over runs of 224.
+     Cost must be far below N/B * lg(N/B) and at least 2 * N/B. *)
+  let ctx = Tu.ctx ~mem:4096 ~block:64 () in
+  let n = 65_536 in
+  let v = Tu.int_vec ctx (Tu.random_perm ~seed:41 n) in
+  let snap = Em.Stats.snapshot ctx.Em.Ctx.stats in
+  let s = Emalg.External_sort.sort Tu.icmp v in
+  let ios = Em.Stats.ios_since ctx.Em.Ctx.stats snap in
+  let nb = n / 64 in
+  Tu.check_bool "at least one full read+write pass" true (ios >= 2 * nb);
+  Tu.check_bool "at most 4 passes for 2-level merge" true (ios <= 8 * nb);
+  Tu.check_bool "output sorted" true
+    (Emalg.Mem_sort.is_sorted Tu.icmp (Em.Vec.to_array s))
+
+let test_external_sort_empty_and_tiny () =
+  let ctx = Tu.ctx () in
+  let empty = Emalg.External_sort.sort Tu.icmp (Tu.int_vec ctx [||]) in
+  Tu.check_int "empty" 0 (Em.Vec.length empty);
+  let one = Emalg.External_sort.sort Tu.icmp (Tu.int_vec ctx [| 42 |]) in
+  Tu.check_int_array "singleton" [| 42 |] (Em.Vec.to_array one)
+
+let test_distribute_by_pivots () =
+  let ctx = Tu.ctx ~mem:256 ~block:16 () in
+  let a = Tu.random_perm ~seed:51 100 in
+  let v = Tu.int_vec ctx a in
+  let buckets = Emalg.Distribute.by_pivots Tu.icmp ~pivots:[| 24; 49; 74 |] v in
+  Tu.check_int "4 buckets" 4 (Array.length buckets);
+  Array.iteri
+    (fun i b ->
+      Tu.check_int (Printf.sprintf "bucket %d size" i) 25 (Em.Vec.length b);
+      Array.iter
+        (fun e ->
+          Tu.check_bool "element in range" true (e >= i * 25 && e < (i + 1) * 25))
+        (Em.Vec.to_array b))
+    buckets
+
+let test_distribute_pivot_boundary_semantics () =
+  let ctx = Tu.ctx () in
+  let v = Tu.int_vec ctx [| 1; 2; 3; 4; 5 |] in
+  (* bucket 0 = (-inf, 3], bucket 1 = (3, +inf) *)
+  let buckets = Emalg.Distribute.by_pivots Tu.icmp ~pivots:[| 3 |] v in
+  Tu.check_int_array "left closed at pivot" [| 1; 2; 3 |] (Em.Vec.to_array buckets.(0));
+  Tu.check_int_array "right open" [| 4; 5 |] (Em.Vec.to_array buckets.(1))
+
+let test_distribute_unsorted_pivots_rejected () =
+  let ctx = Tu.ctx () in
+  let v = Tu.int_vec ctx [| 1 |] in
+  Alcotest.check_raises "unsorted pivots"
+    (Invalid_argument "Distribute.by_pivots: pivots are not sorted")
+    (fun () -> ignore (Emalg.Distribute.by_pivots Tu.icmp ~pivots:[| 5; 2 |] v))
+
+let test_distribute_deep () =
+  let ctx = Tu.ctx ~mem:64 ~block:8 () in
+  (* max_fanout = (64-8)/9 = 6; ask for 20 buckets to force hierarchy. *)
+  let n = 400 in
+  let a = Tu.random_perm ~seed:61 n in
+  let v = Tu.int_vec ctx a in
+  let pivots = Array.init 19 (fun i -> ((i + 1) * 20) - 1) in
+  let buckets = Emalg.Distribute.by_pivots_deep Tu.icmp ~pivots ~owned:true v in
+  Tu.check_int "20 buckets" 20 (Array.length buckets);
+  Array.iteri
+    (fun i b ->
+      let contents = sorted (Em.Vec.to_array b) in
+      Tu.check_int_array (Printf.sprintf "bucket %d exact" i)
+        (Array.init 20 (fun j -> (i * 20) + j))
+        contents)
+    buckets;
+  Tu.check_int "ledger drained" 0 ctx.Em.Ctx.stats.Em.Stats.mem_in_use
+
+let test_three_way () =
+  let ctx = Tu.ctx () in
+  let v = Tu.int_vec ctx [| 5; 3; 7; 3; 3; 9; 1 |] in
+  let less, eq, greater = Emalg.Distribute.three_way Tu.icmp v ~pivot:3 in
+  Tu.check_int_array "less" [| 1 |] (Em.Vec.to_array less);
+  Tu.check_int "equal count" 3 eq;
+  Tu.check_int_array "greater" [| 5; 7; 9 |] (Em.Vec.to_array greater)
+
+let test_em_select_matches_oracle () =
+  let ctx = Tu.ctx ~mem:128 ~block:8 () in
+  let a = Tu.random_ints ~seed:71 ~bound:500 1_000 in
+  let v = Tu.int_vec ctx a in
+  let s = sorted a in
+  List.iter
+    (fun rank ->
+      Tu.check_int
+        (Printf.sprintf "rank %d" rank)
+        s.(rank - 1)
+        (Emalg.Em_select.select Tu.icmp v ~rank))
+    [ 1; 2; 250; 500; 999; 1000 ];
+  Tu.check_int "ledger drained" 0 ctx.Em.Ctx.stats.Em.Stats.mem_in_use
+
+let test_em_select_linear_io () =
+  let ctx = Tu.ctx ~mem:1024 ~block:32 () in
+  let n = 32_768 in
+  let v = Tu.int_vec ctx (Tu.random_perm ~seed:81 n) in
+  let snap = Em.Stats.snapshot ctx.Em.Ctx.stats in
+  ignore (Emalg.Em_select.select Tu.icmp v ~rank:(n / 3));
+  let ios = Em.Stats.ios_since ctx.Em.Ctx.stats snap in
+  let nb = n / 32 in
+  Tu.check_bool
+    (Printf.sprintf "linear I/O: %d ios vs %d blocks" ios nb)
+    true
+    (ios <= 14 * nb);
+  Tu.check_int "no leaked intermediates" (Em.Vec.num_blocks v)
+    (Em.Device.live_blocks ctx.Em.Ctx.dev)
+
+let test_em_select_rank_guards () =
+  let ctx = Tu.ctx () in
+  let v = Tu.int_vec ctx [| 1; 2; 3 |] in
+  Alcotest.check_raises "rank 0" (Invalid_argument "Em_select.select: rank out of range")
+    (fun () -> ignore (Emalg.Em_select.select Tu.icmp v ~rank:0));
+  Alcotest.check_raises "rank 4" (Invalid_argument "Em_select.select: rank out of range")
+    (fun () -> ignore (Emalg.Em_select.select Tu.icmp v ~rank:4))
+
+let max_gap splitters data =
+  (* Largest bucket induced by sorted [splitters] on [data]. *)
+  let s = sorted data in
+  let n = Array.length s in
+  let gaps = ref [] in
+  let start = ref 0 in
+  Array.iter
+    (fun sp ->
+      let pos = ref !start in
+      while !pos < n && s.(!pos) <= sp do
+        incr pos
+      done;
+      gaps := (!pos - !start) :: !gaps;
+      start := !pos)
+    splitters;
+  gaps := (n - !start) :: !gaps;
+  List.fold_left max 0 !gaps
+
+let test_sample_splitters_small_exact () =
+  (* base_size = M/2 - 2B = 96 here, so 80 elements stay in memory. *)
+  let ctx = Tu.ctx ~mem:256 ~block:16 () in
+  let a = Tu.random_perm ~seed:91 80 in
+  let v = Tu.int_vec ctx a in
+  let s = Emalg.Sample_splitters.find Tu.icmp v ~k:4 in
+  Tu.check_int_array "exact quartiles in base case" [| 19; 39; 59 |] s
+
+let test_sample_splitters_gap_bound () =
+  let ctx = Tu.ctx ~mem:256 ~block:16 () in
+  let n = 20_000 in
+  let a = Tu.random_perm ~seed:101 n in
+  let v = Tu.int_vec ctx a in
+  List.iter
+    (fun k ->
+      let s = Emalg.Sample_splitters.find Tu.icmp v ~k in
+      Tu.check_int "k-1 splitters" (k - 1) (Array.length s);
+      let bound = Emalg.Sample_splitters.gap_bound ctx.Em.Ctx.params ~n ~k in
+      let gap = max_gap s a in
+      Tu.check_bool
+        (Printf.sprintf "k=%d: max gap %d <= bound %d" k gap bound)
+        true (gap <= bound))
+    [ 2; 4; 8; 16 ]
+
+let test_sample_splitters_linear_io () =
+  let ctx = Tu.ctx ~mem:1024 ~block:32 () in
+  let n = 32_768 in
+  let v = Tu.int_vec ctx (Tu.random_perm ~seed:111 n) in
+  let snap = Em.Stats.snapshot ctx.Em.Ctx.stats in
+  ignore (Emalg.Sample_splitters.find Tu.icmp v ~k:8);
+  let ios = Em.Stats.ios_since ctx.Em.Ctx.stats snap in
+  let nb = n / 32 in
+  (* One read pass + sample writes/reads, geometrically decreasing: < 2 N/B. *)
+  Tu.check_bool (Printf.sprintf "%d ios vs %d blocks" ios nb) true (ios <= 2 * nb)
+
+let test_sample_splitters_sorted_adversary () =
+  (* Sorted and reverse-sorted inputs must also satisfy the bound. *)
+  let ctx = Tu.ctx ~mem:256 ~block:16 () in
+  let n = 10_000 in
+  List.iter
+    (fun (name, a) ->
+      let v = Tu.int_vec ctx a in
+      let s = Emalg.Sample_splitters.find Tu.icmp v ~k:8 in
+      let bound = Emalg.Sample_splitters.gap_bound ctx.Em.Ctx.params ~n ~k:8 in
+      let gap = max_gap s a in
+      Tu.check_bool (Printf.sprintf "%s: gap %d <= %d" name gap bound) true (gap <= bound))
+    [
+      ("sorted", Array.init n (fun i -> i));
+      ("reverse", Array.init n (fun i -> n - i));
+    ]
+
+let test_find_random_pivots () =
+  let ctx = Tu.ctx ~mem:1024 ~block:32 () in
+  let n = 20_000 and k = 8 in
+  let a = Tu.random_perm ~seed:121 n in
+  let v = Tu.int_vec ctx a in
+  let rng_state = Tu.rng 99 in
+  let rng bound = Tu.next_int rng_state bound in
+  let snap = Em.Stats.snapshot ctx.Em.Ctx.stats in
+  let s = Emalg.Sample_splitters.find_random ~rng Tu.icmp v ~k in
+  let ios = Em.Stats.ios_since ctx.Em.Ctx.stats snap in
+  Tu.check_int "k-1 splitters" (k - 1) (Array.length s);
+  Tu.check_int "exactly one scan" (n / 32) ios;
+  (* All splitters are input members and sorted. *)
+  Tu.check_bool "sorted" true (Emalg.Mem_sort.is_sorted Tu.icmp s);
+  Array.iter (fun x -> Tu.check_bool "member" true (x >= 0 && x < n)) s;
+  (* Probabilistic quality: with oversampling 8 ln k, buckets should stay
+     within ~4x of even on a random permutation (deterministic seed). *)
+  Tu.check_bool "bucket quality" true (max_gap s a <= 4 * (n / k))
+
+let test_find_random_small_input () =
+  (* n below the reservoir size (64 here): exact quantiles, no randomness. *)
+  let ctx = Tu.ctx ~mem:1024 ~block:32 () in
+  let a = Tu.random_perm ~seed:122 60 in
+  let v = Tu.int_vec ctx a in
+  let rng_state = Tu.rng 5 in
+  let rng bound = Tu.next_int rng_state bound in
+  let s = Emalg.Sample_splitters.find_random ~rng Tu.icmp v ~k:4 in
+  Tu.check_int_array "exact quartiles when the input fits" [| 14; 29; 44 |] s
+
+let suite =
+  [
+    Alcotest.test_case "scan: fold/iter" `Quick test_scan_fold_iter;
+    Alcotest.test_case "scan: copy cost" `Quick test_scan_copy_cost;
+    Alcotest.test_case "scan: filter/map/mapi" `Quick test_scan_filter_map;
+    Alcotest.test_case "scan: rank_of" `Quick test_scan_rank_of;
+    Alcotest.test_case "scan: chunks" `Quick test_scan_chunks;
+    Alcotest.test_case "mem_sort: sorts" `Quick test_mem_sort;
+    Alcotest.test_case "mem_sort: merge_into" `Quick test_mem_sort_merge_into;
+    Alcotest.test_case "mem_sort: quantile splitters" `Quick test_quantile_splitters_exact;
+    Alcotest.test_case "select_mem: exhaustive ranks" `Quick test_select_mem_exhaustive;
+    Alcotest.test_case "select_mem: duplicates" `Quick test_select_mem_duplicates;
+    Alcotest.test_case "select_mem: median" `Quick test_select_mem_median;
+    Alcotest.test_case "heap: drains sorted" `Quick test_heap_sorts;
+    Alcotest.test_case "merge: two runs" `Quick test_merge_two_runs;
+    Alcotest.test_case "merge: fanout guard" `Quick test_merge_fanout_guard;
+    Alcotest.test_case "external_sort: correct" `Quick test_external_sort_correct;
+    Alcotest.test_case "external_sort: I/O bound" `Quick test_external_sort_io_bound;
+    Alcotest.test_case "external_sort: empty/tiny" `Quick test_external_sort_empty_and_tiny;
+    Alcotest.test_case "distribute: by_pivots" `Quick test_distribute_by_pivots;
+    Alcotest.test_case "distribute: boundary semantics" `Quick
+      test_distribute_pivot_boundary_semantics;
+    Alcotest.test_case "distribute: unsorted pivots" `Quick
+      test_distribute_unsorted_pivots_rejected;
+    Alcotest.test_case "distribute: hierarchical" `Quick test_distribute_deep;
+    Alcotest.test_case "distribute: three_way" `Quick test_three_way;
+    Alcotest.test_case "em_select: matches oracle" `Quick test_em_select_matches_oracle;
+    Alcotest.test_case "em_select: linear I/O" `Quick test_em_select_linear_io;
+    Alcotest.test_case "em_select: rank guards" `Quick test_em_select_rank_guards;
+    Alcotest.test_case "sample_splitters: base exact" `Quick test_sample_splitters_small_exact;
+    Alcotest.test_case "sample_splitters: gap bound" `Quick test_sample_splitters_gap_bound;
+    Alcotest.test_case "sample_splitters: linear I/O" `Quick test_sample_splitters_linear_io;
+    Alcotest.test_case "sample_splitters: sorted adversary" `Quick
+      test_sample_splitters_sorted_adversary;
+    Alcotest.test_case "sample_splitters: randomized pivots" `Quick
+      test_find_random_pivots;
+    Alcotest.test_case "sample_splitters: randomized small input" `Quick
+      test_find_random_small_input;
+  ]

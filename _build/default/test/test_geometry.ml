@@ -1,0 +1,99 @@
+(* Geometry stress: every algorithm must work at the minimum supported
+   machine (M = 8B, B = 4), at skewed geometries (huge B relative to M), and
+   reject anything below the minimum with a clear error. *)
+
+let geometries = [ (32, 4); (64, 8); (512, 64); (8_192, 1_024) ]
+
+let run_everything ~mem ~block ~seed =
+  let ctx = Tu.ctx ~mem ~block () in
+  let n = 2_000 in
+  let a = Tu.random_perm ~seed n in
+  let v = Tu.int_vec ctx a in
+  let what = Printf.sprintf "M=%d B=%d" mem block in
+  (* selection *)
+  let median = Emalg.Em_select.select Tu.icmp v ~rank:(n / 2) in
+  Tu.check_int (what ^ ": median") ((n / 2) - 1) median;
+  (* sort *)
+  let sorted = Emalg.External_sort.sort Tu.icmp v in
+  Tu.check_bool (what ^ ": sorted") true
+    (Emalg.Mem_sort.is_sorted Tu.icmp (Em.Vec.to_array sorted));
+  Em.Vec.free sorted;
+  (* multi-select *)
+  let ranks = [| 1; n / 3; n |] in
+  let results = Core.Multi_select.select Tu.icmp v ~ranks in
+  Tu.check_ok (what ^ ": multi-select")
+    (Core.Verify.multi_select Tu.icmp ~input:a ~ranks results);
+  (* splitters, all variants *)
+  List.iter
+    (fun spec ->
+      let out = Core.Splitters.solve Tu.icmp v spec in
+      Tu.check_ok
+        (Format.asprintf "%s: splitters %a" what Core.Problem.pp_spec spec)
+        (Core.Verify.splitters Tu.icmp ~input:a spec (Em.Vec.to_array out));
+      Em.Vec.free out)
+    [
+      { Core.Problem.n; k = 4; a = 50; b = n };
+      { Core.Problem.n; k = 4; a = 0; b = n / 2 };
+      { Core.Problem.n; k = 4; a = 100; b = n / 2 };
+    ];
+  (* partitioning *)
+  let spec = { Core.Problem.n; k = 5; a = 100; b = n } in
+  let parts = Core.Partitioning.solve Tu.icmp v spec in
+  Tu.check_ok (what ^ ": partitioning")
+    (Core.Verify.partitioning Tu.icmp ~input:a spec (Array.map Em.Vec.to_array parts));
+  Array.iter Em.Vec.free parts;
+  Tu.check_int (what ^ ": ledger drained") 0 ctx.Em.Ctx.stats.Em.Stats.mem_in_use
+
+let test_all_geometries () =
+  List.iteri (fun i (mem, block) -> run_everything ~mem ~block ~seed:(100 + i)) geometries
+
+let test_minimum_rejected () =
+  (* M = 2B is a legal machine but below what the algorithms support. *)
+  let ctx = Tu.ctx ~mem:32 ~block:16 () in
+  let v = Tu.int_vec ctx (Tu.random_perm ~seed:1 100) in
+  Alcotest.check_raises "M < 8B rejected"
+    (Invalid_argument "emalg: algorithms require M >= 8B")
+    (fun () -> ignore (Emalg.External_sort.sort Tu.icmp v));
+  let ctx2 = Tu.ctx ~mem:16 ~block:2 () in
+  let v2 = Tu.int_vec ctx2 (Tu.random_perm ~seed:2 100) in
+  Alcotest.check_raises "B < 4 rejected"
+    (Invalid_argument "emalg: algorithms require a block size B >= 4")
+    (fun () -> ignore (Emalg.External_sort.sort Tu.icmp v2))
+
+let test_load_caps_positive () =
+  List.iter
+    (fun (mem, block) ->
+      let ctx = Tu.ctx ~mem ~block () in
+      Tu.check_bool "half_load positive" true (Emalg.Layout.half_load ctx > 0);
+      Tu.check_bool "big_load >= half_load" true
+        (Emalg.Layout.big_load ctx >= Emalg.Layout.half_load ctx);
+      Tu.check_bool "big_load < M" true (Emalg.Layout.big_load ctx < mem))
+    geometries
+
+let test_tiny_inputs_everywhere () =
+  (* n in {1, 2, 3} through every public entry point. *)
+  let ctx = Tu.ctx ~mem:4096 ~block:64 () in
+  List.iter
+    (fun n ->
+      let a = Tu.random_perm ~seed:n n in
+      let v = Tu.int_vec ctx a in
+      Tu.check_int "select rank 1" (Tu.sorted_copy a).(0)
+        (Emalg.Em_select.select Tu.icmp v ~rank:1);
+      let out =
+        Core.Splitters.solve Tu.icmp v { Core.Problem.n; k = 1; a = 0; b = n }
+      in
+      Tu.check_int "k=1 splitters" 0 (Em.Vec.length out);
+      let parts =
+        Core.Partitioning.solve Tu.icmp v { Core.Problem.n; k = n; a = 1; b = 1 }
+      in
+      Tu.check_int "k=n partitioning" n (Array.length parts);
+      Array.iter (fun p -> Tu.check_int "singleton" 1 (Em.Vec.length p)) parts)
+    [ 1; 2; 3 ]
+
+let suite =
+  [
+    Alcotest.test_case "full stack at 4 geometries" `Quick test_all_geometries;
+    Alcotest.test_case "below-minimum geometry rejected" `Quick test_minimum_rejected;
+    Alcotest.test_case "load caps sane" `Quick test_load_caps_positive;
+    Alcotest.test_case "tiny inputs" `Quick test_tiny_inputs_everywhere;
+  ]

@@ -1,0 +1,144 @@
+(* Tests for L-intermixed selection (Section 4.1). *)
+
+(* Build a pair vec from (value, group) lists and an in-memory oracle. *)
+let pair_vec (ctx : int Em.Ctx.t) pairs : (int * int) Em.Vec.t =
+  let pctx : (int * int) Em.Ctx.t = Em.Ctx.linked ctx in
+  Em.Vec.of_array pctx pairs
+
+let oracle pairs targets =
+  Array.mapi
+    (fun g t ->
+      let members =
+        Array.of_list (List.filter_map (fun (x, g') -> if g' = g then Some x else None)
+             (Array.to_list pairs))
+      in
+      Array.sort Tu.icmp members;
+      members.(t - 1))
+    targets
+
+(* Random instance: l groups with random sizes >= 1, random targets. *)
+let random_instance ~seed ~l ~avg_size =
+  let r = Tu.rng seed in
+  let groups =
+    Array.init l (fun _ -> 1 + Tu.next_int r (max 1 ((2 * avg_size) - 1)))
+  in
+  let pairs =
+    Array.concat
+      (Array.to_list
+         (Array.mapi
+            (fun g size -> Array.init size (fun _ -> (Tu.next_int r 10_000, g)))
+            groups))
+  in
+  Tu.shuffle r pairs;
+  let targets = Array.mapi (fun _g size -> 1 + Tu.next_int r size) groups in
+  (pairs, targets)
+
+let run_case ~mem ~block ~seed ~l ~avg_size =
+  let ctx = Tu.ctx ~mem ~block () in
+  let pairs, targets = random_instance ~seed ~l ~avg_size in
+  let d = pair_vec ctx pairs in
+  let results = Core.Intermixed.select Tu.icmp d ~targets in
+  Tu.check_int_array "matches oracle" (oracle pairs targets) results;
+  Tu.check_int "ledger drained" 0 ctx.Em.Ctx.stats.Em.Stats.mem_in_use
+
+let test_in_memory_case () = run_case ~mem:4096 ~block:64 ~seed:1 ~l:5 ~avg_size:6
+
+let test_external_small_groups () =
+  run_case ~mem:4096 ~block:64 ~seed:2 ~l:30 ~avg_size:300
+
+let test_external_skewed_groups () =
+  (* One huge group among tiny ones. *)
+  let ctx = Tu.ctx ~mem:4096 ~block:64 () in
+  let r = Tu.rng 3 in
+  let big = Array.init 5_000 (fun _ -> (Tu.next_int r 100_000, 0)) in
+  let small = Array.init 9 (fun g -> Array.init 3 (fun _ -> (Tu.next_int r 100, g + 1))) in
+  let pairs = Array.concat (big :: Array.to_list small) in
+  Tu.shuffle r pairs;
+  let targets = Array.init 10 (fun g -> if g = 0 then 2_500 else 2) in
+  let d = pair_vec ctx pairs in
+  let results = Core.Intermixed.select Tu.icmp d ~targets in
+  Tu.check_int_array "matches oracle" (oracle pairs targets) results
+
+let test_single_group_median () =
+  let ctx = Tu.ctx ~mem:4096 ~block:64 () in
+  let a = Tu.random_perm ~seed:4 20_000 in
+  let pairs = Array.map (fun x -> (x, 0)) a in
+  let d = pair_vec ctx pairs in
+  let results = Core.Intermixed.select Tu.icmp d ~targets:[| 10_000 |] in
+  Tu.check_int_array "median" [| 9_999 |] results
+
+let test_duplicate_keys () =
+  let ctx = Tu.ctx ~mem:4096 ~block:64 () in
+  let r = Tu.rng 5 in
+  let pairs = Array.init 8_000 (fun _ -> (Tu.next_int r 7, Tu.next_int r 3)) in
+  (* Ensure each group is non-empty with a generous floor. *)
+  pairs.(0) <- (3, 0);
+  pairs.(1) <- (5, 1);
+  pairs.(2) <- (1, 2);
+  let targets = [| 10; 20; 30 |] in
+  let d = pair_vec ctx pairs in
+  let results = Core.Intermixed.select Tu.icmp d ~targets in
+  Tu.check_int_array "duplicates match oracle" (oracle pairs targets) results
+
+let test_extreme_targets () =
+  let ctx = Tu.ctx ~mem:4096 ~block:64 () in
+  let r = Tu.rng 6 in
+  let pairs = Array.init 6_000 (fun _ -> (Tu.next_int r 1_000_000, Tu.next_int r 2)) in
+  pairs.(0) <- (1, 0);
+  pairs.(1) <- (2, 1);
+  let count g = Array.fold_left (fun acc (_, g') -> if g = g' then acc + 1 else acc) 0 pairs in
+  let targets = [| 1; count 1 |] in
+  let d = pair_vec ctx pairs in
+  let results = Core.Intermixed.select Tu.icmp d ~targets in
+  Tu.check_int_array "min and max" (oracle pairs targets) results
+
+let test_linear_io () =
+  let ctx = Tu.ctx ~mem:4096 ~block:64 () in
+  let l = Core.Intermixed.max_groups ctx in
+  let r = Tu.rng 7 in
+  let n = 40_960 in
+  let pairs = Array.init n (fun i -> (Tu.next_int r 1_000_000, i mod l)) in
+  let targets = Array.make l 1 in
+  let d = pair_vec ctx pairs in
+  let snap = Em.Stats.snapshot ctx.Em.Ctx.stats in
+  ignore (Core.Intermixed.select Tu.icmp d ~targets);
+  let ios = Em.Stats.ios_since ctx.Em.Ctx.stats snap in
+  let nb = n / 64 in
+  (* Geometric recursion with ratio <= ~0.95 and ~4 scans per level. *)
+  Tu.check_bool (Printf.sprintf "linear I/O: %d vs %d blocks" ios nb) true
+    (ios <= 90 * nb)
+
+let test_validation () =
+  let ctx = Tu.ctx ~mem:4096 ~block:64 () in
+  let d = pair_vec ctx [| (5, 0); (7, 0) |] in
+  Alcotest.check_raises "bad target"
+    (Invalid_argument "Intermixed.select: target rank out of range for its group")
+    (fun () -> ignore (Core.Intermixed.select Tu.icmp d ~targets:[| 3 |]));
+  let d2 = pair_vec ctx [| (5, 2) |] in
+  Alcotest.check_raises "bad group id"
+    (Invalid_argument "Intermixed.select: group id out of range")
+    (fun () -> ignore (Core.Intermixed.select Tu.icmp d2 ~targets:[| 1 |]));
+  Tu.check_int_array "empty targets" [||]
+    (Core.Intermixed.select Tu.icmp d ~targets:[||])
+
+let test_max_groups_guard () =
+  let ctx = Tu.ctx ~mem:4096 ~block:64 () in
+  let l = Core.Intermixed.max_groups ctx + 1 in
+  let pairs = Array.init l (fun g -> (g, g)) in
+  let d = pair_vec ctx pairs in
+  Alcotest.check_raises "too many groups"
+    (Invalid_argument "Intermixed.select: too many groups for the memory budget")
+    (fun () -> ignore (Core.Intermixed.select Tu.icmp d ~targets:(Array.make l 1)))
+
+let suite =
+  [
+    Alcotest.test_case "in-memory case" `Quick test_in_memory_case;
+    Alcotest.test_case "external, many groups" `Quick test_external_small_groups;
+    Alcotest.test_case "external, skewed groups" `Quick test_external_skewed_groups;
+    Alcotest.test_case "single group median" `Quick test_single_group_median;
+    Alcotest.test_case "duplicate keys" `Quick test_duplicate_keys;
+    Alcotest.test_case "extreme targets" `Quick test_extreme_targets;
+    Alcotest.test_case "linear I/O" `Quick test_linear_io;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "max_groups guard" `Quick test_max_groups_guard;
+  ]

@@ -1,0 +1,28 @@
+let () =
+  Alcotest.run "repro"
+    [
+      ("em", Test_em.suite);
+      ("emalg", Test_emalg.suite);
+      ("phase", Test_phase.suite);
+      ("surface", Test_surface.suite);
+      ("quantile", Test_quantile.suite);
+      ("problem", Test_problem.suite);
+      ("workload", Test_workload.suite);
+      ("intermixed", Test_intermixed.suite);
+      ("multi_select", Test_multi_select.suite);
+      ("multi_partition", Test_multi_partition.suite);
+      ("split_step", Test_split_step.suite);
+      ("splitters", Test_splitters.suite);
+      ("partitioning", Test_partitioning.suite);
+      ("packed", Test_packed.suite);
+      ("verify", Test_verify.suite);
+      ("bounds", Test_bounds.suite);
+      ("counting", Test_counting.suite);
+      ("order_theory", Test_order_theory.suite);
+      ("reduction", Test_reduction.suite);
+      ("lower_bounds", Test_lower_bounds.suite);
+      ("polymorphic", Test_polymorphic.suite);
+      ("geometry", Test_geometry.suite);
+      ("leaks", Test_leaks.suite);
+      ("props", Test_props.suite);
+    ]

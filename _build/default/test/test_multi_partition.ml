@@ -1,0 +1,109 @@
+(* Tests for multi-partition (Aggarwal–Vitter). *)
+
+let run ?(mem = 4096) ?(block = 64) ~seed ~n sizes =
+  let ctx = Tu.ctx ~mem ~block () in
+  let a = Tu.random_perm ~seed n in
+  let v = Tu.int_vec ctx a in
+  let parts = Core.Multi_partition.partition_sizes Tu.icmp v ~sizes in
+  let contents = Array.map Em.Vec.to_array parts in
+  Tu.check_ok "verifier" (Core.Verify.multi_partition Tu.icmp ~input:a ~sizes contents);
+  Tu.check_int "ledger drained" 0 ctx.Em.Ctx.stats.Em.Stats.mem_in_use;
+  (ctx, parts)
+
+let test_two_way () = ignore (run ~seed:1 ~n:10_000 [| 4_000; 6_000 |])
+
+let test_many_even () =
+  ignore (run ~seed:2 ~n:12_000 (Array.make 60 200))
+
+let test_skewed_sizes () =
+  ignore (run ~seed:3 ~n:10_001 [| 1; 9_000; 500; 499; 1 |])
+
+let test_in_memory () = ignore (run ~seed:4 ~n:500 [| 100; 150; 250 |])
+
+let test_huge_k () =
+  (* K = 1500 partitions on a machine that holds 4096 words: the bound
+     stream exceeds the distribution fanout and must be routed recursively. *)
+  let n = 15_000 in
+  let k = 1_500 in
+  ignore (run ~seed:5 ~n (Array.make k (n / k)))
+
+let test_duplicates () =
+  let ctx = Tu.ctx ~mem:4096 ~block:64 () in
+  let a = Tu.random_ints ~seed:6 ~bound:5 6_000 in
+  let v = Tu.int_vec ctx a in
+  let sizes = [| 1_000; 2_000; 3_000 |] in
+  let parts = Core.Multi_partition.partition_sizes Tu.icmp v ~sizes in
+  let contents = Array.map Em.Vec.to_array parts in
+  Tu.check_ok "verifier" (Core.Verify.multi_partition Tu.icmp ~input:a ~sizes contents)
+
+let test_workload_sweep () =
+  List.iter
+    (fun kind ->
+      let ctx = Tu.ctx ~mem:4096 ~block:64 () in
+      let n = 8_000 in
+      let a = Core.Workload.generate kind ~seed:7 ~n ~block:64 in
+      let v = Tu.int_vec ctx a in
+      let sizes = [| 2_000; 2_000; 2_000; 2_000 |] in
+      let parts = Core.Multi_partition.partition_sizes Tu.icmp v ~sizes in
+      let contents = Array.map Em.Vec.to_array parts in
+      Tu.check_ok (Core.Workload.kind_name kind)
+        (Core.Verify.multi_partition Tu.icmp ~input:a ~sizes contents))
+    Core.Workload.all_kinds
+
+let test_bound_validation () =
+  let ctx = Tu.ctx ~mem:4096 ~block:64 () in
+  let v = Tu.int_vec ctx (Tu.random_perm ~seed:8 100) in
+  let ictx : int Em.Ctx.t = Em.Ctx.linked ctx in
+  let expect_invalid bounds_arr =
+    let bounds = Em.Vec.of_array ictx bounds_arr in
+    match Core.Multi_partition.partition Tu.icmp v ~bounds with
+    | _ -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid [| 0 |];
+  expect_invalid [| 100 |];
+  expect_invalid [| 50; 50 |];
+  expect_invalid [| 70; 30 |];
+  (match Core.Multi_partition.partition_sizes Tu.icmp v ~sizes:[| 30; 30 |] with
+  | _ -> Alcotest.fail "expected size-sum failure"
+  | exception Invalid_argument _ -> ())
+
+let test_boundary_bounds () =
+  (* Cuts at positions 1 and n-1, and a fully consecutive run of cuts. *)
+  ignore (run ~seed:21 ~n:5_000 (Array.append [| 1 |] [| 4_998; 1 |]));
+  let sizes = Array.append [| 4_990 |] (Array.make 10 1) in
+  ignore (run ~seed:22 ~n:5_000 sizes)
+
+let test_io_scales_with_log_k () =
+  (* I/O cost per scan should grow roughly logarithmically with K. *)
+  let measure k =
+    let ctx = Tu.ctx ~mem:2048 ~block:32 () in
+    let n = 32_768 in
+    let v = Tu.int_vec ctx (Tu.random_perm ~seed:9 n) in
+    let snap = Em.Stats.snapshot ctx.Em.Ctx.stats in
+    let parts = Core.Multi_partition.partition_sizes Tu.icmp v ~sizes:(Array.make k (n / k)) in
+    let ios = Em.Stats.ios_since ctx.Em.Ctx.stats snap in
+    Array.iter Em.Vec.free parts;
+    ios
+  in
+  let io2 = measure 2 and io1024 = measure 1_024 in
+  Tu.check_bool "more partitions cost more" true (io1024 > io2);
+  (* lg_{M/B}(1024) = 1.67 at M/B = 64: the ratio should stay mild. *)
+  Tu.check_bool
+    (Printf.sprintf "io1024 %d <= 4 * io2 %d" io1024 io2)
+    true
+    (io1024 <= 4 * io2)
+
+let suite =
+  [
+    Alcotest.test_case "two-way" `Quick test_two_way;
+    Alcotest.test_case "many even parts" `Quick test_many_even;
+    Alcotest.test_case "skewed sizes" `Quick test_skewed_sizes;
+    Alcotest.test_case "in-memory leaf" `Quick test_in_memory;
+    Alcotest.test_case "K = 1500 (streamed bounds)" `Quick test_huge_k;
+    Alcotest.test_case "duplicates" `Quick test_duplicates;
+    Alcotest.test_case "workload sweep" `Quick test_workload_sweep;
+    Alcotest.test_case "bound validation" `Quick test_bound_validation;
+    Alcotest.test_case "boundary bounds" `Quick test_boundary_bounds;
+    Alcotest.test_case "I/O grows ~log K" `Quick test_io_scales_with_log_k;
+  ]

@@ -1,0 +1,126 @@
+(* The paper's appendix, executed: Facts 4 and 5, Lemma 3 and Dilworth's
+   theorem verified exactly on exhaustively-evaluated small posets. *)
+
+module Ot = Core.Order_theory
+
+let chain n = Ot.of_relation ~n (fun i j -> i < j)
+let antichain n = Ot.of_relation ~n (fun _ _ -> false)
+
+let factorial n =
+  let rec go acc i = if i <= 1 then acc else go (acc * i) (i - 1) in
+  go 1 n
+
+let test_basic_counts () =
+  Tu.check_int "chain has one extension" 1 (Ot.count_linear_extensions (chain 6));
+  Tu.check_int "antichain has n! extensions" (factorial 6)
+    (Ot.count_linear_extensions (antichain 6));
+  Tu.check_int "chain width 1" 1 (Ot.width (chain 6));
+  Tu.check_int "antichain width n" 6 (Ot.width (antichain 6));
+  Tu.check_int "chain covers itself" 1 (Ot.min_chain_cover (chain 6));
+  Tu.check_int "antichain needs n chains" 6 (Ot.min_chain_cover (antichain 6))
+
+let test_v_poset () =
+  (* 0 < 2, 1 < 2: extensions are 012 and 102. *)
+  let p = Ot.of_relation ~n:3 (fun i j -> (i = 0 || i = 1) && j = 2) in
+  Tu.check_int "V poset" 2 (Ot.count_linear_extensions p);
+  Tu.check_int "V width" 2 (Ot.width p)
+
+let test_transitive_closure_and_cycles () =
+  let p = Ot.of_relation ~n:3 (fun i j -> (i = 0 && j = 1) || (i = 1 && j = 2)) in
+  Tu.check_bool "0 < 2 by closure" true (Ot.precedes p 0 2);
+  Alcotest.check_raises "cycle rejected"
+    (Invalid_argument "Order_theory.of_relation: cyclic relation")
+    (fun () -> ignore (Ot.of_relation ~n:2 (fun i j -> i <> j)))
+
+let random_posets ~count ~n ~seed =
+  let rng = Tu.rng seed in
+  List.init count (fun _ ->
+      let density = float_of_int (1 + Tu.next_int rng 80) /. 100. in
+      Ot.random rng ~n ~density)
+
+(* Theorem 7 (Dilworth): width = minimum chain cover, on random posets. *)
+let test_dilworth () =
+  List.iter
+    (fun p -> Tu.check_int "width = min chain cover" (Ot.width p) (Ot.min_chain_cover p))
+    (random_posets ~count:40 ~n:9 ~seed:1)
+
+(* Lemma 3 (as used in the paper): |CP| <= w^n. *)
+let test_lemma3_bound () =
+  List.iter
+    (fun p ->
+      let cp = float_of_int (Ot.count_linear_extensions p) in
+      let w = float_of_int (Ot.width p) in
+      let n = float_of_int (Ot.size p) in
+      Tu.check_bool
+        (Printf.sprintf "|CP| = %.0f <= w^n = %.0f" cp (w ** n))
+        true
+        (cp <= (w ** n) +. 0.5))
+    (random_posets ~count:40 ~n:8 ~seed:2)
+
+(* Fact 4: separated posets multiply. *)
+let test_fact4 () =
+  let rng = Tu.rng 3 in
+  for _ = 1 to 20 do
+    let n1 = 2 + Tu.next_int rng 4 and n2 = 2 + Tu.next_int rng 4 in
+    let d1 = Ot.random rng ~n:n1 ~density:0.4 in
+    let d2 = Ot.random rng ~n:n2 ~density:0.4 in
+    (* Combined poset: d1's elements all precede d2's. *)
+    let combined =
+      Ot.of_relation ~n:(n1 + n2) (fun i j ->
+          if i < n1 && j < n1 then Ot.precedes d1 i j
+          else if i >= n1 && j >= n1 then Ot.precedes d2 (i - n1) (j - n1)
+          else i < n1 && j >= n1)
+    in
+    Tu.check_int "product law"
+      (Ot.count_linear_extensions d1 * Ot.count_linear_extensions d2)
+      (Ot.count_linear_extensions combined)
+  done
+
+(* Fact 5: |CP(X)| <= |CP(Y)| * |CP(X \ Y)| * (|X| choose |Y|). *)
+let test_fact5 () =
+  let rng = Tu.rng 4 in
+  let choose n k =
+    let rec go acc i = if i > k then acc else go (acc * (n - i + 1) / i) (i + 1) in
+    go 1 1
+  in
+  List.iter
+    (fun p ->
+      let n = Ot.size p in
+      (* Pick a random subset Y. *)
+      let y = Array.of_list (List.filter (fun _ -> Tu.next_int rng 2 = 0) (List.init n Fun.id)) in
+      let rest =
+        Array.of_list
+          (List.filter (fun i -> not (Array.mem i y)) (List.init n Fun.id))
+      in
+      let cp = Ot.count_linear_extensions p in
+      let cp_y = Ot.count_linear_extensions (Ot.restrict p y) in
+      let cp_rest = Ot.count_linear_extensions (Ot.restrict p rest) in
+      let bound = cp_y * cp_rest * choose n (Array.length y) in
+      Tu.check_bool
+        (Printf.sprintf "%d <= %d" cp bound)
+        true (cp <= bound))
+    (random_posets ~count:30 ~n:8 ~seed:5)
+
+(* The Π_hard family's defining property, at toy scale: the block-striped
+   order has exactly ((N/B)!)^B consistent permutations (appendix, proof of
+   Lemma 1). *)
+let test_pi_hard_family_size () =
+  let nb = 3 and b = 2 in
+  (* elements = stripe-major indices: stripe i holds values i*nb .. i*nb+nb-1;
+     all of stripe i precede all of stripe i+1. *)
+  let n = nb * b in
+  let p = Ot.of_relation ~n (fun i j -> i / nb < j / nb) in
+  Tu.check_int "((N/B)!)^B" (factorial nb * factorial nb)
+    (Ot.count_linear_extensions p)
+
+let suite =
+  [
+    Alcotest.test_case "basic counts" `Quick test_basic_counts;
+    Alcotest.test_case "V poset" `Quick test_v_poset;
+    Alcotest.test_case "closure + cycles" `Quick test_transitive_closure_and_cycles;
+    Alcotest.test_case "Dilworth (Theorem 7)" `Quick test_dilworth;
+    Alcotest.test_case "Lemma 3: |CP| <= w^n" `Quick test_lemma3_bound;
+    Alcotest.test_case "Fact 4: product law" `Quick test_fact4;
+    Alcotest.test_case "Fact 5: split bound" `Quick test_fact5;
+    Alcotest.test_case "Π_hard family size" `Quick test_pi_hard_family_size;
+  ]

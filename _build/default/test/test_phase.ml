@@ -1,0 +1,44 @@
+(* Tests for per-phase I/O attribution. *)
+
+let test_labels_attribute_ios () =
+  let ctx = Tu.ctx ~mem:256 ~block:16 () in
+  let v = Tu.int_vec ctx (Array.init 160 (fun i -> i)) in
+  Em.Phase.with_label ctx "copying" (fun () -> ignore (Emalg.Scan.copy v));
+  Emalg.Scan.iter (fun _ -> ()) v;
+  let report = Em.Phase.report ctx in
+  Tu.check_int "copy phase = 20 I/Os" 20 (List.assoc "copying" report);
+  Tu.check_int "unlabeled scan = 10 I/Os" 10 (List.assoc "(other)" report)
+
+let test_phases_sum_to_total () =
+  let ctx = Tu.ctx ~mem:1024 ~block:16 () in
+  let n = 4_000 in
+  let v = Tu.int_vec ctx (Tu.random_perm ~seed:1 n) in
+  ignore (Core.Multi_select.select Tu.icmp v ~ranks:[| 1; n / 2; n |]);
+  let total = Em.Stats.ios ctx.Em.Ctx.stats in
+  let sum = List.fold_left (fun acc (_, ios) -> acc + ios) 0 (Em.Phase.report ctx) in
+  Tu.check_int "phases partition the total" total sum
+
+let test_nesting_innermost_wins () =
+  let ctx = Tu.ctx ~mem:256 ~block:16 () in
+  let v = Tu.int_vec ctx (Array.init 64 (fun i -> i)) in
+  Em.Phase.with_label ctx "outer" (fun () ->
+      Emalg.Scan.iter (fun _ -> ()) v;
+      Em.Phase.with_label ctx "inner" (fun () -> Emalg.Scan.iter (fun _ -> ()) v));
+  let report = Em.Phase.report ctx in
+  Tu.check_int "outer" 4 (List.assoc "outer" report);
+  Tu.check_int "inner" 4 (List.assoc "inner" report)
+
+let test_label_restored_on_raise () =
+  let ctx = Tu.ctx () in
+  (match Em.Phase.with_label ctx "doomed" (fun () -> failwith "boom") with
+  | () -> Alcotest.fail "expected exception"
+  | exception Failure _ -> ());
+  Tu.check_bool "stack restored" true (ctx.Em.Ctx.stats.Em.Stats.phase_stack = [])
+
+let suite =
+  [
+    Alcotest.test_case "labels attribute I/Os" `Quick test_labels_attribute_ios;
+    Alcotest.test_case "phases sum to total" `Quick test_phases_sum_to_total;
+    Alcotest.test_case "nesting: innermost wins" `Quick test_nesting_innermost_wins;
+    Alcotest.test_case "label restored on raise" `Quick test_label_restored_on_raise;
+  ]

@@ -1,0 +1,61 @@
+(* Tests for problem specs and classification. *)
+
+open Core.Problem
+
+let ok spec =
+  match validate spec with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "expected valid spec: %s" msg
+
+let bad spec =
+  match validate spec with
+  | Ok () -> Alcotest.failf "expected invalid spec %s" (Format.asprintf "%a" pp_spec spec)
+  | Error _ -> ()
+
+let test_validate_accepts () =
+  ok { n = 100; k = 10; a = 5; b = 20 };
+  ok { n = 100; k = 10; a = 10; b = 10 };
+  ok { n = 100; k = 10; a = 0; b = 100 };
+  ok { n = 1; k = 1; a = 0; b = 1 };
+  ok { n = 100; k = 100; a = 1; b = 1 }
+
+let test_validate_rejects () =
+  bad { n = 0; k = 1; a = 0; b = 0 };
+  bad { n = 100; k = 0; a = 0; b = 100 };
+  bad { n = 100; k = 101; a = 0; b = 100 };
+  bad { n = 100; k = 10; a = -1; b = 100 };
+  bad { n = 100; k = 10; a = 50; b = 40 };
+  bad { n = 100; k = 10; a = 0; b = 101 };
+  bad { n = 100; k = 10; a = 11; b = 100 };  (* a*k > n *)
+  bad { n = 100; k = 10; a = 0; b = 9 }  (* b*k < n *)
+
+let test_classify () =
+  let check name expected spec =
+    Alcotest.(check string) name expected (variant_name (classify spec))
+  in
+  check "right" "right-grounded" { n = 100; k = 10; a = 5; b = 100 };
+  check "left" "left-grounded" { n = 100; k = 10; a = 0; b = 50 };
+  check "two" "two-sided" { n = 100; k = 10; a = 5; b = 50 };
+  check "unconstrained" "unconstrained" { n = 100; k = 10; a = 0; b = 100 }
+
+let test_even_spec () =
+  let s = even_spec ~n:100 ~k:8 in
+  Tu.check_int "a" 12 s.a;
+  Tu.check_int "b" 13 s.b;
+  ok s;
+  let exact = even_spec ~n:100 ~k:10 in
+  Tu.check_int "a exact" 10 exact.a;
+  Tu.check_int "b exact" 10 exact.b
+
+let test_validate_exn () =
+  Alcotest.check_raises "raises" (Invalid_argument "Problem.validate: k must be >= 1")
+    (fun () -> validate_exn { n = 10; k = 0; a = 0; b = 10 })
+
+let suite =
+  [
+    Alcotest.test_case "validate: accepts" `Quick test_validate_accepts;
+    Alcotest.test_case "validate: rejects" `Quick test_validate_rejects;
+    Alcotest.test_case "classify" `Quick test_classify;
+    Alcotest.test_case "even_spec" `Quick test_even_spec;
+    Alcotest.test_case "validate_exn" `Quick test_validate_exn;
+  ]

@@ -1,0 +1,107 @@
+(* Tests for the solution checkers themselves (they guard everything else,
+   so they get their own adversarial tests). *)
+
+let spec n k a b = { Core.Problem.n; k; a; b }
+
+let test_splitters_accepts_valid () =
+  let input = Tu.random_perm ~seed:1 100 in
+  Tu.check_ok "quartiles"
+    (Core.Verify.splitters Tu.icmp ~input (spec 100 4 25 25) [| 24; 49; 74 |]);
+  Tu.check_ok "uneven but legal"
+    (Core.Verify.splitters Tu.icmp ~input (spec 100 4 10 40) [| 9; 49; 89 |]);
+  Tu.check_ok "any order allowed"
+    (Core.Verify.splitters Tu.icmp ~input (spec 100 4 10 40) [| 89; 9; 49 |])
+
+let test_splitters_rejects_bad_count () =
+  let input = Tu.random_perm ~seed:2 100 in
+  Tu.check_err "too few"
+    (Core.Verify.splitters Tu.icmp ~input (spec 100 4 25 25) [| 24; 49 |])
+
+let test_splitters_rejects_non_member () =
+  let input = Array.map (fun x -> 2 * x) (Tu.random_perm ~seed:3 50) in
+  Tu.check_err "odd value not in input"
+    (Core.Verify.splitters Tu.icmp ~input (spec 50 2 25 25) [| 49 |])
+
+let test_splitters_rejects_bad_sizes () =
+  let input = Tu.random_perm ~seed:4 100 in
+  Tu.check_err "first bucket too small"
+    (Core.Verify.splitters Tu.icmp ~input (spec 100 4 20 40) [| 9; 49; 74 |]);
+  Tu.check_err "last bucket too big"
+    (Core.Verify.splitters Tu.icmp ~input (spec 100 4 20 40) [| 19; 39; 58 |])
+
+let test_splitters_duplicates_feasibility () =
+  (* Input 0,0,0,0,1,1,1,1: splitter value 0 can stand for any occurrence,
+     so [0] splits 8 elements into sizes up to (4,4). *)
+  let input = [| 0; 0; 0; 0; 1; 1; 1; 1 |] in
+  Tu.check_ok "feasible assignment"
+    (Core.Verify.splitters Tu.icmp ~input (spec 8 2 4 4) [| 0 |]);
+  Tu.check_err "infeasible: needs 5"
+    (Core.Verify.splitters Tu.icmp ~input (spec 8 2 5 5) [| 0 |]);
+  Tu.check_ok "flexible range"
+    (Core.Verify.splitters Tu.icmp ~input (spec 8 2 1 7) [| 1 |])
+
+let test_partitioning_accepts_valid () =
+  let input = Tu.random_perm ~seed:5 100 in
+  let parts = [| Array.init 30 (fun i -> i); Array.init 70 (fun i -> 30 + i) |] in
+  Tu.check_ok "valid" (Core.Verify.partitioning Tu.icmp ~input (spec 100 2 30 70) parts)
+
+let test_partitioning_rejects_overlap () =
+  let input = Tu.random_perm ~seed:6 100 in
+  let parts = [| Array.init 50 (fun i -> 2 * i); Array.init 50 (fun i -> (2 * i) + 1) |] in
+  Tu.check_err "interleaved values"
+    (Core.Verify.partitioning Tu.icmp ~input (spec 100 2 50 50) parts)
+
+let test_partitioning_rejects_wrong_multiset () =
+  let input = Tu.random_perm ~seed:7 100 in
+  let parts = [| Array.make 50 1; Array.init 50 (fun i -> 50 + i) |] in
+  Tu.check_err "not a permutation"
+    (Core.Verify.partitioning Tu.icmp ~input (spec 100 2 50 50) parts)
+
+let test_partitioning_rejects_bad_sizes () =
+  let input = Tu.random_perm ~seed:8 100 in
+  let parts = [| Array.init 10 (fun i -> i); Array.init 90 (fun i -> 10 + i) |] in
+  Tu.check_err "size below a"
+    (Core.Verify.partitioning Tu.icmp ~input (spec 100 2 20 80) parts)
+
+let test_partitioning_empty_partitions () =
+  let input = Tu.random_perm ~seed:9 10 in
+  let parts = [| Array.init 10 (fun i -> i); [||] |] in
+  Tu.check_ok "empty allowed when a = 0"
+    (Core.Verify.partitioning Tu.icmp ~input (spec 10 2 0 10) parts)
+
+let test_multi_select_checks () =
+  let input = Tu.random_perm ~seed:10 50 in
+  Tu.check_ok "correct"
+    (Core.Verify.multi_select Tu.icmp ~input ~ranks:[| 1; 25; 50 |] [| 0; 24; 49 |]);
+  Tu.check_err "wrong element"
+    (Core.Verify.multi_select Tu.icmp ~input ~ranks:[| 1; 25; 50 |] [| 0; 23; 49 |]);
+  Tu.check_err "count mismatch"
+    (Core.Verify.multi_select Tu.icmp ~input ~ranks:[| 1 |] [| 0; 1 |]);
+  Tu.check_err "rank out of range"
+    (Core.Verify.multi_select Tu.icmp ~input ~ranks:[| 51 |] [| 0 |])
+
+let test_multi_partition_checks () =
+  let input = Tu.random_perm ~seed:11 30 in
+  let parts = [| Array.init 10 (fun i -> i); Array.init 20 (fun i -> 10 + i) |] in
+  Tu.check_ok "correct"
+    (Core.Verify.multi_partition Tu.icmp ~input ~sizes:[| 10; 20 |] parts);
+  Tu.check_err "size mismatch"
+    (Core.Verify.multi_partition Tu.icmp ~input ~sizes:[| 15; 15 |] parts)
+
+let suite =
+  [
+    Alcotest.test_case "splitters: accepts valid" `Quick test_splitters_accepts_valid;
+    Alcotest.test_case "splitters: bad count" `Quick test_splitters_rejects_bad_count;
+    Alcotest.test_case "splitters: non-member" `Quick test_splitters_rejects_non_member;
+    Alcotest.test_case "splitters: bad sizes" `Quick test_splitters_rejects_bad_sizes;
+    Alcotest.test_case "splitters: duplicate feasibility" `Quick
+      test_splitters_duplicates_feasibility;
+    Alcotest.test_case "partitioning: accepts valid" `Quick test_partitioning_accepts_valid;
+    Alcotest.test_case "partitioning: overlap" `Quick test_partitioning_rejects_overlap;
+    Alcotest.test_case "partitioning: wrong multiset" `Quick
+      test_partitioning_rejects_wrong_multiset;
+    Alcotest.test_case "partitioning: bad sizes" `Quick test_partitioning_rejects_bad_sizes;
+    Alcotest.test_case "partitioning: empty allowed" `Quick test_partitioning_empty_partitions;
+    Alcotest.test_case "multi_select checks" `Quick test_multi_select_checks;
+    Alcotest.test_case "multi_partition checks" `Quick test_multi_partition_checks;
+  ]

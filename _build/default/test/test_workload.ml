@@ -1,0 +1,103 @@
+(* Tests for the synthetic workload generators. *)
+
+open Core.Workload
+
+let test_rng_deterministic () =
+  let r1 = Rng.create 42 and r2 = Rng.create 42 in
+  for _ = 1 to 100 do
+    Tu.check_int "same stream" (Rng.int r1 1_000_000) (Rng.int r2 1_000_000)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1_000 do
+    let x = Rng.int r 17 in
+    Tu.check_bool "in range" true (x >= 0 && x < 17)
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Workload.Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_shuffle_permutes () =
+  let a = Array.init 100 (fun i -> i) in
+  Rng.shuffle (Rng.create 3) a;
+  Tu.check_int_array "still a permutation" (Array.init 100 (fun i -> i)) (Tu.sorted_copy a);
+  Tu.check_bool "actually shuffled" true (a <> Array.init 100 (fun i -> i))
+
+let test_random_perm_is_permutation () =
+  let a = generate Random_perm ~seed:11 ~n:500 ~block:16 in
+  Tu.check_int_array "permutation of 0..n-1" (Array.init 500 (fun i -> i)) (Tu.sorted_copy a)
+
+let test_sorted_and_reverse () =
+  let s = generate Sorted ~seed:0 ~n:10 ~block:4 in
+  Tu.check_int_array "sorted" [| 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 |] s;
+  let r = generate Reverse_sorted ~seed:0 ~n:5 ~block:4 in
+  Tu.check_int_array "reverse" [| 4; 3; 2; 1; 0 |] r
+
+let test_pi_hard_structure () =
+  let n = 64 and block = 8 in
+  let a = generate Pi_hard ~seed:5 ~n ~block in
+  Tu.check_int_array "permutation" (Array.init n (fun i -> i)) (Tu.sorted_copy a);
+  (* Slot i of every block must hold the value stripe [i*8, (i+1)*8). *)
+  let nblocks = n / block in
+  for slot = 0 to block - 1 do
+    for blk = 0 to nblocks - 1 do
+      let v = a.((blk * block) + slot) in
+      Tu.check_bool
+        (Printf.sprintf "slot %d block %d value %d in stripe" slot blk v)
+        true
+        (v >= slot * nblocks && v < (slot + 1) * nblocks)
+    done
+  done
+
+let test_pi_hard_partial_block () =
+  let a = generate Pi_hard ~seed:6 ~n:21 ~block:8 in
+  Tu.check_int_array "still a permutation" (Array.init 21 (fun i -> i)) (Tu.sorted_copy a)
+
+let test_few_distinct () =
+  let a = generate (Few_distinct 5) ~seed:9 ~n:1_000 ~block:16 in
+  Array.iter (fun v -> Tu.check_bool "value small" true (v >= 0 && v < 5)) a
+
+let test_organ_pipe () =
+  let a = generate Organ_pipe ~seed:0 ~n:6 ~block:4 in
+  Tu.check_int_array "organ pipe" [| 0; 1; 2; 2; 1; 0 |] a
+
+let test_runs () =
+  let r = 4 and n = 100 in
+  let a = generate (Runs r) ~seed:13 ~n ~block:16 in
+  Tu.check_int_array "permutation" (Array.init n (fun i -> i)) (Tu.sorted_copy a);
+  let run_len = (n + r - 1) / r in
+  for run = 0 to r - 1 do
+    let lo = run * run_len in
+    let hi = min n (lo + run_len) in
+    for i = lo + 1 to hi - 1 do
+      Tu.check_bool "run sorted" true (a.(i - 1) <= a.(i))
+    done
+  done
+
+let test_vec_generator () =
+  let ctx = Tu.ctx () in
+  let v = vec ctx Random_perm ~seed:3 ~n:100 in
+  Tu.check_int "length" 100 (Em.Vec.length v);
+  Tu.check_int "no set-up I/O" 0 (Em.Stats.ios ctx.Em.Ctx.stats)
+
+let test_distinct_flag () =
+  Tu.check_bool "perm distinct" true (distinct_ranks Random_perm);
+  Tu.check_bool "pi-hard distinct" true (distinct_ranks Pi_hard);
+  Tu.check_bool "few-distinct not" false (distinct_ranks (Few_distinct 4));
+  Tu.check_bool "organ-pipe not" false (distinct_ranks Organ_pipe)
+
+let suite =
+  [
+    Alcotest.test_case "rng: deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng: bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "shuffle: permutes" `Quick test_shuffle_permutes;
+    Alcotest.test_case "random_perm" `Quick test_random_perm_is_permutation;
+    Alcotest.test_case "sorted / reverse" `Quick test_sorted_and_reverse;
+    Alcotest.test_case "pi_hard: stripe structure" `Quick test_pi_hard_structure;
+    Alcotest.test_case "pi_hard: partial block" `Quick test_pi_hard_partial_block;
+    Alcotest.test_case "few_distinct" `Quick test_few_distinct;
+    Alcotest.test_case "organ_pipe" `Quick test_organ_pipe;
+    Alcotest.test_case "runs" `Quick test_runs;
+    Alcotest.test_case "vec generator" `Quick test_vec_generator;
+    Alcotest.test_case "distinct flag" `Quick test_distinct_flag;
+  ]

@@ -1,0 +1,47 @@
+(* Shared test utilities. *)
+
+let params ?(mem = 256) ?(block = 16) () = Em.Params.create ~mem ~block
+let ctx ?mem ?block () : int Em.Ctx.t = Em.Ctx.create (params ?mem ?block ())
+let icmp = Int.compare
+
+(* Deterministic randomness, delegated to the library's seeded PRNG. *)
+let rng = Core.Workload.Rng.create
+let next_int = Core.Workload.Rng.int
+let shuffle = Core.Workload.Rng.shuffle
+
+let random_perm ~seed n =
+  Core.Workload.generate Core.Workload.Random_perm ~seed ~n ~block:1
+
+let random_ints ~seed ~bound n =
+  let r = rng seed in
+  Array.init n (fun _ -> next_int r bound)
+
+let sorted_copy a =
+  let c = Array.copy a in
+  Array.sort icmp c;
+  c
+
+let int_vec ctx a = Em.Vec.of_array ctx a
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_int_array = Alcotest.(check (array int))
+
+let check_ok what = function
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: %s" what msg
+
+let check_err what = function
+  | Ok () -> Alcotest.failf "%s: expected a verification failure" what
+  | Error _ -> ()
+
+(* Assert that the memory ledger is back to zero and no vector blocks leaked
+   except those of the listed live vectors. *)
+let check_no_leaks ?(live = 0) (c : int Em.Ctx.t) =
+  check_int "memory ledger drained" 0 c.Em.Ctx.stats.Em.Stats.mem_in_use;
+  if live >= 0 then
+    check_bool "no leaked blocks beyond live vectors" true
+      (Em.Device.live_blocks c.Em.Ctx.dev <= live)
+
+let qcheck_case ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
