@@ -1,0 +1,29 @@
+# Convenience entry points; everything is plain dune underneath.
+
+.PHONY: all build test fmt goldens bench clean
+
+all: build
+
+build:
+	dune build
+
+# Tier-1 gate: build + full test suite (includes the golden I/O-cost diff).
+test:
+	dune build && dune runtest
+
+# Formatting gate. dune-project enables formatting for dune files, which the
+# container can always check; ocamlformat-based .ml formatting activates
+# automatically if an .ocamlformat file is added and ocamlformat is installed.
+fmt:
+	dune build @fmt
+
+# Regenerate test/golden/costs.expected deterministically (fixed seed) and
+# bless the result. Run after any intentional change to I/O costs.
+goldens:
+	dune build @golden --auto-promote
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -20,7 +20,7 @@ let sample_rate () =
           Exp.measure ~machine ~seed ~n (fun ctx v ->
               let s = Emalg.Sample_splitters.find ~rate icmp v ~k in
               (* Measure the worst bucket with a zero-cost oracle pass. *)
-              let sorted = Em.Vec.to_array v in
+              let sorted = Em.Vec.Oracle.to_array v in
               Array.sort icmp sorted;
               let start = ref 0 in
               Array.iter
@@ -64,7 +64,7 @@ let randomized () =
        "Ablation RAND — deterministic vs randomized pivots   [N=%d, k=%d, %s]" n k
        (Exp.machine_name machine));
   let max_gap v s =
-    let sorted = Em.Vec.to_array v in
+    let sorted = Em.Vec.Oracle.to_array v in
     Array.sort icmp sorted;
     let worst = ref 0 and start = ref 0 in
     Array.iter
@@ -164,9 +164,9 @@ let workloads () =
           Exp.measure ~machine ~kind ~seed ~n (fun ctx v ->
               let counted = Em.Ctx.counted ctx icmp in
               let out = Core.Splitters.solve counted v spec in
-              let input = Em.Vec.to_array v in
+              let input = Em.Vec.Oracle.to_array v in
               Exp.expect_ok "splitters"
-                (Core.Verify.splitters icmp ~input spec (Em.Vec.to_array out)))
+                (Core.Verify.splitters icmp ~input spec (Em.Vec.Oracle.to_array out)))
         in
         [ Core.Workload.kind_name kind; string_of_int m.Exp.ios; string_of_int m.Exp.comparisons ])
       Core.Workload.all_kinds

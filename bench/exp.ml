@@ -19,21 +19,28 @@ type measurement = {
   writes : int;
   comparisons : int;
   peak_mem : int;
+  random_ios : int;  (* I/Os the tracer classified as seeks *)
 }
 
-(* Run [f] on a fresh machine loaded with a workload; measure only [f]. *)
+(* Run [f] on a fresh machine loaded with a workload; measure only [f].
+   A constant-space counting sink rides on the tracer so the seek profile is
+   exact even for runs far longer than the default ring buffer. *)
 let measure ?(machine = default_machine) ?(kind = Core.Workload.Pi_hard) ~seed ~n f =
-  let ctx : int Em.Ctx.t = Em.Ctx.create (params machine) in
+  let trace = Em.Trace.create () in
+  let seeks, read_seeks =
+    Em.Trace.counter (fun e -> e.Em.Trace.locality = Em.Trace.Random)
+  in
+  Em.Trace.add_sink trace seeks;
+  let ctx : int Em.Ctx.t = Em.Ctx.create ~trace (params machine) in
   let v = Core.Workload.vec ctx kind ~seed ~n in
-  let snap = Em.Stats.snapshot ctx.Em.Ctx.stats in
-  f ctx v;
-  let s = ctx.Em.Ctx.stats in
+  let (), d = Em.Ctx.measured ctx (fun () -> f ctx v) in
   {
-    ios = Em.Stats.ios_since s snap;
-    reads = s.Em.Stats.reads;
-    writes = s.Em.Stats.writes;
-    comparisons = Em.Stats.comparisons_since s snap;
-    peak_mem = s.Em.Stats.mem_peak;
+    ios = Em.Stats.delta_ios d;
+    reads = d.Em.Stats.d_reads;
+    writes = d.Em.Stats.d_writes;
+    comparisons = d.Em.Stats.d_comparisons;
+    peak_mem = ctx.Em.Ctx.stats.Em.Stats.mem_peak;
+    random_ios = read_seeks ();
   }
 
 let icmp = Int.compare

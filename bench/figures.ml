@@ -23,9 +23,9 @@ let sublinear () =
         let m =
           Exp.measure ~machine ~seed ~n (fun _ctx v ->
               let out = Core.Splitters.right_grounded icmp v spec in
-              let input = Em.Vec.to_array v in
+              let input = Em.Vec.Oracle.to_array v in
               Exp.expect_ok "splitters"
-                (Core.Verify.splitters icmp ~input spec (Em.Vec.to_array out)))
+                (Core.Verify.splitters icmp ~input spec (Em.Vec.Oracle.to_array out)))
         in
         [
           Printf.sprintf "a=%d" a;
@@ -57,7 +57,7 @@ let separation () =
         let ms =
           Exp.measure ~machine ~seed ~n (fun _ctx v ->
               let results = Core.Multi_select.select icmp v ~ranks in
-              let input = Em.Vec.to_array v in
+              let input = Em.Vec.Oracle.to_array v in
               Exp.expect_ok "multi-select"
                 (Core.Verify.multi_select icmp ~input ~ranks results))
         in
@@ -105,16 +105,16 @@ let slack () =
         let spl =
           Exp.measure ~machine ~seed ~n (fun _ctx v ->
               let out = Core.Splitters.solve icmp v spec in
-              let input = Em.Vec.to_array v in
+              let input = Em.Vec.Oracle.to_array v in
               Exp.expect_ok "splitters"
-                (Core.Verify.splitters icmp ~input spec (Em.Vec.to_array out)))
+                (Core.Verify.splitters icmp ~input spec (Em.Vec.Oracle.to_array out)))
         in
         let par =
           Exp.measure ~machine ~seed ~n (fun _ctx v ->
               let parts = Core.Partitioning.solve icmp v spec in
-              let input = Em.Vec.to_array v in
+              let input = Em.Vec.Oracle.to_array v in
               Exp.expect_ok "partitioning"
-                (Core.Verify.partitioning icmp ~input spec (Array.map Em.Vec.to_array parts)))
+                (Core.Verify.partitioning icmp ~input spec (Array.map Em.Vec.Oracle.to_array parts)))
         in
         [
           Printf.sprintf "%dx" s;
@@ -204,9 +204,10 @@ let intermixed () =
           let ctx : int Em.Ctx.t = Em.Ctx.create (Exp.params machine) in
           let pctx : (int * int) Em.Ctx.t = Em.Ctx.linked ctx in
           let d = Em.Vec.of_array pctx pairs in
-          let snap = Em.Stats.snapshot ctx.Em.Ctx.stats in
-          ignore (Core.Intermixed.select icmp d ~targets);
-          let ios = Em.Stats.ios_since ctx.Em.Ctx.stats snap in
+          let (), cost =
+            Em.Ctx.measured ctx (fun () -> ignore (Core.Intermixed.select icmp d ~targets))
+          in
+          let ios = Em.Stats.delta_ios cost in
           Some
             [
               string_of_int l;

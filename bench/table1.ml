@@ -10,16 +10,16 @@ let seed = 2014
 let run_splitters spec ~machine ~kind =
   Exp.measure ~machine ~kind ~seed ~n:spec.Core.Problem.n (fun _ctx v ->
       let out = Core.Splitters.solve icmp v spec in
-      let input = Em.Vec.to_array v in
+      let input = Em.Vec.Oracle.to_array v in
       Exp.expect_ok "splitters"
-        (Core.Verify.splitters icmp ~input spec (Em.Vec.to_array out)))
+        (Core.Verify.splitters icmp ~input spec (Em.Vec.Oracle.to_array out)))
 
 let run_partitioning spec ~machine ~kind =
   Exp.measure ~machine ~kind ~seed ~n:spec.Core.Problem.n (fun _ctx v ->
       let parts = Core.Partitioning.solve icmp v spec in
-      let input = Em.Vec.to_array v in
+      let input = Em.Vec.Oracle.to_array v in
       Exp.expect_ok "partitioning"
-        (Core.Verify.partitioning icmp ~input spec (Array.map Em.Vec.to_array parts)))
+        (Core.Verify.partitioning icmp ~input spec (Array.map Em.Vec.Oracle.to_array parts)))
 
 let run_baseline_splitters spec ~machine ~kind =
   Exp.measure ~machine ~kind ~seed ~n:spec.Core.Problem.n (fun _ctx v ->
@@ -44,13 +44,16 @@ let sweep ~what ~bound ~solve ~baseline ~machine ~kind specs =
         [
           label;
           string_of_int ours.Exp.ios;
+          string_of_int ours.Exp.random_ios;
           Exp.fmt_f b;
           Exp.fmt_ratio ratio;
           string_of_int base.Exp.ios;
         ])
       specs
   in
-  Exp.table ~header:[ what; "measured I/O"; "bound"; "ratio"; "sort baseline" ] rows;
+  Exp.table
+    ~header:[ what; "measured I/O"; "rand seeks"; "bound"; "ratio"; "sort baseline" ]
+    rows;
   Exp.verdict ~what ~spread:(Exp.ratio_spread !ratios) ~limit:6.
 
 let row_splitters_right ~machine ~kind =

@@ -77,12 +77,13 @@ let setup_logs verbose =
 
 let make_ctx ~mem ~block : int Em.Ctx.t = Em.Ctx.create (Em.Params.create ~mem ~block)
 
-let report_stats ctx =
-  let s = ctx.Em.Ctx.stats in
-  Printf.printf "I/O:          %d (reads %d, writes %d)\n" (Em.Stats.ios s)
-    s.Em.Stats.reads s.Em.Stats.writes;
-  Printf.printf "comparisons:  %d\n" s.Em.Stats.comparisons;
-  Printf.printf "peak memory:  %d / %d words\n" s.Em.Stats.mem_peak
+(* Cost of the measured computation only, as reported by [Ctx.measured]
+   (workload placement is free and outside the bracket either way). *)
+let report_cost ctx (d : Em.Stats.delta) =
+  Printf.printf "I/O:          %d (reads %d, writes %d)\n" (Em.Stats.delta_ios d)
+    d.Em.Stats.d_reads d.Em.Stats.d_writes;
+  Printf.printf "comparisons:  %d\n" d.Em.Stats.d_comparisons;
+  Printf.printf "peak memory:  %d / %d words\n" ctx.Em.Ctx.stats.Em.Stats.mem_peak
     ctx.Em.Ctx.params.Em.Params.mem
 
 let print_verified = function
@@ -116,16 +117,17 @@ let run_splitters verbose mem block seed workload n k a b baseline =
     (Core.Problem.variant_name (Core.Problem.classify spec))
     (Format.asprintf "%a" Core.Problem.pp_spec spec);
   let cmp = Em.Ctx.counted ctx icmp in
-  let out =
-    if baseline then Core.Baseline.splitters cmp v spec
-    else Core.Splitters.solve cmp v spec
+  let out, cost =
+    Em.Ctx.measured ctx (fun () ->
+        if baseline then Core.Baseline.splitters cmp v spec
+        else Core.Splitters.solve cmp v spec)
   in
-  report_stats ctx;
+  report_cost ctx cost;
   Printf.printf "bound:        lower %.1f, upper %.1f I/Os (Table 1, no constants)\n"
     (Core.Bounds.splitters_lower ctx.Em.Ctx.params spec)
     (Core.Bounds.splitters_upper ctx.Em.Ctx.params spec);
   print_verified
-    (Core.Verify.splitters icmp ~input:(Em.Vec.to_array v) spec (Em.Vec.to_array out))
+    (Core.Verify.splitters icmp ~input:(Em.Vec.Oracle.to_array v) spec (Em.Vec.Oracle.to_array out))
 
 let splitters_cmd =
   let doc = "Solve the approximate K-splitters problem." in
@@ -147,11 +149,12 @@ let run_partition verbose mem block seed workload n k a b baseline =
     (Core.Problem.variant_name (Core.Problem.classify spec))
     (Format.asprintf "%a" Core.Problem.pp_spec spec);
   let cmp = Em.Ctx.counted ctx icmp in
-  let parts =
-    if baseline then Core.Baseline.partitioning cmp v spec
-    else Core.Partitioning.solve cmp v spec
+  let parts, cost =
+    Em.Ctx.measured ctx (fun () ->
+        if baseline then Core.Baseline.partitioning cmp v spec
+        else Core.Partitioning.solve cmp v spec)
   in
-  report_stats ctx;
+  report_cost ctx cost;
   Printf.printf "bound:        lower %.1f, upper %.1f I/Os (Table 1, no constants)\n"
     (Core.Bounds.partitioning_lower ctx.Em.Ctx.params spec)
     (Core.Bounds.partitioning_upper ctx.Em.Ctx.params spec);
@@ -159,8 +162,8 @@ let run_partition verbose mem block seed workload n k a b baseline =
     (String.concat ", "
        (Array.to_list (Array.map (fun p -> string_of_int (Em.Vec.length p)) parts)));
   print_verified
-    (Core.Verify.partitioning icmp ~input:(Em.Vec.to_array v) spec
-       (Array.map Em.Vec.to_array parts))
+    (Core.Verify.partitioning icmp ~input:(Em.Vec.Oracle.to_array v) spec
+       (Array.map Em.Vec.Oracle.to_array parts))
 
 let partition_cmd =
   let doc = "Solve the approximate K-partitioning problem." in
@@ -187,15 +190,16 @@ let run_multiselect verbose mem block seed workload n ranks baseline =
   Printf.printf "problem:      multi-selection of %d ranks from %d elements\n"
     (Array.length ranks) n;
   let cmp = Em.Ctx.counted ctx icmp in
-  let results =
-    if baseline then Core.Baseline.multi_select cmp v ~ranks
-    else Core.Multi_select.select cmp v ~ranks
+  let results, cost =
+    Em.Ctx.measured ctx (fun () ->
+        if baseline then Core.Baseline.multi_select cmp v ~ranks
+        else Core.Multi_select.select cmp v ~ranks)
   in
-  report_stats ctx;
+  report_cost ctx cost;
   Printf.printf "bound:        %.1f I/Os (Theorem 4, no constants)\n"
     (Core.Bounds.multi_select ctx.Em.Ctx.params ~n ~k:(Array.length ranks));
   Array.iteri (fun i r -> Printf.printf "rank %-8d -> %d\n" ranks.(i) r) results;
-  print_verified (Core.Verify.multi_select icmp ~input:(Em.Vec.to_array v) ~ranks results)
+  print_verified (Core.Verify.multi_select icmp ~input:(Em.Vec.Oracle.to_array v) ~ranks results)
 
 let multiselect_cmd =
   let doc = "Report the elements of the given ranks (Theorem 4)." in
@@ -219,16 +223,17 @@ let run_multipartition verbose mem block seed workload n sizes baseline =
   describe_machine ~mem ~block;
   Printf.printf "problem:      multi-partition into %d prescribed sizes\n" (Array.length sizes);
   let cmp = Em.Ctx.counted ctx icmp in
-  let parts =
-    if baseline then Core.Baseline.multi_partition cmp v ~sizes
-    else Core.Multi_partition.partition_sizes cmp v ~sizes
+  let parts, cost =
+    Em.Ctx.measured ctx (fun () ->
+        if baseline then Core.Baseline.multi_partition cmp v ~sizes
+        else Core.Multi_partition.partition_sizes cmp v ~sizes)
   in
-  report_stats ctx;
+  report_cost ctx cost;
   Printf.printf "bound:        %.1f I/Os (Aggarwal-Vitter, no constants)\n"
     (Core.Bounds.multi_partition ctx.Em.Ctx.params ~n ~k:(Array.length sizes));
   print_verified
-    (Core.Verify.multi_partition icmp ~input:(Em.Vec.to_array v) ~sizes
-       (Array.map Em.Vec.to_array parts))
+    (Core.Verify.multi_partition icmp ~input:(Em.Vec.Oracle.to_array v) ~sizes
+       (Array.map Em.Vec.Oracle.to_array parts))
 
 let multipartition_cmd =
   let doc = "Physically partition into prescribed sizes." in
@@ -246,13 +251,13 @@ let run_quantiles verbose mem block seed workload n k =
   Printf.printf "problem:      exact (1/%d)-quantiles of %d elements
 " k n;
   let cmp = Em.Ctx.counted ctx icmp in
-  let out = Core.Splitters.quantiles cmp v ~k in
-  report_stats ctx;
-  let values = Em.Vec.to_array out in
+  let out, cost = Em.Ctx.measured ctx (fun () -> Core.Splitters.quantiles cmp v ~k) in
+  report_cost ctx cost;
+  let values = Em.Vec.Oracle.to_array out in
   Array.iteri (fun i q -> Printf.printf "q%-3d -> %d
 " (i + 1) q) values;
   let ranks = Core.Splitters.quantile_ranks ~n ~k in
-  print_verified (Core.Verify.multi_select icmp ~input:(Em.Vec.to_array v) ~ranks values)
+  print_verified (Core.Verify.multi_select icmp ~input:(Em.Vec.Oracle.to_array v) ~ranks values)
 
 let quantiles_cmd =
   let doc = "Report the exact (1/K)-quantile elements (equi-depth boundaries)." in
@@ -276,22 +281,120 @@ let run_reduce verbose mem block seed workload n chunk =
   Printf.printf "problem:      precise partitioning into chunks of %d (Section 3 reduction)
 " chunk;
   let cmp = Em.Ctx.counted ctx icmp in
-  let parts = Core.Reduction.precise_by_approximate cmp v ~chunk in
-  report_stats ctx;
+  let parts, cost =
+    Em.Ctx.measured ctx (fun () -> Core.Reduction.precise_by_approximate cmp v ~chunk)
+  in
+  report_cost ctx cost;
   Printf.printf "partitions:   %s
 "
     (String.concat ", "
        (Array.to_list (Array.map (fun p -> string_of_int (Em.Vec.length p)) parts)));
   let sizes = Array.map Em.Vec.length parts in
   print_verified
-    (Core.Verify.multi_partition icmp ~input:(Em.Vec.to_array v) ~sizes
-       (Array.map Em.Vec.to_array parts))
+    (Core.Verify.multi_partition icmp ~input:(Em.Vec.Oracle.to_array v) ~sizes
+       (Array.map Em.Vec.Oracle.to_array parts))
 
 let reduce_cmd =
   let doc = "Precise partitioning via the Section 3 reduction." in
   Cmd.v
     (Cmd.info "reduce" ~doc)
     Term.(const run_reduce $ verbose_t $ mem_t $ block_t $ seed_t $ workload_t $ n_t $ chunk_t)
+
+(* ---- trace ---- *)
+
+let traceable_conv =
+  Arg.enum
+    [
+      ("splitters", `Splitters);
+      ("partition", `Partition);
+      ("multiselect", `Multiselect);
+      ("quantiles", `Quantiles);
+    ]
+
+let trace_algo_t =
+  Arg.(
+    required
+    & pos 0 (some traceable_conv) None
+    & info [] ~docv:"ALGO" ~doc:"Algorithm to trace: splitters, partition, multiselect or quantiles.")
+
+let k_opt_t =
+  Arg.(value & opt int 16 & info [ "k" ] ~docv:"K" ~doc:"Partition / quantile count.")
+
+let ranks_opt_t =
+  Arg.(
+    value
+    & opt (some (list int)) None
+    & info [ "ranks" ] ~docv:"R1,R2,..."
+        ~doc:"Ranks for multiselect (default: the K quantile ranks).")
+
+let jsonl_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "jsonl" ] ~docv:"FILE" ~doc:"Also stream every I/O event to FILE as JSON lines.")
+
+let run_trace verbose mem block seed workload algo n k a b ranks jsonl =
+  setup_logs verbose;
+  let trace = Em.Trace.create () in
+  let collect, collected = Em.Trace.collector () in
+  Em.Trace.add_sink trace collect;
+  let jsonl_oc = Option.map open_out jsonl in
+  Option.iter (fun oc -> Em.Trace.add_sink trace (Em.Trace.jsonl_sink oc)) jsonl_oc;
+  let ctx : int Em.Ctx.t = Em.Ctx.create ~trace (Em.Params.create ~mem ~block) in
+  let v = Core.Workload.vec ctx workload ~seed ~n in
+  describe_machine ~mem ~block;
+  let cmp = Em.Ctx.counted ctx icmp in
+  let name, ((), cost) =
+    match algo with
+    | `Splitters ->
+        let spec = spec_of ~n ~k ~a ~b in
+        Printf.printf "problem:      %s K-splitters, %s\n"
+          (Core.Problem.variant_name (Core.Problem.classify spec))
+          (Format.asprintf "%a" Core.Problem.pp_spec spec);
+        ("splitters", Em.Ctx.measured ctx (fun () -> ignore (Core.Splitters.solve cmp v spec)))
+    | `Partition ->
+        let spec = spec_of ~n ~k ~a ~b in
+        Printf.printf "problem:      %s K-partitioning, %s\n"
+          (Core.Problem.variant_name (Core.Problem.classify spec))
+          (Format.asprintf "%a" Core.Problem.pp_spec spec);
+        ( "partition",
+          Em.Ctx.measured ctx (fun () -> ignore (Core.Partitioning.solve cmp v spec)) )
+    | `Multiselect ->
+        let ranks =
+          match ranks with
+          | Some rs -> Array.of_list rs
+          | None -> Core.Splitters.quantile_ranks ~n ~k
+        in
+        Printf.printf "problem:      multi-selection of %d ranks from %d elements\n"
+          (Array.length ranks) n;
+        ( "multiselect",
+          Em.Ctx.measured ctx (fun () -> ignore (Core.Multi_select.select cmp v ~ranks)) )
+    | `Quantiles ->
+        Printf.printf "problem:      exact (1/%d)-quantiles of %d elements\n" k n;
+        ("quantiles", Em.Ctx.measured ctx (fun () -> ignore (Core.Splitters.quantiles cmp v ~k)))
+  in
+  report_cost ctx cost;
+  let events = collected () in
+  Printf.printf "\nper-phase I/O tree (%s):\n" name;
+  Format.printf "%a" Em.Trace_report.pp_tree events;
+  Format.printf "@.%a" Em.Trace_report.pp_summary events;
+  Option.iter
+    (fun oc ->
+      close_out oc;
+      Printf.printf "events:       %d written to %s\n" (List.length events)
+        (Option.get jsonl))
+    jsonl_oc
+
+let trace_cmd =
+  let doc =
+    "Run an algorithm under the I/O tracer and print its per-phase I/O tree, \
+     sequential/random split and block-reuse profile."
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(
+      const run_trace $ verbose_t $ mem_t $ block_t $ seed_t $ workload_t $ trace_algo_t $ n_t
+      $ k_opt_t $ a_t $ b_opt_t $ ranks_opt_t $ jsonl_t)
 
 (* ---- bounds ---- *)
 
@@ -347,6 +450,7 @@ let () =
         multipartition_cmd;
         quantiles_cmd;
         reduce_cmd;
+        trace_cmd;
         bounds_cmd;
         info_cmd;
       ]

@@ -23,20 +23,21 @@ let () =
 
   Printf.printf "bulk-loading %d keys into leaf pages of exactly %d keys each\n\n" n chunk;
 
-  let snap = Em.Stats.snapshot ctx.Em.Ctx.stats in
-  let pages = Core.Reduction.precise_by_approximate icmp v ~chunk in
-  let reduction_ios = Em.Stats.ios_since ctx.Em.Ctx.stats snap in
+  let pages, reduction_cost =
+    Em.Ctx.measured ctx (fun () -> Core.Reduction.precise_by_approximate icmp v ~chunk)
+  in
+  let reduction_ios = Em.Stats.delta_ios reduction_cost in
 
-  let snap2 = Em.Stats.snapshot ctx.Em.Ctx.stats in
-  let sorted = Emalg.External_sort.sort icmp v in
-  let sort_ios = Em.Stats.ios_since ctx.Em.Ctx.stats snap2 in
+  let sorted, sort_cost = Em.Ctx.measured ctx (fun () -> Emalg.External_sort.sort icmp v) in
+  let sort_ios = Em.Stats.delta_ios sort_cost in
   Em.Vec.free sorted;
 
-  let snap3 = Em.Stats.snapshot ctx.Em.Ctx.stats in
   let k = (n + chunk - 1) / chunk in
   let sizes = Array.init k (fun i -> if i < k - 1 then chunk else n - (chunk * (k - 1))) in
-  let direct = Core.Multi_partition.partition_sizes icmp v ~sizes in
-  let direct_ios = Em.Stats.ios_since ctx.Em.Ctx.stats snap3 in
+  let direct, direct_cost =
+    Em.Ctx.measured ctx (fun () -> Core.Multi_partition.partition_sizes icmp v ~sizes)
+  in
+  let direct_ios = Em.Stats.delta_ios direct_cost in
   Array.iter Em.Vec.free direct;
 
   Printf.printf "pages produced: %d (sizes: %d full + last of %d)\n" (Array.length pages)
@@ -62,8 +63,8 @@ let () =
   (* Verify: exact sizes, ordering across pages, content preservation. *)
   let sizes = Array.map Em.Vec.length pages in
   match
-    Core.Verify.multi_partition icmp ~input:(Em.Vec.to_array v) ~sizes
-      (Array.map Em.Vec.to_array pages)
+    Core.Verify.multi_partition icmp ~input:(Em.Vec.Oracle.to_array v) ~sizes
+      (Array.map Em.Vec.Oracle.to_array pages)
   with
   | Ok () -> Printf.printf "verified: exact sizes, ordered pages, nothing lost.\n"
   | Error msg -> Printf.printf "VERIFICATION FAILED: %s\n" msg

@@ -35,9 +35,8 @@ let () =
   let data = latency_log ~seed:7 n in
   let v = Em.Vec.of_array ctx data in
 
-  let snap = Em.Stats.snapshot ctx.Em.Ctx.stats in
-  let h = Quantile.Histogram.build icmp v ~buckets:16 in
-  let build_ios = Em.Stats.ios_since ctx.Em.Ctx.stats snap in
+  let h, cost = Em.Ctx.measured ctx (fun () -> Quantile.Histogram.build icmp v ~buckets:16) in
+  let build_ios = Em.Stats.delta_ios cost in
   let sort_bound = Core.Bounds.sort params ~n in
 
   Printf.printf "equi-depth histogram over %d latencies: %d buckets of depth %d\n" n

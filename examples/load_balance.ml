@@ -18,17 +18,16 @@ let run label solve =
   let ctx : int Em.Ctx.t = Em.Ctx.create params in
   let n = 240_000 in
   let v = Core.Workload.vec ctx Core.Workload.Random_perm ~seed:3 ~n in
-  let snap = Em.Stats.snapshot ctx.Em.Ctx.stats in
-  let parts : int Em.Vec.t array = solve ctx v n in
-  let ios = Em.Stats.ios_since ctx.Em.Ctx.stats snap in
+  let (parts : int Em.Vec.t array), cost = Em.Ctx.measured ctx (fun () -> solve ctx v n) in
+  let ios = Em.Stats.delta_ios cost in
   let loads = Array.map Em.Vec.length parts in
   Printf.printf "%-28s %7d I/Os   loads: %s\n" label ios
     (String.concat " " (Array.to_list (Array.map string_of_int loads)));
   (* Workers must cover disjoint, ordered key ranges: verify. *)
   let spec = { Core.Problem.n; k = Array.length parts; a = 0; b = n } in
   match
-    Core.Verify.partitioning icmp ~input:(Em.Vec.to_array v) spec
-      (Array.map Em.Vec.to_array parts)
+    Core.Verify.partitioning icmp ~input:(Em.Vec.Oracle.to_array v) spec
+      (Array.map Em.Vec.Oracle.to_array parts)
   with
   | Ok () -> ()
   | Error msg -> Printf.printf "  ORDERING VIOLATION: %s\n" msg

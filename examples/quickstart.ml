@@ -9,9 +9,8 @@
 let icmp = Int.compare
 
 let step ctx label f =
-  let snap = Em.Stats.snapshot ctx.Em.Ctx.stats in
-  let result = f () in
-  Printf.printf "  %-46s %6d I/Os\n" label (Em.Stats.ios_since ctx.Em.Ctx.stats snap);
+  let result, cost = Em.Ctx.measured ctx f in
+  Printf.printf "  %-46s %6d I/Os\n" label (Em.Stats.delta_ios cost);
   result
 
 let () =
@@ -59,8 +58,8 @@ let () =
 
   (* Everything above was checked by construction; verify one of them
      explicitly against the in-memory oracle. *)
-  let input = Em.Vec.to_array v in
-  (match Core.Verify.splitters icmp ~input spec (Em.Vec.to_array splitters) with
+  let input = Em.Vec.Oracle.to_array v in
+  (match Core.Verify.splitters icmp ~input spec (Em.Vec.Oracle.to_array splitters) with
   | Ok () -> Printf.printf "\nsplitters verified against the oracle: OK\n"
   | Error msg -> Printf.printf "\nsplitters verification FAILED: %s\n" msg);
   Printf.printf "peak memory in use: %d / %d words\n"

@@ -23,12 +23,13 @@ let () =
           let ctx : int Em.Ctx.t = Em.Ctx.create params in
           let v = Core.Workload.vec ctx Core.Workload.Pi_hard ~seed:11 ~n in
           let spec = { Core.Problem.n; k; a; b = n } in
-          let snap = Em.Stats.snapshot ctx.Em.Ctx.stats in
-          let out = Core.Splitters.right_grounded icmp v spec in
-          let ios = Em.Stats.ios_since ctx.Em.Ctx.stats snap in
+          let out, cost =
+            Em.Ctx.measured ctx (fun () -> Core.Splitters.right_grounded icmp v spec)
+          in
+          let ios = Em.Stats.delta_ios cost in
           (match
-             Core.Verify.splitters icmp ~input:(Em.Vec.to_array v) spec
-               (Em.Vec.to_array out)
+             Core.Verify.splitters icmp ~input:(Em.Vec.Oracle.to_array v) spec
+               (Em.Vec.Oracle.to_array out)
            with
           | Ok () -> ()
           | Error msg -> failwith msg);

@@ -1,15 +1,26 @@
-type 'a t = { params : Params.t; stats : Stats.t; dev : 'a Device.t }
+type 'a t = { params : Params.t; stats : Stats.t; trace : Trace.t; dev : 'a Device.t }
 
-let create params =
+let create ?trace params =
   let stats = Stats.create () in
-  { params; stats; dev = Device.create params stats }
+  let trace = match trace with Some t -> t | None -> Trace.create () in
+  { params; stats; trace; dev = Device.create ~trace params stats }
 
 let linked ctx =
-  { params = ctx.params; stats = ctx.stats; dev = Device.create ctx.params ctx.stats }
+  {
+    params = ctx.params;
+    stats = ctx.stats;
+    trace = ctx.trace;
+    dev = Device.create ~trace:ctx.trace ctx.params ctx.stats;
+  }
 
 let counted ctx cmp x y =
   ctx.stats.Stats.comparisons <- ctx.stats.Stats.comparisons + 1;
   cmp x y
+
+let measured ctx f =
+  let snap = Stats.snapshot ctx.stats in
+  let result = f () in
+  (result, Stats.delta ctx.stats snap)
 
 let mem_capacity ctx = ctx.params.Params.mem
 let block_size ctx = ctx.params.Params.block

@@ -1,23 +1,32 @@
-(** A simulated EM machine: parameters, cost counters and a block device.
+(** A simulated EM machine: parameters, cost counters, an I/O tracer and a
+    block device.
 
     Every algorithm in this repository runs against a ['a Ctx.t].  Elements
     are of an arbitrary type ['a] (one element = one word); algorithms are
     comparison-based and receive an explicit comparator. *)
 
-type 'a t = { params : Params.t; stats : Stats.t; dev : 'a Device.t }
+type 'a t = { params : Params.t; stats : Stats.t; trace : Trace.t; dev : 'a Device.t }
 
-val create : Params.t -> 'a t
-(** Fresh machine with zeroed counters. *)
+val create : ?trace:Trace.t -> Params.t -> 'a t
+(** Fresh machine with zeroed counters.  Pass [~trace] to route I/O events
+    into a tracer you configured (extra sinks, larger ring); otherwise a
+    default ring-buffered tracer is attached. *)
 
 val linked : 'a t -> 'b t
 (** A context over a fresh device for elements of another type, sharing the
-    parameters, I/O counters and memory ledger of the original machine.  Used
-    for auxiliary streams (rank lists, tagged pairs): all their I/Os and
-    buffers are charged to the same meters. *)
+    parameters, I/O counters, tracer and memory ledger of the original
+    machine.  Used for auxiliary streams (rank lists, tagged pairs): all
+    their I/Os and buffers are charged to the same meters. *)
 
 val counted : 'a t -> ('a -> 'a -> int) -> 'a -> 'a -> int
 (** [counted ctx cmp] behaves as [cmp] but increments the comparison
     counter on every call. *)
+
+val measured : 'a t -> (unit -> 'b) -> 'b * Stats.delta
+(** [measured ctx f] runs [f] and reports exactly the I/Os and comparisons
+    it performed, leaving the cumulative counters untouched.  This is the
+    one blessed way to bracket a computation for cost reporting; drivers and
+    benchmarks should use it instead of hand-rolled snapshot plumbing. *)
 
 val mem_capacity : 'a t -> int
 val block_size : 'a t -> int

@@ -1,17 +1,20 @@
 type 'a t = {
   params : Params.t;
   stats : Stats.t;
+  trace : Trace.t;
   mutable store : 'a array option array;
   mutable next_id : int;
   mutable free_list : int list;
   mutable live : int;
 }
 
-let create params stats =
-  { params; stats; store = Array.make 64 None; next_id = 0; free_list = []; live = 0 }
+let create ?trace params stats =
+  let trace = match trace with Some t -> t | None -> Trace.create () in
+  { params; stats; trace; store = Array.make 64 None; next_id = 0; free_list = []; live = 0 }
 
 let params d = d.params
 let stats d = d.stats
+let trace d = d.trace
 
 let ensure_capacity d id =
   let n = Array.length d.store in
@@ -45,26 +48,33 @@ let check_payload d payload =
   if Array.length payload > d.params.Params.block then
     invalid_arg "Device.write: payload exceeds block size"
 
-let write_free d id payload =
+let unmetered_write d id payload =
   check_payload d payload;
   if id < 0 || id >= d.next_id then invalid_arg "Device.write: bad block id";
   d.store.(id) <- Some (Array.copy payload)
 
-let write d id payload =
-  write_free d id payload;
-  d.stats.Stats.writes <- d.stats.Stats.writes + 1;
-  Stats.record_phase_io d.stats
-
-let read_free d id =
+let unmetered_read d id =
   if id < 0 || id >= d.next_id then invalid_arg "Device.read: bad block id";
   match d.store.(id) with
   | None -> invalid_arg "Device.read: block was never written (or was freed)"
   | Some payload -> Array.copy payload
 
+let write d id payload =
+  unmetered_write d id payload;
+  d.stats.Stats.writes <- d.stats.Stats.writes + 1;
+  Stats.record_phase_io d.stats;
+  Trace.emit d.trace Trace.Write ~block:id ~phase:d.stats.Stats.phase_stack
+
 let read d id =
-  let payload = read_free d id in
+  let payload = unmetered_read d id in
   d.stats.Stats.reads <- d.stats.Stats.reads + 1;
   Stats.record_phase_io d.stats;
+  Trace.emit d.trace Trace.Read ~block:id ~phase:d.stats.Stats.phase_stack;
   payload
 
 let live_blocks d = d.live
+
+module Oracle = struct
+  let read = unmetered_read
+  let write = unmetered_write
+end

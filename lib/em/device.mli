@@ -2,15 +2,24 @@
 
     The device stores blocks of at most [B] elements each, addressed by
     integer block ids.  Every [read] and every [write] costs exactly one I/O,
-    which is recorded in the device's {!Stats.t}.  Freed blocks are recycled
-    through a free list so that long experiments do not grow without bound. *)
+    which is recorded in the device's {!Stats.t} and emitted as a typed
+    {!Trace.event}.  Freed blocks are recycled through a free list so that
+    long experiments do not grow without bound.
+
+    Zero-cost access lives exclusively in the {!Oracle} submodule: measured
+    algorithm code cannot touch the store without paying an I/O unless it
+    names [Oracle] explicitly at the call site. *)
 
 type 'a t
 
-val create : Params.t -> Stats.t -> 'a t
+val create : ?trace:Trace.t -> Params.t -> Stats.t -> 'a t
+(** [create ?trace params stats] makes a device whose metered operations are
+    counted in [stats] and emitted to [trace] (a fresh default tracer if
+    omitted).  Devices created through {!Ctx.linked} share one tracer. *)
 
 val params : 'a t -> Params.t
 val stats : 'a t -> Stats.t
+val trace : 'a t -> Trace.t
 
 val alloc : 'a t -> int
 (** Reserve a fresh (or recycled) block id.  Costs no I/O by itself. *)
@@ -28,13 +37,19 @@ val read : 'a t -> int -> 'a array
 (** [read dev id] costs one I/O and returns a copy of the block contents.
     @raise Invalid_argument if the block was never written. *)
 
-val read_free : 'a t -> int -> 'a array
-(** Zero-cost block access for test set-up and verification only.  Never use
-    this inside an algorithm under measurement. *)
-
-val write_free : 'a t -> int -> 'a array -> unit
-(** Zero-cost block write for test set-up only (placing the input on disk is
-    not part of an algorithm's cost). *)
-
 val live_blocks : 'a t -> int
 (** Number of blocks currently allocated and not freed. *)
+
+(** Unmetered block access for the parts of an experiment that are outside
+    the measured computation: placing the input on disk, and reading results
+    back for oracle verification.  Calls here cost no simulated I/O, are not
+    traced, and must never appear inside an algorithm under measurement —
+    which is why reaching them requires naming [Oracle]. *)
+module Oracle : sig
+  val read : 'a t -> int -> 'a array
+  (** Zero-cost block read for test set-up and verification only. *)
+
+  val write : 'a t -> int -> 'a array -> unit
+  (** Zero-cost block write for test set-up only (placing the input on disk
+      is not part of an algorithm's cost). *)
+end

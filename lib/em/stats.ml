@@ -56,6 +56,21 @@ let snapshot s =
 let ios_since s snap = s.reads + s.writes - snap.at_reads - snap.at_writes
 let comparisons_since s snap = s.comparisons - snap.at_comparisons
 
+type delta = { d_reads : int; d_writes : int; d_comparisons : int }
+
+let delta s snap =
+  {
+    d_reads = s.reads - snap.at_reads;
+    d_writes = s.writes - snap.at_writes;
+    d_comparisons = s.comparisons - snap.at_comparisons;
+  }
+
+let delta_ios d = d.d_reads + d.d_writes
+
+let pp_delta ppf d =
+  Format.fprintf ppf "{ reads = %d; writes = %d; ios = %d; comparisons = %d }" d.d_reads
+    d.d_writes (delta_ios d) d.d_comparisons
+
 let pp ppf s =
   Format.fprintf ppf
     "{ reads = %d; writes = %d; ios = %d; comparisons = %d; mem_peak = %d }"

@@ -32,6 +32,13 @@ val ios_since : t -> snapshot -> int
 
 val comparisons_since : t -> snapshot -> int
 
+type delta = { d_reads : int; d_writes : int; d_comparisons : int }
+(** Cost of a bracketed computation, as reported by {!Ctx.measured}. *)
+
+val delta : t -> snapshot -> delta
+val delta_ios : delta -> int
+val pp_delta : Format.formatter -> delta -> unit
+
 val current_phase : t -> string
 (** Innermost active phase label, or ["(other)"]. *)
 

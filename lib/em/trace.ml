@@ -1,0 +1,114 @@
+type op = Read | Write
+type locality = Sequential | Random
+
+type event = {
+  seq : int;
+  op : op;
+  block : int;
+  phase : string list;
+  locality : locality;
+}
+
+type ring = {
+  capacity : int;
+  mutable buf : event array;  (* physically empty until the first event *)
+  mutable len : int;
+  mutable head : int;  (* index of the oldest retained event *)
+  mutable dropped : int;
+}
+
+type sink =
+  | Ring of ring
+  | Jsonl of out_channel
+  | Custom of (event -> unit)
+
+type t = {
+  mutable sinks : sink list;
+  mutable last_block : int;
+  mutable next_seq : int;
+}
+
+let default_ring_capacity = 8192
+
+let make_ring capacity =
+  if capacity < 1 then invalid_arg "Trace.ring_sink: capacity must be >= 1";
+  { capacity; buf = [||]; len = 0; head = 0; dropped = 0 }
+
+let ring_sink ~capacity = Ring (make_ring capacity)
+let jsonl_sink oc = Jsonl oc
+let custom_sink f = Custom f
+
+let create ?(ring_capacity = default_ring_capacity) () =
+  { sinks = [ ring_sink ~capacity:ring_capacity ]; last_block = min_int; next_seq = 0 }
+
+let add_sink t sink = t.sinks <- t.sinks @ [ sink ]
+
+let collector () =
+  let acc = ref [] in
+  (Custom (fun e -> acc := e :: !acc), fun () -> List.rev !acc)
+
+let counter pred =
+  let n = ref 0 in
+  (Custom (fun e -> if pred e then incr n), fun () -> !n)
+
+let op_name = function Read -> "read" | Write -> "write"
+let locality_name = function Sequential -> "sequential" | Random -> "random"
+
+(* Phase labels are plain ASCII identifiers, for which OCaml's %S escaping
+   coincides with JSON string escaping. *)
+let event_to_json e =
+  Printf.sprintf "{\"seq\":%d,\"op\":%S,\"block\":%d,\"phase\":[%s],\"locality\":%S}"
+    e.seq (op_name e.op) e.block
+    (String.concat "," (List.map (Printf.sprintf "%S") e.phase))
+    (locality_name e.locality)
+
+let ring_push r e =
+  if Array.length r.buf = 0 then r.buf <- Array.make r.capacity e;
+  if r.len < r.capacity then begin
+    r.buf.((r.head + r.len) mod r.capacity) <- e;
+    r.len <- r.len + 1
+  end
+  else begin
+    r.buf.(r.head) <- e;
+    r.head <- (r.head + 1) mod r.capacity;
+    r.dropped <- r.dropped + 1
+  end
+
+let ring_events r = List.init r.len (fun i -> r.buf.((r.head + i) mod r.capacity))
+
+let classify t block =
+  if t.next_seq = 0 then Random
+  else if block = t.last_block || block = t.last_block + 1 then Sequential
+  else Random
+
+let emit t op ~block ~phase =
+  let e = { seq = t.next_seq; op; block; phase; locality = classify t block } in
+  t.next_seq <- t.next_seq + 1;
+  t.last_block <- block;
+  List.iter
+    (function
+      | Ring r -> ring_push r e
+      | Jsonl oc ->
+          output_string oc (event_to_json e);
+          output_char oc '\n'
+      | Custom f -> f e)
+    t.sinks
+
+let first_ring t =
+  List.find_map (function Ring r -> Some r | _ -> None) t.sinks
+
+let events t = match first_ring t with None -> [] | Some r -> ring_events r
+let dropped t = match first_ring t with None -> 0 | Some r -> r.dropped
+let total t = t.next_seq
+
+let reset t =
+  t.last_block <- min_int;
+  t.next_seq <- 0;
+  List.iter
+    (function
+      | Ring r ->
+          r.len <- 0;
+          r.head <- 0;
+          r.dropped <- 0
+      | Jsonl _ | Custom _ -> ())
+    t.sinks

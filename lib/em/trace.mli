@@ -1,0 +1,72 @@
+(** Structured I/O event tracing.
+
+    Every metered {!Device} operation emits one {!event} carrying the
+    operation kind, the block id, the phase path that was active (see
+    {!Phase}), and a sequential-vs-random classification derived from the
+    previously accessed block id.  Events flow into pluggable {!sink}s: by
+    default a bounded in-memory ring buffer (cheap enough to leave on), and
+    optionally a JSONL file sink for offline analysis or ad-hoc callbacks.
+
+    Tracing is observability machinery: it costs no simulated I/O and never
+    changes what an algorithm does. *)
+
+type op = Read | Write
+
+type locality =
+  | Sequential  (** same block as the previous I/O, or the next block id *)
+  | Random  (** anything else: the disk head had to seek *)
+
+type event = {
+  seq : int;  (** 0-based sequence number of the I/O on this tracer *)
+  op : op;
+  block : int;
+  phase : string list;  (** phase path, innermost label first *)
+  locality : locality;
+}
+
+type sink
+type t
+
+val create : ?ring_capacity:int -> unit -> t
+(** A tracer with a single bounded ring-buffer sink (default capacity
+    {!default_ring_capacity}).  The ring retains the most recent events and
+    counts how many it evicted. *)
+
+val default_ring_capacity : int
+
+val ring_sink : capacity:int -> sink
+val jsonl_sink : out_channel -> sink
+(** One JSON object per line; the caller owns (and closes) the channel. *)
+
+val custom_sink : (event -> unit) -> sink
+
+val collector : unit -> sink * (unit -> event list)
+(** An unbounded sink that retains every event, plus a function returning
+    them oldest-first.  Use for reports on runs whose length exceeds any
+    reasonable ring. *)
+
+val counter : (event -> bool) -> sink * (unit -> int)
+(** A constant-space sink counting the events that satisfy the predicate. *)
+
+val add_sink : t -> sink -> unit
+
+val emit : t -> op -> block:int -> phase:string list -> unit
+(** Record one I/O (called by {!Device}).  The first event on a tracer is
+    classified {!Random} (the head must seek to the first block). *)
+
+val events : t -> event list
+(** Retained events of the first ring sink, oldest first. *)
+
+val dropped : t -> int
+(** Events evicted from the first ring sink since creation/reset. *)
+
+val total : t -> int
+(** Total events emitted (independent of ring capacity). *)
+
+val reset : t -> unit
+(** Clear sequence numbering, locality state, and ring contents.  File and
+    custom sinks are untouched. *)
+
+val op_name : op -> string
+val locality_name : locality -> string
+val event_to_json : event -> string

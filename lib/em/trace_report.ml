@@ -1,0 +1,127 @@
+type counts = { reads : int; writes : int; sequential : int; random : int }
+
+let zero = { reads = 0; writes = 0; sequential = 0; random = 0 }
+
+let add c (e : Trace.event) =
+  {
+    reads = (c.reads + match e.op with Trace.Read -> 1 | Trace.Write -> 0);
+    writes = (c.writes + match e.op with Trace.Write -> 1 | Trace.Read -> 0);
+    sequential =
+      (c.sequential + match e.locality with Trace.Sequential -> 1 | Trace.Random -> 0);
+    random = (c.random + match e.locality with Trace.Random -> 1 | Trace.Sequential -> 0);
+  }
+
+let merge a b =
+  {
+    reads = a.reads + b.reads;
+    writes = a.writes + b.writes;
+    sequential = a.sequential + b.sequential;
+    random = a.random + b.random;
+  }
+
+let ios c = c.reads + c.writes
+
+type node = {
+  label : string;
+  mutable self : counts;  (* I/Os whose innermost phase is exactly this node *)
+  mutable children : node list;  (* in order of first appearance *)
+}
+
+let make_node label = { label; self = zero; children = [] }
+
+let child_named node label =
+  match List.find_opt (fun c -> c.label = label) node.children with
+  | Some c -> c
+  | None ->
+      let c = make_node label in
+      node.children <- node.children @ [ c ];
+      c
+
+let tree events =
+  let root = make_node "total" in
+  List.iter
+    (fun (e : Trace.event) ->
+      (* [e.phase] lists the innermost label first; walk outermost-in. *)
+      let node = List.fold_left child_named root (List.rev e.phase) in
+      node.self <- add node.self e)
+    events;
+  root
+
+let rec subtotal node = List.fold_left (fun acc c -> merge acc (subtotal c)) node.self node.children
+
+type summary = {
+  totals : counts;
+  distinct_blocks : int;
+  reread_histogram : (int * int) list;  (** (times a block was read, #blocks) *)
+  rewrite_histogram : (int * int) list;  (** (times a block was written, #blocks) *)
+}
+
+let access_histogram events which =
+  let per_block = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Trace.event) ->
+      if e.op = which then
+        Hashtbl.replace per_block e.block
+          (1 + Option.value (Hashtbl.find_opt per_block e.block) ~default:0))
+    events;
+  let hist = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _block times ->
+      Hashtbl.replace hist times (1 + Option.value (Hashtbl.find_opt hist times) ~default:0))
+    per_block;
+  Hashtbl.fold (fun times blocks acc -> (times, blocks) :: acc) hist []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let summarize events =
+  let totals = List.fold_left add zero events in
+  let blocks = Hashtbl.create 64 in
+  List.iter (fun (e : Trace.event) -> Hashtbl.replace blocks e.block ()) events;
+  {
+    totals;
+    distinct_blocks = Hashtbl.length blocks;
+    reread_histogram = access_histogram events Trace.Read;
+    rewrite_histogram = access_histogram events Trace.Write;
+  }
+
+let random_seeks events =
+  List.fold_left
+    (fun acc (e : Trace.event) ->
+      match e.locality with Trace.Random -> acc + 1 | Trace.Sequential -> acc)
+    0 events
+
+let pp_counts ppf c =
+  Format.fprintf ppf "%d I/O (r %d / w %d; seq %d / rand %d)" (ios c) c.reads c.writes
+    c.sequential c.random
+
+let rec pp_node ppf ~depth node =
+  let total = subtotal node in
+  Format.fprintf ppf "%s%-*s %a@." (String.make (2 * depth) ' ')
+    (max 1 (24 - (2 * depth)))
+    node.label pp_counts total;
+  (* Show unattributed I/O explicitly when a phase also has sub-phases. *)
+  if node.children <> [] && ios node.self > 0 then
+    Format.fprintf ppf "%s%-*s %a@."
+      (String.make (2 * (depth + 1)) ' ')
+      (max 1 (24 - (2 * (depth + 1))))
+      "(self)" pp_counts node.self;
+  List.iter (pp_node ppf ~depth:(depth + 1))
+    (List.sort (fun a b -> Int.compare (ios (subtotal b)) (ios (subtotal a))) node.children)
+
+let pp_tree ppf events = pp_node ppf ~depth:0 (tree events)
+
+let pp_histogram ppf hist =
+  if hist = [] then Format.fprintf ppf "  (none)@."
+  else
+    List.iter
+      (fun (times, blocks) -> Format.fprintf ppf "  %4dx : %d blocks@." times blocks)
+      hist
+
+let pp_summary ppf events =
+  let s = summarize events in
+  Format.fprintf ppf "totals:           %a@." pp_counts s.totals;
+  Format.fprintf ppf "random seeks:     %d@." s.totals.random;
+  Format.fprintf ppf "distinct blocks:  %d@." s.distinct_blocks;
+  Format.fprintf ppf "block re-reads (times read -> blocks):@.";
+  pp_histogram ppf s.reread_histogram;
+  Format.fprintf ppf "block re-writes (times written -> blocks):@.";
+  pp_histogram ppf s.rewrite_histogram

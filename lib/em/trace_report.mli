@@ -1,0 +1,41 @@
+(** Offline analysis of {!Trace} event streams.
+
+    Computes the per-phase I/O tree (phases nest, so costs form a tree whose
+    leaves are innermost labels), the read/write and sequential/random mix,
+    random-seek counts, and block-reuse histograms.  Works on any event list
+    — typically one captured through {!Trace.collector}. *)
+
+type counts = { reads : int; writes : int; sequential : int; random : int }
+
+val zero : counts
+val merge : counts -> counts -> counts
+val ios : counts -> int
+
+type node = {
+  label : string;
+  mutable self : counts;  (** I/Os attributed exactly to this phase path *)
+  mutable children : node list;
+}
+
+val tree : Trace.event list -> node
+(** Root node is labelled ["total"]; children appear in order of first I/O. *)
+
+val subtotal : node -> counts
+(** Self counts plus all descendants. *)
+
+type summary = {
+  totals : counts;
+  distinct_blocks : int;
+  reread_histogram : (int * int) list;
+      (** (times a block was read, number of such blocks), ascending *)
+  rewrite_histogram : (int * int) list;
+}
+
+val summarize : Trace.event list -> summary
+
+val random_seeks : Trace.event list -> int
+(** Number of events classified {!Trace.Random}. *)
+
+val pp_counts : Format.formatter -> counts -> unit
+val pp_tree : Format.formatter -> Trace.event list -> unit
+val pp_summary : Format.formatter -> Trace.event list -> unit

@@ -20,23 +20,9 @@ let of_array ctx a =
   for i = 0 to nblocks - 1 do
     let lo = i * b in
     let hi = min len (lo + b) in
-    Device.write_free ctx.Ctx.dev blocks.(i) (Array.sub a lo (hi - lo))
+    Device.Oracle.write ctx.Ctx.dev blocks.(i) (Array.sub a lo (hi - lo))
   done;
   { ctx; blocks; len }
-
-let to_array v =
-  let b = Ctx.block_size v.ctx in
-  match v.len with
-  | 0 -> [||]
-  | len ->
-      let first = Device.read_free v.ctx.Ctx.dev v.blocks.(0) in
-      let out = Array.make len first.(0) in
-      Array.iteri
-        (fun i id ->
-          let payload = Device.read_free v.ctx.Ctx.dev id in
-          Array.blit payload 0 out (i * b) (Array.length payload))
-        v.blocks;
-      out
 
 let free v = Array.iter (Device.free v.ctx.Ctx.dev) v.blocks
 
@@ -58,8 +44,24 @@ let concat_free vs =
       let len = List.fold_left (fun acc v -> acc + v.len) 0 vs in
       { ctx; blocks; len }
 
-let get_free v i =
-  if i < 0 || i >= v.len then invalid_arg "Vec.get_free: index out of bounds";
-  let b = Ctx.block_size v.ctx in
-  let payload = Device.read_free v.ctx.Ctx.dev v.blocks.(i / b) in
-  payload.(i mod b)
+module Oracle = struct
+  let to_array v =
+    let b = Ctx.block_size v.ctx in
+    match v.len with
+    | 0 -> [||]
+    | len ->
+        let first = Device.Oracle.read v.ctx.Ctx.dev v.blocks.(0) in
+        let out = Array.make len first.(0) in
+        Array.iteri
+          (fun i id ->
+            let payload = Device.Oracle.read v.ctx.Ctx.dev id in
+            Array.blit payload 0 out (i * b) (Array.length payload))
+          v.blocks;
+        out
+
+  let get v i =
+    if i < 0 || i >= v.len then invalid_arg "Vec.Oracle.get: index out of bounds";
+    let b = Ctx.block_size v.ctx in
+    let payload = Device.Oracle.read v.ctx.Ctx.dev v.blocks.(i / b) in
+    payload.(i mod b)
+end

@@ -2,8 +2,11 @@
 
     Every block is full except possibly the last.  A vector is immutable once
     built; sequential access goes through {!Reader} and construction through
-    {!Writer} (both of which pay I/Os), while [of_array] / [to_array] are
-    zero-cost conveniences reserved for test set-up and verification. *)
+    {!Writer} (both of which pay I/Os).  [of_array] places the input on disk
+    for free (the EM model assumes the input already resides in [ceil (N/B)]
+    blocks); every other zero-cost access lives in the {!Oracle} submodule so
+    that measured algorithm code cannot reach unmetered I/O without naming
+    [Oracle] at the call site. *)
 
 type 'a t
 
@@ -18,9 +21,6 @@ val of_array : 'a Ctx.t -> 'a array -> 'a t
 (** Place the array on disk {e without} charging I/Os: the EM model assumes
     the input already resides in [ceil (N/B)] input blocks. *)
 
-val to_array : 'a t -> 'a array
-(** Zero-cost readback for verification; never use inside an algorithm. *)
-
 val free : 'a t -> unit
 (** Return all blocks of the vector to the device free list. *)
 
@@ -34,5 +34,14 @@ val concat_free : 'a t list -> 'a t
     [Invalid_argument] otherwise.  Models handing over a linked list of full
     blocks, as the partitioning output format permits. *)
 
-val get_free : 'a t -> int -> 'a
-(** Zero-cost random access for verification. *)
+(** Unmetered readback for verification and test assertions.  Never use
+    inside an algorithm under measurement (except to obtain a sentinel value
+    for buffer initialisation, which reads no information the algorithm acts
+    on). *)
+module Oracle : sig
+  val to_array : 'a t -> 'a array
+  (** Zero-cost readback of the whole vector. *)
+
+  val get : 'a t -> int -> 'a
+  (** Zero-cost random access to one element. *)
+end

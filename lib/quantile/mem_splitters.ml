@@ -54,7 +54,9 @@ let find_tagged cmp v ~spacing =
   let total = max 0 (((n + spacing - 1) / spacing) - 1) in
   if total = 0 then [||]
   else begin
-    let first = (Em.Vec.get_free v 0, 0) in
+    (* Sentinel for [Array.make] only: the value is always overwritten before
+       being read, so no unmetered information flows into the algorithm. *)
+    let first = (Em.Vec.Oracle.get v 0, 0) in
     let st = { out = Array.make total first; emitted = 0; total; spacing; carry = 0 } in
     let base = Emalg.Layout.big_load ctx in
     if n <= base then

@@ -63,6 +63,35 @@ let test_device_oversize_payload () =
     (Invalid_argument "Device.write: payload exceeds block size")
     (fun () -> Em.Device.write dev id (Array.make 9 0))
 
+let test_device_oracle_unmetered () =
+  let ctx = Tu.ctx () in
+  let dev = ctx.Em.Ctx.dev in
+  let id = Em.Device.alloc dev in
+  Em.Device.Oracle.write dev id [| 4; 5; 6 |];
+  Tu.check_int_array "oracle roundtrip" [| 4; 5; 6 |] (Em.Device.Oracle.read dev id);
+  Tu.check_int "no reads counted" 0 ctx.Em.Ctx.stats.Em.Stats.reads;
+  Tu.check_int "no writes counted" 0 ctx.Em.Ctx.stats.Em.Stats.writes;
+  Tu.check_int "no trace events" 0 (Em.Trace.total ctx.Em.Ctx.trace)
+
+let test_ctx_measured () =
+  let ctx = Tu.ctx ~mem:64 ~block:8 () in
+  let v = Tu.int_vec ctx (Array.init 16 (fun i -> i)) in
+  let total, d =
+    Em.Ctx.measured ctx (fun () ->
+        Em.Reader.with_reader v (fun r ->
+            let acc = ref 0 in
+            while Em.Reader.has_next r do
+              acc := !acc + Em.Reader.next r
+            done;
+            !acc))
+  in
+  Tu.check_int "result passed through" 120 total;
+  Tu.check_int "delta reads" 2 d.Em.Stats.d_reads;
+  Tu.check_int "delta writes" 0 d.Em.Stats.d_writes;
+  Tu.check_int "delta ios" 2 (Em.Stats.delta_ios d);
+  (* The bracket reports without disturbing the cumulative counters. *)
+  Tu.check_int "cumulative reads intact" 2 ctx.Em.Ctx.stats.Em.Stats.reads
+
 let test_mem_ledger () =
   let p = Tu.params ~mem:64 ~block:8 () in
   let s = Em.Stats.create () in
@@ -105,17 +134,17 @@ let test_vec_roundtrip () =
   let ctx = Tu.ctx () in
   let a = Tu.random_ints ~seed:7 ~bound:1000 123 in
   let v = Tu.int_vec ctx a in
-  Tu.check_int_array "roundtrip" a (Em.Vec.to_array v)
+  Tu.check_int_array "roundtrip" a (Em.Vec.Oracle.to_array v)
 
-let test_vec_get_free () =
+let test_vec_oracle_get () =
   let ctx = Tu.ctx () in
   let a = Array.init 50 (fun i -> i * 3) in
   let v = Tu.int_vec ctx a in
-  Tu.check_int "get 0" 0 (Em.Vec.get_free v 0);
-  Tu.check_int "get 17" 51 (Em.Vec.get_free v 17);
-  Tu.check_int "get 49" 147 (Em.Vec.get_free v 49);
-  Alcotest.check_raises "oob" (Invalid_argument "Vec.get_free: index out of bounds")
-    (fun () -> ignore (Em.Vec.get_free v 50))
+  Tu.check_int "get 0" 0 (Em.Vec.Oracle.get v 0);
+  Tu.check_int "get 17" 51 (Em.Vec.Oracle.get v 17);
+  Tu.check_int "get 49" 147 (Em.Vec.Oracle.get v 49);
+  Alcotest.check_raises "oob" (Invalid_argument "Vec.Oracle.get: index out of bounds")
+    (fun () -> ignore (Em.Vec.Oracle.get v 50))
 
 let test_reader_sequential () =
   let ctx = Tu.ctx ~mem:64 ~block:8 () in
@@ -157,7 +186,7 @@ let test_writer_roundtrip () =
         done)
   in
   Tu.check_int "writes = ceil(20/8)" 3 ctx.Em.Ctx.stats.Em.Stats.writes;
-  Tu.check_int_array "contents" (Array.init 20 (fun i -> i * 2)) (Em.Vec.to_array v);
+  Tu.check_int_array "contents" (Array.init 20 (fun i -> i * 2)) (Em.Vec.Oracle.to_array v);
   Tu.check_no_leaks ~live:3 ctx
 
 let test_writer_empty () =
@@ -184,7 +213,7 @@ let test_vec_concat_free () =
   Tu.check_int "length" 21 (Em.Vec.length v);
   Tu.check_int_array "contents"
     (Array.append (Array.init 16 (fun i -> i)) (Array.init 5 (fun i -> 100 + i)))
-    (Em.Vec.to_array v);
+    (Em.Vec.Oracle.to_array v);
   Alcotest.check_raises "partial non-final block rejected"
     (Invalid_argument "Vec.concat_free: non-final vector has a partial last block")
     (fun () -> ignore (Em.Vec.concat_free [ v2; v1 ]))
@@ -219,13 +248,16 @@ let suite =
     Alcotest.test_case "device: copy semantics" `Quick test_device_copy_semantics;
     Alcotest.test_case "device: free recycles ids" `Quick test_device_free_recycles;
     Alcotest.test_case "device: oversize payload" `Quick test_device_oversize_payload;
+    Alcotest.test_case "device: Oracle is unmetered and untraced" `Quick
+      test_device_oracle_unmetered;
+    Alcotest.test_case "ctx: measured brackets costs" `Quick test_ctx_measured;
     Alcotest.test_case "mem: charge/release/peak" `Quick test_mem_ledger;
     Alcotest.test_case "mem: overflow raises" `Quick test_mem_ledger_overflow;
     Alcotest.test_case "mem: with_words releases on raise" `Quick
       test_mem_with_words_releases_on_raise;
     Alcotest.test_case "vec: of_array is free" `Quick test_vec_of_array_costs_nothing;
     Alcotest.test_case "vec: roundtrip" `Quick test_vec_roundtrip;
-    Alcotest.test_case "vec: get_free" `Quick test_vec_get_free;
+    Alcotest.test_case "vec: Oracle.get" `Quick test_vec_oracle_get;
     Alcotest.test_case "vec: concat_free" `Quick test_vec_concat_free;
     Alcotest.test_case "reader: sequential + I/O count" `Quick test_reader_sequential;
     Alcotest.test_case "reader: charges buffer" `Quick test_reader_charges_buffer;

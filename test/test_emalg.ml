@@ -19,15 +19,15 @@ let test_scan_copy_cost () =
   let snap = Em.Stats.snapshot ctx.Em.Ctx.stats in
   let c = Emalg.Scan.copy v in
   Tu.check_int "copy = 2N/B I/Os" 20 (Em.Stats.ios_since ctx.Em.Ctx.stats snap);
-  Tu.check_int_array "copy contents" (Em.Vec.to_array v) (Em.Vec.to_array c)
+  Tu.check_int_array "copy contents" (Em.Vec.Oracle.to_array v) (Em.Vec.Oracle.to_array c)
 
 let test_scan_filter_map () =
   let ctx = Tu.ctx () in
   let v = Tu.int_vec ctx (Array.init 50 (fun i -> i)) in
   let evens = Emalg.Scan.filter (fun x -> x mod 2 = 0) v in
-  Tu.check_int_array "filter" (Array.init 25 (fun i -> 2 * i)) (Em.Vec.to_array evens);
+  Tu.check_int_array "filter" (Array.init 25 (fun i -> 2 * i)) (Em.Vec.Oracle.to_array evens);
   let doubled = Emalg.Scan.map_into ctx (fun x -> x * 2) v in
-  Tu.check_int_array "map" (Array.init 50 (fun i -> 2 * i)) (Em.Vec.to_array doubled);
+  Tu.check_int_array "map" (Array.init 50 (fun i -> 2 * i)) (Em.Vec.Oracle.to_array doubled);
   let tagged = Emalg.Scan.mapi_into (Em.Ctx.linked ctx) (fun i x -> (x, i)) v in
   Tu.check_int "mapi length" 50 (Em.Vec.length tagged)
 
@@ -106,7 +106,7 @@ let test_merge_two_runs () =
   let r1 = Tu.int_vec ctx (Array.init 40 (fun i -> 2 * i)) in
   let r2 = Tu.int_vec ctx (Array.init 40 (fun i -> (2 * i) + 1)) in
   let merged = Emalg.Merge.merge Tu.icmp [ r1; r2 ] in
-  Tu.check_int_array "interleave" (Array.init 80 (fun i -> i)) (Em.Vec.to_array merged);
+  Tu.check_int_array "interleave" (Array.init 80 (fun i -> i)) (Em.Vec.Oracle.to_array merged);
   Tu.check_no_leaks ~live:(Em.Vec.num_blocks r1 + Em.Vec.num_blocks r2 + Em.Vec.num_blocks merged) ctx
 
 let test_merge_fanout_guard () =
@@ -123,7 +123,7 @@ let test_external_sort_correct () =
   let a = Tu.random_ints ~seed:31 ~bound:10_000 5_000 in
   let v = Tu.int_vec ctx a in
   let s = Emalg.External_sort.sort Tu.icmp v in
-  Tu.check_int_array "sorted output" (sorted a) (Em.Vec.to_array s);
+  Tu.check_int_array "sorted output" (sorted a) (Em.Vec.Oracle.to_array s);
   Tu.check_int "ledger drained" 0 ctx.Em.Ctx.stats.Em.Stats.mem_in_use
 
 let test_external_sort_io_bound () =
@@ -139,14 +139,14 @@ let test_external_sort_io_bound () =
   Tu.check_bool "at least one full read+write pass" true (ios >= 2 * nb);
   Tu.check_bool "at most 4 passes for 2-level merge" true (ios <= 8 * nb);
   Tu.check_bool "output sorted" true
-    (Emalg.Mem_sort.is_sorted Tu.icmp (Em.Vec.to_array s))
+    (Emalg.Mem_sort.is_sorted Tu.icmp (Em.Vec.Oracle.to_array s))
 
 let test_external_sort_empty_and_tiny () =
   let ctx = Tu.ctx () in
   let empty = Emalg.External_sort.sort Tu.icmp (Tu.int_vec ctx [||]) in
   Tu.check_int "empty" 0 (Em.Vec.length empty);
   let one = Emalg.External_sort.sort Tu.icmp (Tu.int_vec ctx [| 42 |]) in
-  Tu.check_int_array "singleton" [| 42 |] (Em.Vec.to_array one)
+  Tu.check_int_array "singleton" [| 42 |] (Em.Vec.Oracle.to_array one)
 
 let test_distribute_by_pivots () =
   let ctx = Tu.ctx ~mem:256 ~block:16 () in
@@ -160,7 +160,7 @@ let test_distribute_by_pivots () =
       Array.iter
         (fun e ->
           Tu.check_bool "element in range" true (e >= i * 25 && e < (i + 1) * 25))
-        (Em.Vec.to_array b))
+        (Em.Vec.Oracle.to_array b))
     buckets
 
 let test_distribute_pivot_boundary_semantics () =
@@ -168,8 +168,8 @@ let test_distribute_pivot_boundary_semantics () =
   let v = Tu.int_vec ctx [| 1; 2; 3; 4; 5 |] in
   (* bucket 0 = (-inf, 3], bucket 1 = (3, +inf) *)
   let buckets = Emalg.Distribute.by_pivots Tu.icmp ~pivots:[| 3 |] v in
-  Tu.check_int_array "left closed at pivot" [| 1; 2; 3 |] (Em.Vec.to_array buckets.(0));
-  Tu.check_int_array "right open" [| 4; 5 |] (Em.Vec.to_array buckets.(1))
+  Tu.check_int_array "left closed at pivot" [| 1; 2; 3 |] (Em.Vec.Oracle.to_array buckets.(0));
+  Tu.check_int_array "right open" [| 4; 5 |] (Em.Vec.Oracle.to_array buckets.(1))
 
 let test_distribute_unsorted_pivots_rejected () =
   let ctx = Tu.ctx () in
@@ -189,7 +189,7 @@ let test_distribute_deep () =
   Tu.check_int "20 buckets" 20 (Array.length buckets);
   Array.iteri
     (fun i b ->
-      let contents = sorted (Em.Vec.to_array b) in
+      let contents = sorted (Em.Vec.Oracle.to_array b) in
       Tu.check_int_array (Printf.sprintf "bucket %d exact" i)
         (Array.init 20 (fun j -> (i * 20) + j))
         contents)
@@ -200,9 +200,9 @@ let test_three_way () =
   let ctx = Tu.ctx () in
   let v = Tu.int_vec ctx [| 5; 3; 7; 3; 3; 9; 1 |] in
   let less, eq, greater = Emalg.Distribute.three_way Tu.icmp v ~pivot:3 in
-  Tu.check_int_array "less" [| 1 |] (Em.Vec.to_array less);
+  Tu.check_int_array "less" [| 1 |] (Em.Vec.Oracle.to_array less);
   Tu.check_int "equal count" 3 eq;
-  Tu.check_int_array "greater" [| 5; 7; 9 |] (Em.Vec.to_array greater)
+  Tu.check_int_array "greater" [| 5; 7; 9 |] (Em.Vec.Oracle.to_array greater)
 
 let test_em_select_matches_oracle () =
   let ctx = Tu.ctx ~mem:128 ~block:8 () in

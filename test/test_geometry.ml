@@ -16,7 +16,7 @@ let run_everything ~mem ~block ~seed =
   (* sort *)
   let sorted = Emalg.External_sort.sort Tu.icmp v in
   Tu.check_bool (what ^ ": sorted") true
-    (Emalg.Mem_sort.is_sorted Tu.icmp (Em.Vec.to_array sorted));
+    (Emalg.Mem_sort.is_sorted Tu.icmp (Em.Vec.Oracle.to_array sorted));
   Em.Vec.free sorted;
   (* multi-select *)
   let ranks = [| 1; n / 3; n |] in
@@ -29,7 +29,7 @@ let run_everything ~mem ~block ~seed =
       let out = Core.Splitters.solve Tu.icmp v spec in
       Tu.check_ok
         (Format.asprintf "%s: splitters %a" what Core.Problem.pp_spec spec)
-        (Core.Verify.splitters Tu.icmp ~input:a spec (Em.Vec.to_array out));
+        (Core.Verify.splitters Tu.icmp ~input:a spec (Em.Vec.Oracle.to_array out));
       Em.Vec.free out)
     [
       { Core.Problem.n; k = 4; a = 50; b = n };
@@ -40,7 +40,7 @@ let run_everything ~mem ~block ~seed =
   let spec = { Core.Problem.n; k = 5; a = 100; b = n } in
   let parts = Core.Partitioning.solve Tu.icmp v spec in
   Tu.check_ok (what ^ ": partitioning")
-    (Core.Verify.partitioning Tu.icmp ~input:a spec (Array.map Em.Vec.to_array parts));
+    (Core.Verify.partitioning Tu.icmp ~input:a spec (Array.map Em.Vec.Oracle.to_array parts));
   Array.iter Em.Vec.free parts;
   Tu.check_int (what ^ ": ledger drained") 0 ctx.Em.Ctx.stats.Em.Stats.mem_in_use
 

@@ -2,8 +2,10 @@ let () =
   Alcotest.run "repro"
     [
       ("em", Test_em.suite);
+      ("trace", Test_trace.suite);
       ("emalg", Test_emalg.suite);
       ("phase", Test_phase.suite);
+      ("mem_budget", Test_mem_budget.suite);
       ("surface", Test_surface.suite);
       ("quantile", Test_quantile.suite);
       ("problem", Test_problem.suite);

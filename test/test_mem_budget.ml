@@ -1,0 +1,73 @@
+(* Property test: no algorithm entry point ever exceeds the memory budget.
+
+   [Mem.charge] already raises on overflow, so this gate catches both an
+   outright budget violation (the run raises [Memory_exceeded]) and any
+   future code path that sidesteps the ledger yet still reports a peak above
+   M.  Every entry point is exercised across several workload kinds and two
+   machine geometries. *)
+
+open QCheck2
+
+let geometries = [ (256, 16); (2048, 64) ]
+
+let kinds =
+  [
+    Core.Workload.Random_perm;
+    Core.Workload.Sorted;
+    Core.Workload.Organ_pipe;
+    Core.Workload.Few_distinct 7;
+  ]
+
+(* Each entry point runs on a fresh machine over vector [v]. *)
+let entry_points n =
+  let k = min 8 (max 2 (n / 16)) in
+  let spec_right = { Core.Problem.n; k; a = min 2 (n / k); b = n } in
+  let spec_left = { Core.Problem.n; k; a = 0; b = max ((n + k - 1) / k) (n / 2) } in
+  let ranks = [| 1; max 1 (n / 2); n |] in
+  let sizes =
+    let half = n / 2 in
+    if half = 0 then [| n |] else [| half; n - half |]
+  in
+  [
+    ("splitters right", fun cmp v -> ignore (Core.Splitters.solve cmp v spec_right));
+    ("splitters left", fun cmp v -> ignore (Core.Splitters.solve cmp v spec_left));
+    ("partitioning right", fun cmp v -> ignore (Core.Partitioning.solve cmp v spec_right));
+    ("partitioning left", fun cmp v -> ignore (Core.Partitioning.solve cmp v spec_left));
+    ("multi-select", fun cmp v -> ignore (Core.Multi_select.select cmp v ~ranks));
+    ("multi-partition", fun cmp v -> ignore (Core.Multi_partition.partition_sizes cmp v ~sizes));
+    ("quantiles", fun cmp v -> ignore (Core.Splitters.quantiles cmp v ~k));
+    ( "reduction",
+      fun cmp v -> ignore (Core.Reduction.precise_by_approximate cmp v ~chunk:(max 1 (n / 3))) );
+    ("sort baseline", fun cmp v -> ignore (Core.Baseline.splitters cmp v spec_right));
+  ]
+
+let check_one ~mem ~block kind ~seed ~n (name, run) =
+  let ctx : int Em.Ctx.t = Em.Ctx.create (Em.Params.create ~mem ~block) in
+  let v = Core.Workload.vec ctx kind ~seed ~n in
+  let cmp = Em.Ctx.counted ctx Tu.icmp in
+  (try run cmp v with
+  | Em.Mem.Memory_exceeded { requested; in_use; capacity } ->
+      Test.fail_reportf "%s (M=%d B=%d %s n=%d): charged %d with %d/%d in use" name mem block
+        (Core.Workload.kind_name kind) n requested in_use capacity);
+  let peak = ctx.Em.Ctx.stats.Em.Stats.mem_peak in
+  if peak > mem then
+    Test.fail_reportf "%s (M=%d B=%d %s n=%d): mem_peak %d > M=%d" name mem block
+      (Core.Workload.kind_name kind) n peak mem;
+  true
+
+let gen =
+  let open Gen in
+  let* n = int_range 32 2_500 in
+  let* seed = int_range 0 1_000_000 in
+  return (n, seed)
+
+let prop_within_budget (n, seed) =
+  List.for_all
+    (fun (mem, block) ->
+      List.for_all
+        (fun kind -> List.for_all (check_one ~mem ~block kind ~seed ~n) (entry_points n))
+        kinds)
+    geometries
+
+let suite =
+  [ Tu.qcheck_case ~count:12 "mem_peak <= M on every entry point" gen prop_within_budget ]

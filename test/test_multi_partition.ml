@@ -5,7 +5,7 @@ let run ?(mem = 4096) ?(block = 64) ~seed ~n sizes =
   let a = Tu.random_perm ~seed n in
   let v = Tu.int_vec ctx a in
   let parts = Core.Multi_partition.partition_sizes Tu.icmp v ~sizes in
-  let contents = Array.map Em.Vec.to_array parts in
+  let contents = Array.map Em.Vec.Oracle.to_array parts in
   Tu.check_ok "verifier" (Core.Verify.multi_partition Tu.icmp ~input:a ~sizes contents);
   Tu.check_int "ledger drained" 0 ctx.Em.Ctx.stats.Em.Stats.mem_in_use;
   (ctx, parts)
@@ -33,7 +33,7 @@ let test_duplicates () =
   let v = Tu.int_vec ctx a in
   let sizes = [| 1_000; 2_000; 3_000 |] in
   let parts = Core.Multi_partition.partition_sizes Tu.icmp v ~sizes in
-  let contents = Array.map Em.Vec.to_array parts in
+  let contents = Array.map Em.Vec.Oracle.to_array parts in
   Tu.check_ok "verifier" (Core.Verify.multi_partition Tu.icmp ~input:a ~sizes contents)
 
 let test_workload_sweep () =
@@ -45,7 +45,7 @@ let test_workload_sweep () =
       let v = Tu.int_vec ctx a in
       let sizes = [| 2_000; 2_000; 2_000; 2_000 |] in
       let parts = Core.Multi_partition.partition_sizes Tu.icmp v ~sizes in
-      let contents = Array.map Em.Vec.to_array parts in
+      let contents = Array.map Em.Vec.Oracle.to_array parts in
       Tu.check_ok (Core.Workload.kind_name kind)
         (Core.Verify.multi_partition Tu.icmp ~input:a ~sizes contents))
     Core.Workload.all_kinds

@@ -3,7 +3,7 @@
 
 (* Slice a packed result back into per-partition arrays for verification. *)
 let slices (packed : int Core.Partitioning.packed) =
-  let data = Em.Vec.to_array packed.Core.Partitioning.data in
+  let data = Em.Vec.Oracle.to_array packed.Core.Partitioning.data in
   let offset = ref 0 in
   Array.map
     (fun size ->
@@ -91,7 +91,7 @@ let test_packed_multi_partition_into () =
     Em.Writer.with_writer ctx (fun w ->
         Core.Multi_partition.partition_packed_into Tu.icmp v ~bounds w)
   in
-  let flat = Em.Vec.to_array data in
+  let flat = Em.Vec.Oracle.to_array data in
   Tu.check_int "everything present" n (Array.length flat);
   (* Slice at the cut positions and run the oracle. *)
   let sizes = [| 1_000; 1_500; 2_499; 1 |] in

@@ -5,7 +5,7 @@ let solve_and_verify ?(mem = 4096) ?(block = 64) ~seed ~kind spec =
   let a = Core.Workload.generate kind ~seed ~n:spec.Core.Problem.n ~block in
   let v = Tu.int_vec ctx a in
   let parts = Core.Partitioning.solve Tu.icmp v spec in
-  let contents = Array.map Em.Vec.to_array parts in
+  let contents = Array.map Em.Vec.Oracle.to_array parts in
   Tu.check_ok
     (Format.asprintf "verify %a" Core.Problem.pp_spec spec)
     (Core.Verify.partitioning Tu.icmp ~input:a spec contents);

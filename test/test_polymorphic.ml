@@ -36,7 +36,7 @@ let test_floats_splitters () =
   let v = float_vec ctx a in
   let spec = { Core.Problem.n; k = 8; a = 100; b = 600 } in
   let out = Core.Splitters.solve fcmp v spec in
-  match Core.Verify.splitters fcmp ~input:a spec (Em.Vec.to_array out) with
+  match Core.Verify.splitters fcmp ~input:a spec (Em.Vec.Oracle.to_array out) with
   | Ok () -> ()
   | Error msg -> Alcotest.fail msg
 
@@ -53,7 +53,7 @@ let test_strings_partitioning () =
   let spec = { Core.Problem.n; k = 5; a = 100; b = 900 } in
   let parts = Core.Partitioning.solve scmp v spec in
   match
-    Core.Verify.partitioning scmp ~input:a spec (Array.map Em.Vec.to_array parts)
+    Core.Verify.partitioning scmp ~input:a spec (Array.map Em.Vec.Oracle.to_array parts)
   with
   | Ok () -> ()
   | Error msg -> Alcotest.fail msg
@@ -76,7 +76,7 @@ let test_tuple_key_custom_order () =
   Array.sort cmp sorted;
   Alcotest.(check (pair int int)) "median under custom order" sorted.((n / 2) - 1) median;
   let out = Emalg.External_sort.sort cmp v in
-  Alcotest.(check (array (pair int int))) "sorted under custom order" sorted (Em.Vec.to_array out)
+  Alcotest.(check (array (pair int int))) "sorted under custom order" sorted (Em.Vec.Oracle.to_array out)
 
 let test_strings_histogram () =
   let ctx = Tu.ctx ~mem:1024 ~block:16 () in

@@ -85,7 +85,7 @@ let prop_multi_partition_verifies =
       let ctx = mk_ctx () in
       let v = Tu.int_vec ctx a in
       let parts = Core.Multi_partition.partition_sizes Tu.icmp v ~sizes in
-      let contents = Array.map Em.Vec.to_array parts in
+      let contents = Array.map Em.Vec.Oracle.to_array parts in
       match Core.Verify.multi_partition Tu.icmp ~input:a ~sizes contents with
       | Ok () -> ctx.Em.Ctx.stats.Em.Stats.mem_in_use = 0
       | Error msg -> Test.fail_report msg)
@@ -103,7 +103,7 @@ let prop_splitters_verify =
       let ctx = mk_ctx () in
       let v = Tu.int_vec ctx a in
       let out = Core.Splitters.solve Tu.icmp v spec in
-      let splitters = Em.Vec.to_array out in
+      let splitters = Em.Vec.Oracle.to_array out in
       match Core.Verify.splitters Tu.icmp ~input:a spec splitters with
       | Ok () -> ctx.Em.Ctx.stats.Em.Stats.mem_in_use = 0
       | Error msg ->
@@ -123,7 +123,7 @@ let prop_partitioning_verify =
       let ctx = mk_ctx () in
       let v = Tu.int_vec ctx a in
       let parts = Core.Partitioning.solve Tu.icmp v spec in
-      let contents = Array.map Em.Vec.to_array parts in
+      let contents = Array.map Em.Vec.Oracle.to_array parts in
       match Core.Verify.partitioning Tu.icmp ~input:a spec contents with
       | Ok () -> ctx.Em.Ctx.stats.Em.Stats.mem_in_use = 0
       | Error msg ->
@@ -152,7 +152,7 @@ let prop_external_sort =
       let ctx = mk_ctx () in
       let v = Tu.int_vec ctx a in
       let out = Emalg.External_sort.sort Tu.icmp v in
-      Em.Vec.to_array out = Tu.sorted_copy a)
+      Em.Vec.Oracle.to_array out = Tu.sorted_copy a)
 
 let prop_sample_splitters_gap =
   let gen =
@@ -266,7 +266,7 @@ let prop_packed_matches_separate =
       let sizes_match =
         packed.Core.Partitioning.sizes = Array.map Em.Vec.length separate
       in
-      let data = Em.Vec.to_array packed.Core.Partitioning.data in
+      let data = Em.Vec.Oracle.to_array packed.Core.Partitioning.data in
       let offset = ref 0 in
       let pieces =
         Array.map
@@ -300,7 +300,7 @@ let prop_reduction_precise =
       &&
       match
         Core.Verify.multi_partition Tu.icmp ~input:a ~sizes
-          (Array.map Em.Vec.to_array parts)
+          (Array.map Em.Vec.Oracle.to_array parts)
       with
       | Ok () -> true
       | Error msg -> Test.fail_report msg)
@@ -325,7 +325,7 @@ let prop_random_geometry =
       let parts = Core.Partitioning.solve Tu.icmp v spec in
       let ok_parts =
         match
-          Core.Verify.partitioning Tu.icmp ~input:a spec (Array.map Em.Vec.to_array parts)
+          Core.Verify.partitioning Tu.icmp ~input:a spec (Array.map Em.Vec.Oracle.to_array parts)
         with
         | Ok () -> true
         | Error msg -> Test.fail_report msg

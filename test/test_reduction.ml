@@ -13,7 +13,7 @@ let test_precise_exact_sizes () =
       if i < Array.length parts - 1 then Tu.check_int "full chunk" chunk s
       else Tu.check_int "last chunk" (n - (chunk * (Array.length parts - 1))) s)
     sizes;
-  let contents = Array.map Em.Vec.to_array parts in
+  let contents = Array.map Em.Vec.Oracle.to_array parts in
   Tu.check_ok "ordering + multiset"
     (Core.Verify.multi_partition Tu.icmp ~input:a ~sizes contents);
   Tu.check_int "ledger drained" 0 ctx.Em.Ctx.stats.Em.Stats.mem_in_use
@@ -33,7 +33,7 @@ let test_precise_chunk_exceeds_n () =
   let v = Tu.int_vec ctx a in
   let parts = Core.Reduction.precise_by_approximate Tu.icmp v ~chunk:1_000 in
   Tu.check_int "one part" 1 (Array.length parts);
-  Tu.check_int_array "contents" (Tu.sorted_copy a) (Tu.sorted_copy (Em.Vec.to_array parts.(0)))
+  Tu.check_int_array "contents" (Tu.sorted_copy a) (Tu.sorted_copy (Em.Vec.Oracle.to_array parts.(0)))
 
 let test_precise_chunk_one () =
   (* chunk = 1 degenerates to sorting. *)
@@ -43,7 +43,7 @@ let test_precise_chunk_one () =
   let v = Tu.int_vec ctx a in
   let parts = Core.Reduction.precise_by_approximate Tu.icmp v ~chunk:1 in
   Tu.check_int "n parts" n (Array.length parts);
-  Array.iteri (fun i p -> Tu.check_int "sorted order" i (Em.Vec.get_free p 0)) parts
+  Array.iteri (fun i p -> Tu.check_int "sorted order" i (Em.Vec.Oracle.get p 0)) parts
 
 let test_precise_linear_io () =
   (* The reduction costs the approximate solve plus O(N/B). *)
@@ -75,7 +75,7 @@ let test_precise_duplicates () =
   let parts = Core.Reduction.precise_by_approximate Tu.icmp v ~chunk:777 in
   let sizes = Array.map Em.Vec.length parts in
   Tu.check_ok "duplicates"
-    (Core.Verify.multi_partition Tu.icmp ~input:a ~sizes (Array.map Em.Vec.to_array parts))
+    (Core.Verify.multi_partition Tu.icmp ~input:a ~sizes (Array.map Em.Vec.Oracle.to_array parts))
 
 let test_sort_by_partitioning () =
   let ctx = Tu.ctx ~mem:2048 ~block:32 () in
@@ -83,7 +83,7 @@ let test_sort_by_partitioning () =
   let a = Tu.random_ints ~seed:7 ~bound:50_000 n in
   let v = Tu.int_vec ctx a in
   let sorted = Core.Reduction.sort_by_partitioning Tu.icmp v in
-  Tu.check_int_array "fully sorted" (Tu.sorted_copy a) (Em.Vec.to_array sorted);
+  Tu.check_int_array "fully sorted" (Tu.sorted_copy a) (Em.Vec.Oracle.to_array sorted);
   Tu.check_int "ledger drained" 0 ctx.Em.Ctx.stats.Em.Stats.mem_in_use
 
 let test_sort_by_partitioning_cost_is_sortish () =

@@ -9,7 +9,7 @@ let test_split_preserves_and_orders () =
   let buckets = Emalg.Split_step.split Tu.icmp owned ~target_buckets:8 in
   (* Concatenation of buckets is a permutation of the input, in value order
      across buckets. *)
-  let pieces = Array.map Em.Vec.to_array buckets in
+  let pieces = Array.map Em.Vec.Oracle.to_array buckets in
   let all = Array.concat (Array.to_list pieces) in
   Tu.check_int_array "permutation" (Tu.sorted_copy a) (Tu.sorted_copy all);
   let last_max = ref min_int in
@@ -54,7 +54,7 @@ let test_split_tagging_handles_duplicates () =
         (fun (_, pos) ->
           Tu.check_bool "positional order" true (pos > !last);
           last := pos)
-        (Em.Vec.to_array b))
+        (Em.Vec.Oracle.to_array b))
     buckets
 
 let test_split_tagging_preserves_input () =
@@ -63,7 +63,7 @@ let test_split_tagging_preserves_input () =
   let v = Tu.int_vec ctx a in
   let buckets = Emalg.Split_step.split_tagging Tu.icmp v ~target_buckets:6 in
   Array.iter Em.Vec.free buckets;
-  Tu.check_int_array "input untouched" a (Em.Vec.to_array v)
+  Tu.check_int_array "input untouched" a (Em.Vec.Oracle.to_array v)
 
 let test_default_target_bounds () =
   let ctx = Tu.ctx ~mem:4096 ~block:64 () in

@@ -5,7 +5,7 @@ let solve_and_verify ?(mem = 4096) ?(block = 64) ~seed ~kind spec =
   let a = Core.Workload.generate kind ~seed ~n:spec.Core.Problem.n ~block in
   let v = Tu.int_vec ctx a in
   let out = Core.Splitters.solve Tu.icmp v spec in
-  let splitters = Em.Vec.to_array out in
+  let splitters = Em.Vec.Oracle.to_array out in
   Tu.check_ok
     (Format.asprintf "verify %a" Core.Problem.pp_spec spec)
     (Core.Verify.splitters Tu.icmp ~input:a spec splitters);

@@ -5,7 +5,7 @@ let test_scan_prefix () =
   let ctx = Tu.ctx ~mem:256 ~block:16 () in
   let v = Tu.int_vec ctx (Array.init 100 (fun i -> i)) in
   let p = Emalg.Scan.prefix v 37 in
-  Tu.check_int_array "first 37" (Array.init 37 (fun i -> i)) (Em.Vec.to_array p);
+  Tu.check_int_array "first 37" (Array.init 37 (fun i -> i)) (Em.Vec.Oracle.to_array p);
   let all = Emalg.Scan.prefix v 1_000 in
   Tu.check_int "clamped to length" 100 (Em.Vec.length all);
   let none = Emalg.Scan.prefix v 0 in
@@ -27,7 +27,7 @@ let test_merge_many_runs () =
   in
   let merged = Emalg.Merge.merge Tu.icmp runs in
   Tu.check_int_array "perfect interleave" (Array.init (50 * nruns) (fun i -> i))
-    (Em.Vec.to_array merged)
+    (Em.Vec.Oracle.to_array merged)
 
 let test_merge_with_empty_runs () =
   let ctx = Tu.ctx ~mem:4096 ~block:64 () in
@@ -35,7 +35,7 @@ let test_merge_with_empty_runs () =
     [ Tu.int_vec ctx [| 1; 5 |]; Tu.int_vec ctx [||]; Tu.int_vec ctx [| 2; 3 |] ]
   in
   Tu.check_int_array "empties skipped" [| 1; 2; 3; 5 |]
-    (Em.Vec.to_array (Emalg.Merge.merge Tu.icmp runs))
+    (Em.Vec.Oracle.to_array (Emalg.Merge.merge Tu.icmp runs))
 
 let test_run_formation_shapes () =
   let ctx = Tu.ctx ~mem:256 ~block:16 () in
@@ -47,7 +47,7 @@ let test_run_formation_shapes () =
   List.iter
     (fun r ->
       Tu.check_bool "each run sorted" true
-        (Emalg.Mem_sort.is_sorted Tu.icmp (Em.Vec.to_array r)))
+        (Emalg.Mem_sort.is_sorted Tu.icmp (Em.Vec.Oracle.to_array r)))
     runs;
   let merged = Emalg.External_sort.merge_passes Tu.icmp runs in
   Tu.check_int "merge_passes keeps everything" n (Em.Vec.length merged)
@@ -57,7 +57,7 @@ let test_vec_of_blocks_validation () =
   let v = Tu.int_vec ctx (Array.init 40 (fun i -> i)) in
   let ids = Em.Vec.block_ids v in
   let rebuilt = Em.Vec.of_blocks ctx ids 40 in
-  Tu.check_int_array "rebuilt" (Em.Vec.to_array v) (Em.Vec.to_array rebuilt);
+  Tu.check_int_array "rebuilt" (Em.Vec.Oracle.to_array v) (Em.Vec.Oracle.to_array rebuilt);
   Alcotest.check_raises "wrong length"
     (Invalid_argument "Vec.of_blocks: block count does not match length")
     (fun () -> ignore (Em.Vec.of_blocks ctx ids 100))
@@ -70,7 +70,7 @@ let test_writer_push_array () =
         Em.Writer.push_array w [||];
         Em.Writer.push_array w [| 3 |])
   in
-  Tu.check_int_array "concatenated" [| 1; 2; 3 |] (Em.Vec.to_array v)
+  Tu.check_int_array "concatenated" [| 1; 2; 3 |] (Em.Vec.Oracle.to_array v)
 
 let test_pretty_printers () =
   let p = Tu.params ~mem:64 ~block:8 () in

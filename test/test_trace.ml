@@ -1,0 +1,177 @@
+(* Tests for the I/O trace subsystem: event emission from the device,
+   sequential/random classification, ring-buffer bounds, sinks, and the
+   trace-report aggregations. *)
+
+let read_all v =
+  Em.Reader.with_reader v (fun r ->
+      while Em.Reader.has_next r do
+        ignore (Em.Reader.next r)
+      done)
+
+let test_device_emits_events () =
+  let ctx = Tu.ctx ~mem:64 ~block:8 () in
+  let v = Tu.int_vec ctx (Array.init 24 (fun i -> i)) in
+  read_all v;
+  let events = Em.Trace.events ctx.Em.Ctx.trace in
+  Tu.check_int "one event per I/O" 3 (List.length events);
+  Tu.check_int "total matches stats" (Em.Stats.ios ctx.Em.Ctx.stats)
+    (Em.Trace.total ctx.Em.Ctx.trace);
+  List.iteri
+    (fun i (e : Em.Trace.event) ->
+      Tu.check_int "sequence numbering" i e.Em.Trace.seq;
+      Tu.check_bool "all reads" true (e.Em.Trace.op = Em.Trace.Read))
+    events
+
+let test_locality_classification () =
+  let t = Em.Trace.create () in
+  Em.Trace.emit t Em.Trace.Read ~block:10 ~phase:[];
+  Em.Trace.emit t Em.Trace.Read ~block:11 ~phase:[];
+  Em.Trace.emit t Em.Trace.Read ~block:11 ~phase:[];
+  Em.Trace.emit t Em.Trace.Write ~block:3 ~phase:[];
+  Em.Trace.emit t Em.Trace.Read ~block:4 ~phase:[];
+  let expect =
+    [ Em.Trace.Random; Em.Trace.Sequential; Em.Trace.Sequential; Em.Trace.Random;
+      Em.Trace.Sequential ]
+  in
+  List.iter2
+    (fun (e : Em.Trace.event) want ->
+      Tu.check_bool
+        (Printf.sprintf "event %d locality" e.Em.Trace.seq)
+        true
+        (e.Em.Trace.locality = want))
+    (Em.Trace.events t) expect
+
+let test_ring_is_bounded () =
+  let t = Em.Trace.create ~ring_capacity:4 () in
+  for i = 0 to 9 do
+    Em.Trace.emit t Em.Trace.Write ~block:(2 * i) ~phase:[]
+  done;
+  let events = Em.Trace.events t in
+  Tu.check_int "ring keeps capacity" 4 (List.length events);
+  Tu.check_int "total unaffected" 10 (Em.Trace.total t);
+  Tu.check_int "dropped count" 6 (Em.Trace.dropped t);
+  Tu.check_int "oldest retained is #6" 6 (List.hd events).Em.Trace.seq
+
+let test_reset () =
+  let t = Em.Trace.create ~ring_capacity:4 () in
+  for i = 0 to 9 do
+    Em.Trace.emit t Em.Trace.Read ~block:i ~phase:[]
+  done;
+  Em.Trace.reset t;
+  Tu.check_int "ring cleared" 0 (List.length (Em.Trace.events t));
+  Tu.check_int "total cleared" 0 (Em.Trace.total t);
+  Em.Trace.emit t Em.Trace.Read ~block:9 ~phase:[];
+  Tu.check_bool "first event after reset is a seek" true
+    ((List.hd (Em.Trace.events t)).Em.Trace.locality = Em.Trace.Random)
+
+let test_collector_and_counter () =
+  let t = Em.Trace.create ~ring_capacity:2 () in
+  let collect, collected = Em.Trace.collector () in
+  let count, counted = Em.Trace.counter (fun e -> e.Em.Trace.op = Em.Trace.Write) in
+  Em.Trace.add_sink t collect;
+  Em.Trace.add_sink t count;
+  for i = 0 to 7 do
+    Em.Trace.emit t (if i mod 2 = 0 then Em.Trace.Read else Em.Trace.Write) ~block:i ~phase:[]
+  done;
+  Tu.check_int "collector is unbounded" 8 (List.length (collected ()));
+  Tu.check_int "counter sees writes" 4 (counted ())
+
+let test_phase_paths_recorded () =
+  let ctx = Tu.ctx ~mem:64 ~block:8 () in
+  let v = Tu.int_vec ctx (Array.init 8 (fun i -> i)) in
+  Em.Phase.with_label ctx "outer" (fun () ->
+      Em.Phase.with_label ctx "inner" (fun () -> read_all v));
+  match Em.Trace.events ctx.Em.Ctx.trace with
+  | [ e ] ->
+      Tu.check_bool "innermost-first phase path" true
+        (e.Em.Trace.phase = [ "inner"; "outer" ])
+  | events -> Alcotest.failf "expected 1 event, got %d" (List.length events)
+
+let test_jsonl_sink () =
+  let path = Filename.temp_file "trace" ".jsonl" in
+  let oc = open_out path in
+  let t = Em.Trace.create () in
+  Em.Trace.add_sink t (Em.Trace.jsonl_sink oc);
+  Em.Trace.emit t Em.Trace.Read ~block:5 ~phase:[ "merge"; "sort" ];
+  Em.Trace.emit t Em.Trace.Write ~block:6 ~phase:[];
+  close_out oc;
+  let ic = open_in path in
+  let l1 = input_line ic in
+  let l2 = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string)
+    "first event json"
+    "{\"seq\":0,\"op\":\"read\",\"block\":5,\"phase\":[\"merge\",\"sort\"],\"locality\":\"random\"}"
+    l1;
+  Alcotest.(check string)
+    "second event json"
+    "{\"seq\":1,\"op\":\"write\",\"block\":6,\"phase\":[],\"locality\":\"sequential\"}"
+    l2
+
+let test_report_tree () =
+  let t = Em.Trace.create () in
+  Em.Trace.emit t Em.Trace.Read ~block:0 ~phase:[ "sample"; "build" ];
+  Em.Trace.emit t Em.Trace.Read ~block:1 ~phase:[ "sample"; "build" ];
+  Em.Trace.emit t Em.Trace.Write ~block:7 ~phase:[ "build" ];
+  Em.Trace.emit t Em.Trace.Read ~block:3 ~phase:[];
+  let root = Em.Trace_report.tree (Em.Trace.events t) in
+  let totals = Em.Trace_report.subtotal root in
+  Tu.check_int "total ios" 4 (Em.Trace_report.ios totals);
+  Tu.check_int "total reads" 3 totals.Em.Trace_report.reads;
+  Tu.check_int "unattributed at root" 1 (Em.Trace_report.ios root.Em.Trace_report.self);
+  (match root.Em.Trace_report.children with
+  | [ build ] ->
+      Tu.check_bool "outermost label" true (build.Em.Trace_report.label = "build");
+      Tu.check_int "build subtotal" 3
+        (Em.Trace_report.ios (Em.Trace_report.subtotal build));
+      Tu.check_int "build self" 1 (Em.Trace_report.ios build.Em.Trace_report.self);
+      (match build.Em.Trace_report.children with
+      | [ sample ] ->
+          Tu.check_bool "nested label" true (sample.Em.Trace_report.label = "sample");
+          Tu.check_int "sample self" 2 (Em.Trace_report.ios sample.Em.Trace_report.self)
+      | cs -> Alcotest.failf "expected 1 child of build, got %d" (List.length cs))
+  | cs -> Alcotest.failf "expected 1 child of root, got %d" (List.length cs));
+  Tu.check_int "random seeks" 3 (Em.Trace_report.random_seeks (Em.Trace.events t))
+
+let test_report_histograms () =
+  let t = Em.Trace.create () in
+  (* Block 0 read 3x, block 1 read 1x, block 2 written 2x. *)
+  List.iter
+    (fun (op, b) -> Em.Trace.emit t op ~block:b ~phase:[])
+    [
+      (Em.Trace.Read, 0);
+      (Em.Trace.Read, 0);
+      (Em.Trace.Read, 0);
+      (Em.Trace.Read, 1);
+      (Em.Trace.Write, 2);
+      (Em.Trace.Write, 2);
+    ];
+  let s = Em.Trace_report.summarize (Em.Trace.events t) in
+  Tu.check_int "distinct blocks" 3 s.Em.Trace_report.distinct_blocks;
+  Alcotest.(check (list (pair int int)))
+    "reread histogram" [ (1, 1); (3, 1) ] s.Em.Trace_report.reread_histogram;
+  Alcotest.(check (list (pair int int)))
+    "rewrite histogram" [ (2, 1) ] s.Em.Trace_report.rewrite_histogram
+
+let test_linked_ctx_shares_tracer () =
+  let ctx = Tu.ctx ~mem:64 ~block:8 () in
+  let pair_ctx : (int * int) Em.Ctx.t = Em.Ctx.linked ctx in
+  let v = Em.Writer.with_writer pair_ctx (fun w -> Em.Writer.push w (1, 2)) in
+  ignore v;
+  Tu.check_int "event visible on parent tracer" 1 (Em.Trace.total ctx.Em.Ctx.trace)
+
+let suite =
+  [
+    Alcotest.test_case "device emits one event per I/O" `Quick test_device_emits_events;
+    Alcotest.test_case "sequential vs random classification" `Quick
+      test_locality_classification;
+    Alcotest.test_case "ring buffer is bounded" `Quick test_ring_is_bounded;
+    Alcotest.test_case "reset clears ring and numbering" `Quick test_reset;
+    Alcotest.test_case "collector and counter sinks" `Quick test_collector_and_counter;
+    Alcotest.test_case "phase paths recorded on events" `Quick test_phase_paths_recorded;
+    Alcotest.test_case "jsonl sink format" `Quick test_jsonl_sink;
+    Alcotest.test_case "report: per-phase tree" `Quick test_report_tree;
+    Alcotest.test_case "report: reuse histograms" `Quick test_report_histograms;
+    Alcotest.test_case "linked ctx shares the tracer" `Quick test_linked_ctx_shares_tracer;
+  ]
