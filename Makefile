@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test fmt goldens bench clean
+.PHONY: all build test fmt goldens bench faults clean
 
 all: build
 
@@ -24,6 +24,16 @@ goldens:
 
 bench:
 	dune exec bench/main.exe
+
+# Fault-injection smoke: one recoverable run per algorithm family, plus a
+# crash-restart run.  Each exits non-zero on an unexpected failure (exit 2:
+# verification, exit 3: unrecovered typed fault).
+faults:
+	dune exec bin/em_repro.exe -- faults sort -n 20000 --fault-p 0.01 \
+	  --fault-kinds transient-read,transient-write,bit-corruption,torn-write --verify-writes
+	dune exec bin/em_repro.exe -- faults multiselect -n 20000 -k 12 --fault-p 0.02
+	dune exec bin/em_repro.exe -- faults splitters -n 20000 -k 16 --fault-seed 7
+	dune exec bin/em_repro.exe -- faults sort -n 20000 --restartable --crash-every 800
 
 clean:
 	dune clean

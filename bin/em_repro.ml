@@ -396,6 +396,173 @@ let trace_cmd =
       const run_trace $ verbose_t $ mem_t $ block_t $ seed_t $ workload_t $ trace_algo_t $ n_t
       $ k_opt_t $ a_t $ b_opt_t $ ranks_opt_t $ jsonl_t)
 
+(* ---- faults ---- *)
+
+let fault_kind_conv =
+  let all =
+    [
+      Em.Fault.Transient_read;
+      Em.Fault.Permanent_read;
+      Em.Fault.Transient_write;
+      Em.Fault.Permanent_write;
+      Em.Fault.Torn_write;
+      Em.Fault.Bit_corruption;
+      Em.Fault.Crash;
+    ]
+  in
+  let parse s =
+    match List.find_opt (fun k -> Em.Fault.kind_name k = s) all with
+    | Some k -> Ok k
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown fault kind %S (expected one of: %s)" s
+               (String.concat ", " (List.map Em.Fault.kind_name all))))
+  in
+  Arg.conv (parse, fun ppf k -> Format.pp_print_string ppf (Em.Fault.kind_name k))
+
+let fault_algo_t =
+  Arg.(
+    required
+    & pos 0 (some (enum [ ("sort", `Sort); ("multiselect", `Multiselect); ("splitters", `Splitters) ])) None
+    & info [] ~docv:"ALGO" ~doc:"Algorithm to run under faults: sort, multiselect or splitters.")
+
+let fault_seed_t =
+  Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Fault-schedule PRNG seed.")
+
+let fault_p_t =
+  Arg.(
+    value
+    & opt float (1.0 /. 64.0)
+    & info [ "fault-p" ] ~docv:"P" ~doc:"Per-I/O fault probability.")
+
+let fault_kinds_t =
+  Arg.(
+    value
+    & opt (list fault_kind_conv) [ Em.Fault.Transient_read; Em.Fault.Transient_write ]
+    & info [ "fault-kinds" ] ~docv:"K1,K2,..."
+        ~doc:
+          "Fault kinds in the seeded mix: transient-read, permanent-read, transient-write, \
+           permanent-write, torn-write, bit-corruption, crash.  Pair the silent write kinds \
+           (torn-write, bit-corruption) with $(b,--verify-writes), or expect typed \
+           corrupt-block failures.")
+
+let crash_every_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "crash-every" ] ~docv:"IOS"
+        ~doc:"Additionally crash every IOS I/Os (use with --restartable).")
+
+let max_retries_t =
+  Arg.(value & opt int 3 & info [ "max-retries" ] ~docv:"N" ~doc:"Retry budget per I/O.")
+
+let verify_writes_t =
+  Arg.(
+    value & flag
+    & info [ "verify-writes" ]
+        ~doc:"Read back and checksum every write (catches silent write corruption at write time).")
+
+let restartable_t =
+  Arg.(
+    value & flag
+    & info [ "restartable" ]
+        ~doc:"Use the checkpointed restartable drivers (sort and multiselect) so crashes are survived.")
+
+let print_fault_report ctx =
+  match Em.Ctx.fault_report ctx with
+  | None -> ()
+  | Some r ->
+      let c = r.Em.Device.counters in
+      Printf.printf "recovery:     %d recovered, %d checksum failures, %d quarantined, %d remapped\n"
+        c.Em.Device.recovered c.Em.Device.checksum_failures c.Em.Device.quarantined
+        c.Em.Device.remapped;
+      Printf.printf "fault I/Os:   %d faulted attempts, %d retries\n"
+        ctx.Em.Ctx.stats.Em.Stats.faults ctx.Em.Ctx.stats.Em.Stats.retries
+
+let print_restarts (o : _ Emalg.Restart.outcome) =
+  Printf.printf "restarts:     %d survived (checkpoint: %d saves / %d I/Os, %d resumes / %d I/Os)\n"
+    o.Emalg.Restart.restarts o.Emalg.Restart.saves o.Emalg.Restart.save_ios
+    o.Emalg.Restart.loads o.Emalg.Restart.load_ios
+
+let run_faults verbose mem block seed workload algo n k ranks fault_seed p kinds crash_every
+    max_retries verify_writes restartable =
+  setup_logs verbose;
+  let trace = Em.Trace.create () in
+  let collect, collected = Em.Trace.collector () in
+  Em.Trace.add_sink trace collect;
+  let ctx : int Em.Ctx.t = Em.Ctx.create ~trace (Em.Params.create ~mem ~block) in
+  Em.Ctx.arm ~policy:{ Em.Device.default_policy with Em.Device.max_retries; verify_writes } ctx;
+  let v = Core.Workload.vec ctx workload ~seed ~n in
+  let input = Em.Vec.Oracle.to_array v in
+  describe_machine ~mem ~block;
+  let plan = Em.Fault.seeded ~seed:fault_seed ~p kinds in
+  let plan =
+    match crash_every with
+    | Some c -> Em.Fault.any [ Em.Fault.every_nth ~n:c Em.Fault.Crash; plan ]
+    | None -> plan
+  in
+  Printf.printf "faults:       seeded p=%g seed=%d kinds=%s%s\n" p fault_seed
+    (String.concat "," (List.map Em.Fault.kind_name kinds))
+    (match crash_every with Some c -> Printf.sprintf " + crash every %d I/Os" c | None -> "");
+  Em.Ctx.inject ctx plan;
+  let cmp = Em.Ctx.counted ctx icmp in
+  let restartable_result o =
+    print_restarts o;
+    match o.Emalg.Restart.result with Ok r -> r | Error e -> Em.Em_error.raise_error e
+  in
+  let verified, cost =
+    Em.Ctx.measured ctx (fun () ->
+        Em.Em_error.protect (fun () ->
+            match algo with
+            | `Sort ->
+                let sv =
+                  if restartable then restartable_result (Emalg.Restart.sort cmp v)
+                  else Emalg.External_sort.sort cmp v
+                in
+                let out = Em.Vec.Oracle.to_array sv in
+                let expect = Array.copy input in
+                Array.sort icmp expect;
+                if out = expect then Ok () else Error "output is not the sorted input"
+            | `Multiselect ->
+                let ranks =
+                  match ranks with
+                  | Some rs -> Array.of_list rs
+                  | None -> Core.Splitters.quantile_ranks ~n ~k
+                in
+                let out =
+                  if restartable then restartable_result (Core.Restartable.select cmp v ~ranks)
+                  else Core.Multi_select.select cmp v ~ranks
+                in
+                Core.Verify.multi_select icmp ~input ~ranks out
+            | `Splitters ->
+                let spec = spec_of ~n ~k ~a:0 ~b:None in
+                let out = Core.Splitters.solve cmp v spec in
+                Core.Verify.splitters icmp ~input spec (Em.Vec.Oracle.to_array out)))
+  in
+  report_cost ctx cost;
+  print_fault_report ctx;
+  Printf.printf "\nper-phase I/O tree (fault overhead in brackets):\n";
+  Format.printf "%a@." Em.Trace_report.pp_tree (collected ());
+  match verified with
+  | Ok verification -> print_verified verification
+  | Error e ->
+      Printf.printf "outcome:      typed failure: %s\n" (Em.Em_error.to_string e);
+      exit 3
+
+let faults_cmd =
+  let doc =
+    "Run an algorithm on a fault-injected device with retry/checksum recovery \
+     and report the fault overhead (Ok runs are oracle-verified; failures are \
+     typed and exit with code 3)."
+  in
+  Cmd.v
+    (Cmd.info "faults" ~doc)
+    Term.(
+      const run_faults $ verbose_t $ mem_t $ block_t $ seed_t $ workload_t $ fault_algo_t $ n_t
+      $ k_opt_t $ ranks_opt_t $ fault_seed_t $ fault_p_t $ fault_kinds_t $ crash_every_t
+      $ max_retries_t $ verify_writes_t $ restartable_t)
+
 (* ---- bounds ---- *)
 
 let run_bounds mem block n k a b =
@@ -451,6 +618,7 @@ let () =
         quantiles_cmd;
         reduce_cmd;
         trace_cmd;
+        faults_cmd;
         bounds_cmd;
         info_cmd;
       ]

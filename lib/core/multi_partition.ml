@@ -176,11 +176,22 @@ let partition cmp v ~bounds =
   Emalg.Layout.require_min_geometry ctx;
   check_bounds v bounds;
   let st = out_create ctx in
-  run cmp st v ~bounds;
-  let parts = out_finish st in
-  if Array.length parts <> Em.Vec.length bounds + 1 then
-    invalid_arg "Multi_partition.partition: internal error (partition count)";
-  parts
+  match
+    run cmp st v ~bounds;
+    out_finish st
+  with
+  | parts ->
+      if Array.length parts <> Em.Vec.length bounds + 1 then
+        invalid_arg "Multi_partition.partition: internal error (partition count)";
+      parts
+  | exception e ->
+      (* A failed I/O mid-partition must not leak the open writer's buffer
+         words or the already-finished partitions' blocks. *)
+      (match st.mode with
+      | Separate m -> List.iter Em.Vec.free m.finished
+      | Packed -> ());
+      (try Em.Writer.abandon st.writer with Invalid_argument _ -> ());
+      raise e
 
 let partition_packed_into cmp v ~bounds writer =
   let ctx = Em.Vec.ctx v in

@@ -1,0 +1,75 @@
+(* Crash-restartable multi-selection over Emalg.Restart.drive; see the
+   interface.  The step boundaries are the natural phase boundaries of
+   Theorem 4's general case: one step for the multi-partition at every m-th
+   rank, then one step per batch of <= m ranks. *)
+
+type ('s, 'r) step_kind = ('s, 'r) Emalg.Restart.step = Next of 's | Done of 'r
+
+type 'a state =
+  | Start
+  | Selecting of {
+      parts : 'a Em.Vec.t list;  (* remaining partitions, leftmost first *)
+      batch_idx : int;  (* index of the next rank batch *)
+      results : 'a Em.Vec.t list;  (* selected batches on disk, newest first *)
+    }
+
+let vec_words v = Em.Vec.num_blocks v + 2
+
+let state_words = function
+  | Start -> 2
+  | Selecting { parts; results; _ } ->
+      3 + List.fold_left (fun acc v -> acc + vec_words v) 0 (parts @ results)
+
+let check_ranks v ranks =
+  let n = Em.Vec.length v in
+  let prev = ref 0 in
+  Array.iter
+    (fun r ->
+      if r <= !prev || r > n then
+        invalid_arg "Restartable.select: ranks must be strictly increasing in [1, length v]";
+      prev := r)
+    ranks
+
+let step cmp v ranks state =
+  let ctx = Em.Vec.ctx v in
+  let m = Multi_select.batch_size ctx in
+  let kcount = Array.length ranks in
+  match state with
+  | Start ->
+      if kcount = 0 then Done [||]
+      else if kcount <= m then Done (Multi_select.select cmp v ~ranks)
+      else begin
+        let nbatches = (kcount + m - 1) / m in
+        (* Partition boundaries are the last rank of every batch but the
+           final one, so batch offsets need no extra storage. *)
+        let boundary = Array.init (nbatches - 1) (fun j -> ranks.(((j + 1) * m) - 1)) in
+        let ictx : int Em.Ctx.t = Em.Ctx.linked ctx in
+        let bounds = Emalg.Scan.vec_of_array_io ictx boundary in
+        let parts = Multi_partition.partition cmp v ~bounds in
+        Em.Vec.free bounds;
+        Next (Selecting { parts = Array.to_list parts; batch_idx = 0; results = [] })
+      end
+  | Selecting { parts = []; results; _ } ->
+      (* Load every batch's results, then free their blocks.  All metered
+         reads happen before any free: a crash mid-load leaves the result
+         vectors intact for the resumed step. *)
+      let loaded = List.rev_map Emalg.Scan.array_of_vec_io results in
+      List.iter Em.Vec.free results;
+      Done (Array.concat loaded)
+  | Selecting { parts = part :: rest; batch_idx; results } ->
+      let lo = batch_idx * m in
+      let hi = min kcount (lo + m) in
+      let offset = if batch_idx = 0 then 0 else ranks.(lo - 1) in
+      let batch = Array.init (hi - lo) (fun i -> ranks.(lo + i) - offset) in
+      let selected = Multi_select.select cmp part ~ranks:batch in
+      (* Spill the batch's results so the checkpoint holds only handles. *)
+      let rv = Emalg.Scan.vec_of_array_io ctx selected in
+      Em.Vec.free part;
+      Next (Selecting { parts = rest; batch_idx = batch_idx + 1; results = rv :: results })
+
+let select ?max_restarts cmp v ~ranks =
+  let ctx = Em.Vec.ctx v in
+  Emalg.Layout.require_min_geometry ctx;
+  check_ranks v ranks;
+  Emalg.Restart.drive ctx ?max_restarts ~init:Start ~words:state_words
+    ~step:(step cmp v ranks) ()

@@ -1,0 +1,75 @@
+(* A reliable single-slot checkpoint store.
+
+   Restartable drivers persist their progress here between steps.  The slot
+   models a fixed, reliable region of the disk (checkpoint area): saving and
+   loading are metered as real block I/Os — ceil(words/B) of them — charged
+   to the shared stats under dedicated phase labels, but the region is
+   outside the faulted device, so the injector never touches it and its
+   contents survive crashes.  Trace events for the region use negative block
+   ids, keeping it visibly disjoint from the data device's id space. *)
+
+type 's t = {
+  stats : Stats.t;
+  trace : Trace.t;
+  block : int;
+  mutable slot : 's option;
+  mutable slot_words : int;
+  mutable saves : int;
+  mutable loads : int;
+  mutable save_ios : int;
+  mutable load_ios : int;
+}
+
+let create ctx =
+  {
+    stats = ctx.Ctx.stats;
+    trace = ctx.Ctx.trace;
+    block = Ctx.block_size ctx;
+    slot = None;
+    slot_words = 0;
+    saves = 0;
+    loads = 0;
+    save_ios = 0;
+    load_ios = 0;
+  }
+
+let blocks_of_words t words = max 1 ((max 0 words + t.block - 1) / t.block)
+
+let charge t (op : Trace.op) ~label n =
+  let s = t.stats in
+  s.Stats.phase_stack <- label :: s.Stats.phase_stack;
+  for i = 0 to n - 1 do
+    (match op with
+    | Trace.Read -> s.Stats.reads <- s.Stats.reads + 1
+    | Trace.Write -> s.Stats.writes <- s.Stats.writes + 1);
+    Stats.record_phase_io s;
+    (* The checkpoint region lives at negative "addresses". *)
+    Trace.emit t.trace op ~block:(-1 - i) ~phase:s.Stats.phase_stack
+  done;
+  match s.Stats.phase_stack with
+  | _ :: rest -> s.Stats.phase_stack <- rest
+  | [] -> ()
+
+let save t ~words state =
+  let n = blocks_of_words t words in
+  charge t Trace.Write ~label:"checkpoint" n;
+  t.slot <- Some state;
+  t.slot_words <- words;
+  t.saves <- t.saves + 1;
+  t.save_ios <- t.save_ios + n
+
+let load t =
+  match t.slot with
+  | None -> None
+  | Some state ->
+      let n = blocks_of_words t t.slot_words in
+      charge t Trace.Read ~label:"resume" n;
+      t.loads <- t.loads + 1;
+      t.load_ios <- t.load_ios + n;
+      Some state
+
+let peek t = t.slot
+let saves t = t.saves
+let loads t = t.loads
+let save_ios t = t.save_ios
+let load_ios t = t.load_ios

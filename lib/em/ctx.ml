@@ -6,12 +6,17 @@ let create ?trace params =
   { params; stats; trace; dev = Device.create ~trace params stats }
 
 let linked ctx =
-  {
-    params = ctx.params;
-    stats = ctx.stats;
-    trace = ctx.trace;
-    dev = Device.create ~trace:ctx.trace ctx.params ctx.stats;
-  }
+  let dev = Device.create ~trace:ctx.trace ctx.params ctx.stats in
+  (* Auxiliary streams face the same disk: one fault plan sees the family's
+     interleaved I/O stream, and recovery counters aggregate across it. *)
+  (match Device.injector ctx.dev with None -> () | Some plan -> Device.inject dev plan);
+  (match Device.recovery ctx.dev with None -> () | Some r -> Device.arm ~share:r dev);
+  { params = ctx.params; stats = ctx.stats; trace = ctx.trace; dev }
+
+let inject ctx plan = Device.inject ctx.dev plan
+let clear_injector ctx = Device.clear_injector ctx.dev
+let arm ?policy ctx = Device.arm ?policy ctx.dev
+let fault_report ctx = Device.recovery ctx.dev
 
 let counted ctx cmp x y =
   ctx.stats.Stats.comparisons <- ctx.stats.Stats.comparisons + 1;

@@ -16,7 +16,22 @@ val linked : 'a t -> 'b t
 (** A context over a fresh device for elements of another type, sharing the
     parameters, I/O counters, tracer and memory ledger of the original
     machine.  Used for auxiliary streams (rank lists, tagged pairs): all
-    their I/Os and buffers are charged to the same meters. *)
+    their I/Os and buffers are charged to the same meters.  Fault injection
+    carries over — the linked device consults the {e same} {!Fault.plan}
+    (one schedule over the family's interleaved I/O stream) and, when the
+    original is armed, shares its recovery policy and counters. *)
+
+val inject : 'a t -> Fault.plan -> unit
+(** Install a fault plan on the machine's device; see {!Device.inject}. *)
+
+val clear_injector : 'a t -> unit
+
+val arm : ?policy:Device.recovery_policy -> 'a t -> unit
+(** Attach recovery state so {!Resilient} retries/verifies/remaps; see
+    {!Device.arm}. *)
+
+val fault_report : 'a t -> Device.recovery option
+(** The device's recovery state (shared counters for linked families). *)
 
 val counted : 'a t -> ('a -> 'a -> int) -> 'a -> 'a -> int
 (** [counted ctx cmp] behaves as [cmp] but increments the comparison

@@ -1,0 +1,45 @@
+(** Typed error surface of the EM machine.
+
+    Two families live here:
+
+    - {b Simulated failures} ({!t}, carried by {!Error}): what the machine
+      does to a computation — injected I/O faults, retry exhaustion,
+      checksum mismatches, crashes.  Algorithms run under fault injection
+      return these through {!protect} instead of escaping with a bare
+      exception, so callers can match on the failure mode.
+    - {b Programming errors} (the dedicated exceptions below): misuse of the
+      device or the memory ledger — addressing a block that does not exist,
+      double-freeing, overflowing a block, corrupting the ledger.  These
+      replace the former stringly-typed [Invalid_argument] failures so that
+      fault-handling code can distinguish "the simulated disk failed" from
+      "the algorithm is wrong". *)
+
+type t =
+  | Io_fault of { op : Fault.op; kind : Fault.kind; block : int }
+      (** A raw injected fault that nothing recovered (unarmed device). *)
+  | Read_failed of { block : int; attempts : int }
+      (** Retries exhausted, or the block is permanently unreadable. *)
+  | Write_failed of { block : int; attempts : int }
+  | Corrupt_block of { block : int; attempts : int }
+      (** Checksum verification kept failing: stored data is corrupt. *)
+  | Crashed of { after_ios : int }
+      (** The machine halted mid-run; only restartable drivers survive. *)
+
+exception Error of t
+
+(** Programming-error exceptions (device / ledger misuse). *)
+
+exception Bad_block_id of { op : string; id : int }
+exception Never_written of { id : int }
+exception Payload_overflow of { len : int; block : int }
+exception Double_free of { id : int }
+exception Negative_words of { op : string; n : int }
+exception Over_release of { releasing : int; in_use : int }
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val raise_error : t -> 'a
+
+val protect : (unit -> 'a) -> ('a, t) result
+(** [protect f] runs [f], catching {!Error} — the one blessed way to run an
+    algorithm under fault injection.  Programming errors still raise. *)

@@ -1,7 +1,7 @@
 exception Memory_exceeded of { requested : int; in_use : int; capacity : int }
 
 let charge p s n =
-  if n < 0 then invalid_arg "Mem.charge: negative word count";
+  if n < 0 then raise (Em_error.Negative_words { op = "charge"; n });
   let in_use = s.Stats.mem_in_use in
   let capacity = p.Params.mem in
   if in_use + n > capacity then
@@ -11,9 +11,9 @@ let charge p s n =
     s.Stats.mem_peak <- s.Stats.mem_in_use
 
 let release _p s n =
-  if n < 0 then invalid_arg "Mem.release: negative word count";
+  if n < 0 then raise (Em_error.Negative_words { op = "release"; n });
   if n > s.Stats.mem_in_use then
-    invalid_arg "Mem.release: releasing more memory than is in use";
+    raise (Em_error.Over_release { releasing = n; in_use = s.Stats.mem_in_use });
   s.Stats.mem_in_use <- s.Stats.mem_in_use - n
 
 let with_words p s n f =

@@ -13,7 +13,8 @@ val charge : Params.t -> Stats.t -> int -> unit
 
 val release : Params.t -> Stats.t -> int -> unit
 (** [release p s n] returns [n] words.
-    @raise Invalid_argument if more words are released than are in use. *)
+    @raise Em_error.Over_release if more words are released than are in use.
+    @raise Em_error.Negative_words on a negative count (as does {!charge}). *)
 
 val with_words : Params.t -> Stats.t -> int -> (unit -> 'a) -> 'a
 (** [with_words p s n f] charges [n] words around the call to [f], releasing

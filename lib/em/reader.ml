@@ -22,7 +22,7 @@ let load_block r =
   let b = Ctx.block_size ctx in
   let block_index = r.pos / b in
   let ids = Vec.block_ids r.vec in
-  r.buffer <- Device.read ctx.Ctx.dev ids.(block_index);
+  r.buffer <- Resilient.read ctx.Ctx.dev ids.(block_index);
   r.buffer_base <- block_index * b
 
 let ensure_loaded r =

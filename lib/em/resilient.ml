@@ -1,0 +1,80 @@
+(* Retry/verify/remap logic over [Device]'s raw metered attempts.  On an
+   unarmed device both operations are plain pass-throughs: raw faults escape
+   as [Em_error.Error (Io_fault _)].  On an armed device every failure mode
+   either recovers within the policy's attempt budget or surfaces as a typed
+   [Em_error.t] — nothing escapes half-handled.  Crashes are never caught
+   here: only a restart driver can survive them. *)
+
+let read d id =
+  match Device.recovery d with
+  | None -> Device.read d id
+  | Some r ->
+      let { Device.policy; counters; _ } = r in
+      let max_attempts = 1 + max 0 policy.Device.max_retries in
+      let rec go attempt =
+        match Device.read ~attempt d id with
+        | payload ->
+            if (not policy.Device.verify_reads) || Device.verify_payload d id payload
+            then begin
+              if attempt > 1 then counters.Device.recovered <- counters.Device.recovered + 1;
+              payload
+            end
+            else begin
+              counters.Device.checksum_failures <- counters.Device.checksum_failures + 1;
+              if attempt >= max_attempts then
+                Em_error.raise_error (Em_error.Corrupt_block { block = id; attempts = attempt })
+              else go (attempt + 1)
+            end
+        | exception Em_error.Error (Em_error.Io_fault { kind; _ }) ->
+            (* A sticky read fault means the data is gone: retries hit the
+               same bad platter, so fail fast instead of burning the attempt
+               budget on a foregone conclusion. *)
+            if Fault.is_permanent kind || attempt >= max_attempts then
+              Em_error.raise_error (Em_error.Read_failed { block = id; attempts = attempt })
+            else go (attempt + 1)
+      in
+      go 1
+
+let write d id payload =
+  match Device.recovery d with
+  | None -> Device.write d id payload
+  | Some r ->
+      let { Device.policy; counters; _ } = r in
+      let max_attempts = 1 + max 0 policy.Device.max_retries in
+      let verified_back attempt =
+        (* Read-back verification, metered as a read — flagged as a retry
+           only when it belongs to a recovery attempt.  The recorded checksum
+           is of the *intended* payload, so a torn or corrupted store fails
+           here even though the write itself "succeeded". *)
+        match Device.read ~attempt d id with
+        | stored -> Device.verify_payload d id stored
+        | exception Em_error.Error (Em_error.Io_fault _) -> false
+      in
+      let rec go attempt =
+        match Device.write ~attempt d id payload with
+        | () ->
+            if (not policy.Device.verify_writes) || verified_back attempt then begin
+              if attempt > 1 then counters.Device.recovered <- counters.Device.recovered + 1
+            end
+            else begin
+              counters.Device.checksum_failures <- counters.Device.checksum_failures + 1;
+              if attempt >= max_attempts then
+                Em_error.raise_error (Em_error.Corrupt_block { block = id; attempts = attempt })
+              else go (attempt + 1)
+            end
+        | exception Em_error.Error (Em_error.Io_fault { kind; _ }) ->
+            if attempt >= max_attempts then
+              Em_error.raise_error (Em_error.Write_failed { block = id; attempts = attempt })
+            else if Fault.is_permanent kind then
+              if policy.Device.remap_bad then begin
+                (* The slot is sticky-bad; retrying it is pointless.  Retire
+                   it, point the logical id at a healthy slot, and write
+                   there on the next attempt. *)
+                ignore (Device.quarantine_and_remap d id kind);
+                go (attempt + 1)
+              end
+              else
+                Em_error.raise_error (Em_error.Write_failed { block = id; attempts = attempt })
+            else go (attempt + 1)
+      in
+      go 1

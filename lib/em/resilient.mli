@@ -1,0 +1,29 @@
+(** Fault-recovering block access.
+
+    [Resilient.read]/[Resilient.write] are what {!Reader} and {!Writer} call
+    instead of the raw {!Device} operations.  On an {e unarmed} device they
+    are exact pass-throughs — zero behavioural or cost difference, which is
+    what keeps the fault-free golden costs byte-identical.  On an {e armed}
+    device ({!Device.arm}) they run the device's {!Device.recovery_policy}:
+
+    - {b retry}: a failed attempt is retried up to [max_retries] more times;
+      every attempt — first or retry — costs one metered I/O;
+    - {b verify-on-read}: with [verify_reads], each payload returned by the
+      device is checked against the block's recorded checksum; mismatches
+      (torn writes, bit corruption) trigger a metered re-read;
+    - {b verify-on-write}: with [verify_writes], each write is read back
+      (one metered recovery read) and checked, catching silent write
+      corruption at write time instead of at the next read;
+    - {b quarantine + remap}: with [remap_bad], a permanent write fault
+      retires the physical slot and redirects the logical block to a fresh
+      one, then rewrites.
+
+    When the attempt budget runs out the operation raises a typed
+    {!Em_error.Error}: [Read_failed] / [Write_failed] for persistent I/O
+    errors, [Corrupt_block] for data that keeps failing verification.
+    Permanent read faults fail fast — the data is gone and no retry can
+    bring it back.  [Crashed] is never caught here: only a restart driver
+    ({!Emalg.Restart}) can survive a crash. *)
+
+val read : 'a Device.t -> int -> 'a array
+val write : 'a Device.t -> int -> 'a array -> unit

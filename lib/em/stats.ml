@@ -2,6 +2,8 @@ type t = {
   mutable reads : int;
   mutable writes : int;
   mutable comparisons : int;
+  mutable faults : int;
+  mutable retries : int;
   mutable allocated_blocks : int;
   mutable freed_blocks : int;
   mutable mem_in_use : int;
@@ -15,6 +17,8 @@ let create () =
     reads = 0;
     writes = 0;
     comparisons = 0;
+    faults = 0;
+    retries = 0;
     allocated_blocks = 0;
     freed_blocks = 0;
     mem_in_use = 0;
@@ -27,12 +31,20 @@ let reset s =
   s.reads <- 0;
   s.writes <- 0;
   s.comparisons <- 0;
+  s.faults <- 0;
+  s.retries <- 0;
   s.allocated_blocks <- 0;
   s.freed_blocks <- 0;
   s.mem_in_use <- 0;
   s.mem_peak <- 0;
   s.phase_stack <- [];
   Hashtbl.reset s.phase_ios
+
+(* A crash wipes RAM: whatever the interrupted computation had charged to the
+   ledger is gone.  The high-water mark survives — it already happened. *)
+let wipe_memory s =
+  s.mem_in_use <- 0;
+  s.phase_stack <- []
 
 let current_phase s =
   match s.phase_stack with [] -> "(other)" | label :: _ -> label
@@ -48,30 +60,54 @@ let phase_report s =
 
 let ios s = s.reads + s.writes
 
-type snapshot = { at_reads : int; at_writes : int; at_comparisons : int }
+type snapshot = {
+  at_reads : int;
+  at_writes : int;
+  at_comparisons : int;
+  at_faults : int;
+  at_retries : int;
+}
 
 let snapshot s =
-  { at_reads = s.reads; at_writes = s.writes; at_comparisons = s.comparisons }
+  {
+    at_reads = s.reads;
+    at_writes = s.writes;
+    at_comparisons = s.comparisons;
+    at_faults = s.faults;
+    at_retries = s.retries;
+  }
 
 let ios_since s snap = s.reads + s.writes - snap.at_reads - snap.at_writes
 let comparisons_since s snap = s.comparisons - snap.at_comparisons
 
-type delta = { d_reads : int; d_writes : int; d_comparisons : int }
+type delta = {
+  d_reads : int;
+  d_writes : int;
+  d_comparisons : int;
+  d_faults : int;
+  d_retries : int;
+}
 
 let delta s snap =
   {
     d_reads = s.reads - snap.at_reads;
     d_writes = s.writes - snap.at_writes;
     d_comparisons = s.comparisons - snap.at_comparisons;
+    d_faults = s.faults - snap.at_faults;
+    d_retries = s.retries - snap.at_retries;
   }
 
 let delta_ios d = d.d_reads + d.d_writes
 
 let pp_delta ppf d =
   Format.fprintf ppf "{ reads = %d; writes = %d; ios = %d; comparisons = %d }" d.d_reads
-    d.d_writes (delta_ios d) d.d_comparisons
+    d.d_writes (delta_ios d) d.d_comparisons;
+  if d.d_faults > 0 || d.d_retries > 0 then
+    Format.fprintf ppf " [faults = %d; retries = %d]" d.d_faults d.d_retries
 
 let pp ppf s =
   Format.fprintf ppf
     "{ reads = %d; writes = %d; ios = %d; comparisons = %d; mem_peak = %d }"
-    s.reads s.writes (ios s) s.comparisons s.mem_peak
+    s.reads s.writes (ios s) s.comparisons s.mem_peak;
+  if s.faults > 0 || s.retries > 0 then
+    Format.fprintf ppf " [faults = %d; retries = %d]" s.faults s.retries

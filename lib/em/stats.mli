@@ -9,6 +9,8 @@ type t = {
   mutable reads : int;
   mutable writes : int;
   mutable comparisons : int;
+  mutable faults : int;  (** metered attempts on which a fault was injected *)
+  mutable retries : int;  (** recovery re-attempts charged by {!Resilient} *)
   mutable allocated_blocks : int;
   mutable freed_blocks : int;
   mutable mem_in_use : int;  (** words currently charged to memory *)
@@ -20,10 +22,21 @@ type t = {
 val create : unit -> t
 val reset : t -> unit
 
+val wipe_memory : t -> unit
+(** Simulate RAM loss on a crash: zero [mem_in_use] and clear the phase
+    stack, leaving I/O counters and [mem_peak] intact.  Called by restart
+    drivers before resuming from a checkpoint. *)
+
 val ios : t -> int
 (** [ios s] is [s.reads + s.writes], the total I/O cost. *)
 
-type snapshot = { at_reads : int; at_writes : int; at_comparisons : int }
+type snapshot = {
+  at_reads : int;
+  at_writes : int;
+  at_comparisons : int;
+  at_faults : int;
+  at_retries : int;
+}
 
 val snapshot : t -> snapshot
 
@@ -32,8 +45,16 @@ val ios_since : t -> snapshot -> int
 
 val comparisons_since : t -> snapshot -> int
 
-type delta = { d_reads : int; d_writes : int; d_comparisons : int }
-(** Cost of a bracketed computation, as reported by {!Ctx.measured}. *)
+type delta = {
+  d_reads : int;
+  d_writes : int;
+  d_comparisons : int;
+  d_faults : int;
+  d_retries : int;
+}
+(** Cost of a bracketed computation, as reported by {!Ctx.measured}.
+    [d_reads]/[d_writes] already include retry I/Os; [d_faults]/[d_retries]
+    break out how many of the attempts faulted or were re-attempts. *)
 
 val delta : t -> snapshot -> delta
 val delta_ios : delta -> int

@@ -1,9 +1,11 @@
 type op = Read | Write
 type locality = Sequential | Random
+type kind = Io | Retry | Faulted of Fault.kind
 
 type event = {
   seq : int;
   op : op;
+  kind : kind;
   block : int;
   phase : string list;
   locality : locality;
@@ -54,11 +56,16 @@ let counter pred =
 let op_name = function Read -> "read" | Write -> "write"
 let locality_name = function Sequential -> "sequential" | Random -> "random"
 
+let kind_name = function
+  | Io -> "io"
+  | Retry -> "retry"
+  | Faulted k -> "fault:" ^ Fault.kind_name k
+
 (* Phase labels are plain ASCII identifiers, for which OCaml's %S escaping
    coincides with JSON string escaping. *)
 let event_to_json e =
-  Printf.sprintf "{\"seq\":%d,\"op\":%S,\"block\":%d,\"phase\":[%s],\"locality\":%S}"
-    e.seq (op_name e.op) e.block
+  Printf.sprintf "{\"seq\":%d,\"op\":%S,\"kind\":%S,\"block\":%d,\"phase\":[%s],\"locality\":%S}"
+    e.seq (op_name e.op) (kind_name e.kind) e.block
     (String.concat "," (List.map (Printf.sprintf "%S") e.phase))
     (locality_name e.locality)
 
@@ -81,8 +88,8 @@ let classify t block =
   else if block = t.last_block || block = t.last_block + 1 then Sequential
   else Random
 
-let emit t op ~block ~phase =
-  let e = { seq = t.next_seq; op; block; phase; locality = classify t block } in
+let emit ?(kind = Io) t op ~block ~phase =
+  let e = { seq = t.next_seq; op; kind; block; phase; locality = classify t block } in
   t.next_seq <- t.next_seq + 1;
   t.last_block <- block;
   List.iter

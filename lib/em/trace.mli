@@ -16,9 +16,15 @@ type locality =
   | Sequential  (** same block as the previous I/O, or the next block id *)
   | Random  (** anything else: the disk head had to seek *)
 
+type kind =
+  | Io  (** an ordinary first-attempt I/O *)
+  | Retry  (** a recovery re-attempt charged by {!Resilient} *)
+  | Faulted of Fault.kind  (** an attempt on which a fault was injected *)
+
 type event = {
   seq : int;  (** 0-based sequence number of the I/O on this tracer *)
   op : op;
+  kind : kind;
   block : int;
   phase : string list;  (** phase path, innermost label first *)
   locality : locality;
@@ -50,9 +56,10 @@ val counter : (event -> bool) -> sink * (unit -> int)
 
 val add_sink : t -> sink -> unit
 
-val emit : t -> op -> block:int -> phase:string list -> unit
-(** Record one I/O (called by {!Device}).  The first event on a tracer is
-    classified {!Random} (the head must seek to the first block). *)
+val emit : ?kind:kind -> t -> op -> block:int -> phase:string list -> unit
+(** Record one I/O (called by {!Device}; [kind] defaults to {!Io}).  The
+    first event on a tracer is classified {!Random} (the head must seek to
+    the first block). *)
 
 val events : t -> event list
 (** Retained events of the first ring sink, oldest first. *)
@@ -69,4 +76,5 @@ val reset : t -> unit
 
 val op_name : op -> string
 val locality_name : locality -> string
+val kind_name : kind -> string
 val event_to_json : event -> string

@@ -1,6 +1,13 @@
-type counts = { reads : int; writes : int; sequential : int; random : int }
+type counts = {
+  reads : int;
+  writes : int;
+  sequential : int;
+  random : int;
+  faults : int;
+  retries : int;
+}
 
-let zero = { reads = 0; writes = 0; sequential = 0; random = 0 }
+let zero = { reads = 0; writes = 0; sequential = 0; random = 0; faults = 0; retries = 0 }
 
 let add c (e : Trace.event) =
   {
@@ -9,6 +16,8 @@ let add c (e : Trace.event) =
     sequential =
       (c.sequential + match e.locality with Trace.Sequential -> 1 | Trace.Random -> 0);
     random = (c.random + match e.locality with Trace.Random -> 1 | Trace.Sequential -> 0);
+    faults = (c.faults + match e.kind with Trace.Faulted _ -> 1 | Trace.Io | Trace.Retry -> 0);
+    retries = (c.retries + match e.kind with Trace.Retry -> 1 | Trace.Io | Trace.Faulted _ -> 0);
   }
 
 let merge a b =
@@ -17,6 +26,8 @@ let merge a b =
     writes = a.writes + b.writes;
     sequential = a.sequential + b.sequential;
     random = a.random + b.random;
+    faults = a.faults + b.faults;
+    retries = a.retries + b.retries;
   }
 
 let ios c = c.reads + c.writes
@@ -89,9 +100,13 @@ let random_seeks events =
       match e.locality with Trace.Random -> acc + 1 | Trace.Sequential -> acc)
     0 events
 
+let overhead c = c.faults + c.retries
+
 let pp_counts ppf c =
   Format.fprintf ppf "%d I/O (r %d / w %d; seq %d / rand %d)" (ios c) c.reads c.writes
-    c.sequential c.random
+    c.sequential c.random;
+  (* Fault overhead only when present, so fault-free reports stay stable. *)
+  if overhead c > 0 then Format.fprintf ppf " [faulted %d / retried %d]" c.faults c.retries
 
 let rec pp_node ppf ~depth node =
   let total = subtotal node in

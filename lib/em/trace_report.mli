@@ -5,11 +5,22 @@
     random-seek counts, and block-reuse histograms.  Works on any event list
     — typically one captured through {!Trace.collector}. *)
 
-type counts = { reads : int; writes : int; sequential : int; random : int }
+type counts = {
+  reads : int;
+  writes : int;
+  sequential : int;
+  random : int;
+  faults : int;  (** attempts on which a fault was injected *)
+  retries : int;  (** recovery re-attempts *)
+}
 
 val zero : counts
 val merge : counts -> counts -> counts
 val ios : counts -> int
+
+val overhead : counts -> int
+(** [faults + retries]: the extra I/Os a phase paid because of faults.  Zero
+    on a fault-free run. *)
 
 type node = {
   label : string;

@@ -23,7 +23,7 @@ let flush w =
           | None -> assert false)
     in
     let id = Device.alloc w.ctx.Ctx.dev in
-    Device.write w.ctx.Ctx.dev id payload;
+    Resilient.write w.ctx.Ctx.dev id payload;
     w.blocks <- id :: w.blocks;
     w.written <- w.written + w.fill;
     w.fill <- 0

@@ -17,19 +17,26 @@ let merge cmp vecs =
         let c = cmp x y in
         if c <> 0 then c else Int.compare i j
       in
-      Em.Ctx.with_words ctx (2 * nruns) (fun () ->
-          let heap = Heap.create ~cmp:heap_cmp ~capacity:nruns in
-          Array.iteri
-            (fun i r -> if Em.Reader.has_next r then Heap.push heap (Em.Reader.next r, i))
-            readers;
-          let out =
+      let run () =
+        Em.Ctx.with_words ctx (2 * nruns) (fun () ->
+            let heap = Heap.create ~cmp:heap_cmp ~capacity:nruns in
+            Array.iteri
+              (fun i r -> if Em.Reader.has_next r then Heap.push heap (Em.Reader.next r, i))
+              readers;
             Em.Writer.with_writer ctx (fun w ->
                 while not (Heap.is_empty heap) do
                   let e, i = Heap.pop heap in
                   Em.Writer.push w e;
                   if Em.Reader.has_next readers.(i) then
                     Heap.push heap (Em.Reader.next readers.(i), i)
-                done)
-          in
+                done))
+      in
+      (* [close] is idempotent, so closing on both paths is safe; without the
+         exception arm a failed I/O would leak every reader's buffer words. *)
+      (match run () with
+      | out ->
           Array.iter Em.Reader.close readers;
-          out)
+          out
+      | exception e ->
+          Array.iter Em.Reader.close readers;
+          raise e)

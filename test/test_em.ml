@@ -51,16 +51,45 @@ let test_device_free_recycles () =
   Tu.check_int "live count" 0 (Em.Device.live_blocks dev);
   let id2 = Em.Device.alloc dev in
   Tu.check_int "id recycled" id id2;
-  Alcotest.check_raises "freed block unreadable"
-    (Invalid_argument "Device.read: block was never written (or was freed)")
+  Alcotest.check_raises "freed block unreadable" (Em.Em_error.Never_written { id = id2 })
     (fun () -> ignore (Em.Device.read dev id2))
+
+let test_device_double_free () =
+  (* Regression: freeing an id twice used to push it onto the free list twice
+     and decrement [live] twice, so one block could later be handed out to
+     two different allocations.  Now the second free raises. *)
+  let ctx = Tu.ctx () in
+  let dev = ctx.Em.Ctx.dev in
+  let a = Em.Device.alloc dev in
+  let b = Em.Device.alloc dev in
+  Em.Device.free dev a;
+  Alcotest.check_raises "double free detected" (Em.Em_error.Double_free { id = a }) (fun () ->
+      Em.Device.free dev a);
+  Tu.check_int "live unaffected by failed free" 1 (Em.Device.live_blocks dev);
+  (* The free list must hold [a] exactly once: two allocations may not alias. *)
+  let c = Em.Device.alloc dev in
+  let d = Em.Device.alloc dev in
+  Tu.check_bool "no aliased allocation" false (c = d);
+  Em.Device.free dev b;
+  Em.Device.free dev c;
+  Em.Device.free dev d;
+  Tu.check_int "all freed" 0 (Em.Device.live_blocks dev)
+
+let test_device_bad_block_id () =
+  let ctx = Tu.ctx () in
+  let dev = ctx.Em.Ctx.dev in
+  Alcotest.check_raises "read unknown id" (Em.Em_error.Bad_block_id { op = "read"; id = 99 })
+    (fun () -> ignore (Em.Device.read dev 99));
+  Alcotest.check_raises "write unknown id" (Em.Em_error.Bad_block_id { op = "write"; id = 99 })
+    (fun () -> Em.Device.write dev 99 [| 1 |]);
+  Alcotest.check_raises "free unknown id" (Em.Em_error.Bad_block_id { op = "free"; id = -1 })
+    (fun () -> Em.Device.free dev (-1))
 
 let test_device_oversize_payload () =
   let ctx = Tu.ctx ~mem:64 ~block:8 () in
   let dev = ctx.Em.Ctx.dev in
   let id = Em.Device.alloc dev in
-  Alcotest.check_raises "payload too big"
-    (Invalid_argument "Device.write: payload exceeds block size")
+  Alcotest.check_raises "payload too big" (Em.Em_error.Payload_overflow { len = 9; block = 8 })
     (fun () -> Em.Device.write dev id (Array.make 9 0))
 
 let test_device_oracle_unmetered () =
@@ -114,6 +143,19 @@ let test_mem_ledger_overflow () =
       Tu.check_int "in_use" 60 in_use;
       Tu.check_int "capacity" 64 capacity);
   Em.Mem.release p s 60
+
+let test_mem_ledger_misuse () =
+  let p = Tu.params ~mem:64 ~block:8 () in
+  let s = Em.Stats.create () in
+  Em.Mem.charge p s 10;
+  Alcotest.check_raises "over-release" (Em.Em_error.Over_release { releasing = 11; in_use = 10 })
+    (fun () -> Em.Mem.release p s 11);
+  Alcotest.check_raises "negative charge" (Em.Em_error.Negative_words { op = "charge"; n = -3 })
+    (fun () -> Em.Mem.charge p s (-3));
+  Alcotest.check_raises "negative release"
+    (Em.Em_error.Negative_words { op = "release"; n = -1 }) (fun () -> Em.Mem.release p s (-1));
+  Tu.check_int "ledger untouched by rejected calls" 10 s.Em.Stats.mem_in_use;
+  Em.Mem.release p s 10
 
 let test_mem_with_words_releases_on_raise () =
   let p = Tu.params () in
@@ -247,12 +289,15 @@ let suite =
     Alcotest.test_case "device: roundtrip + counters" `Quick test_device_roundtrip;
     Alcotest.test_case "device: copy semantics" `Quick test_device_copy_semantics;
     Alcotest.test_case "device: free recycles ids" `Quick test_device_free_recycles;
+    Alcotest.test_case "device: double free detected" `Quick test_device_double_free;
+    Alcotest.test_case "device: bad block ids" `Quick test_device_bad_block_id;
     Alcotest.test_case "device: oversize payload" `Quick test_device_oversize_payload;
     Alcotest.test_case "device: Oracle is unmetered and untraced" `Quick
       test_device_oracle_unmetered;
     Alcotest.test_case "ctx: measured brackets costs" `Quick test_ctx_measured;
     Alcotest.test_case "mem: charge/release/peak" `Quick test_mem_ledger;
     Alcotest.test_case "mem: overflow raises" `Quick test_mem_ledger_overflow;
+    Alcotest.test_case "mem: typed misuse errors" `Quick test_mem_ledger_misuse;
     Alcotest.test_case "mem: with_words releases on raise" `Quick
       test_mem_with_words_releases_on_raise;
     Alcotest.test_case "vec: of_array is free" `Quick test_vec_of_array_costs_nothing;

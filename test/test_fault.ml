@@ -1,0 +1,110 @@
+(* Unit tests for the deterministic fault-plan DSL. *)
+
+let decide p ~op ~block = Em.Fault.decide p ~op ~block ~phase:[]
+
+(* Collect the 1-based I/O indices at which a plan fires over [n] identical
+   I/Os. *)
+let firing_indices plan ~op ~n =
+  let fired = ref [] in
+  for i = 1 to n do
+    match decide plan ~op ~block:0 with
+    | Some _ -> fired := i :: !fired
+    | None -> ()
+  done;
+  List.rev !fired
+
+let test_never () =
+  Tu.check_bool "never fires" true (firing_indices Em.Fault.never ~op:`Read ~n:100 = [])
+
+let test_every_nth () =
+  let plan = Em.Fault.every_nth ~n:3 Em.Fault.Transient_read in
+  Tu.check_bool "fires at 3,6,9" true
+    (firing_indices plan ~op:`Read ~n:10 = [ 3; 6; 9 ]);
+  (* The kind must apply to the operation: a read fault never hits writes,
+     but the plan still counts those I/Os. *)
+  let plan = Em.Fault.every_nth ~n:2 Em.Fault.Transient_read in
+  Tu.check_bool "write ops skipped" true (firing_indices plan ~op:`Write ~n:10 = []);
+  Tu.check_int "but still counted" 10 (Em.Fault.seen plan)
+
+let test_seeded_reproducible () =
+  let schedule seed =
+    firing_indices
+      (Em.Fault.seeded ~seed ~p:0.25 [ Em.Fault.Transient_read ])
+      ~op:`Read ~n:200
+  in
+  Tu.check_bool "same seed, same schedule" true (schedule 42 = schedule 42);
+  Tu.check_bool "some faults at p=0.25" true (List.length (schedule 42) > 10);
+  Tu.check_bool "different seeds differ" true (schedule 42 <> schedule 43)
+
+let test_seeded_extremes () =
+  let zero = Em.Fault.seeded ~seed:7 ~p:0.0 [ Em.Fault.Transient_read ] in
+  Tu.check_bool "p=0 never fires" true (firing_indices zero ~op:`Read ~n:100 = []);
+  let one = Em.Fault.seeded ~seed:7 ~p:1.0 [ Em.Fault.Transient_read ] in
+  Tu.check_int "p=1 always fires" 100 (List.length (firing_indices one ~op:`Read ~n:100))
+
+let test_on_blocks () =
+  let plan = Em.Fault.on_blocks [ 3; 5 ] Em.Fault.Transient_read in
+  Tu.check_bool "target block faults" true (decide plan ~op:`Read ~block:3 <> None);
+  Tu.check_bool "other block clean" true (decide plan ~op:`Read ~block:4 = None)
+
+let test_combinators () =
+  let base () = Em.Fault.seeded ~seed:1 ~p:1.0 [ Em.Fault.Bit_corruption ] in
+  let in_merge = Em.Fault.in_phase "merge" (base ()) in
+  Tu.check_bool "phase mismatch" true
+    (Em.Fault.decide in_merge ~op:`Read ~block:0 ~phase:[ "run-formation" ] = None);
+  Tu.check_bool "phase match (nested)" true
+    (Em.Fault.decide in_merge ~op:`Read ~block:0 ~phase:[ "leaf"; "merge" ] <> None);
+  let reads_only = Em.Fault.on_op `Read (base ()) in
+  Tu.check_bool "op mismatch" true (decide reads_only ~op:`Write ~block:0 = None);
+  Tu.check_bool "op match" true (decide reads_only ~op:`Read ~block:0 <> None);
+  let limited = Em.Fault.limit 2 (base ()) in
+  Tu.check_int "limit caps firings" 2
+    (List.length (firing_indices limited ~op:`Read ~n:50))
+
+let test_crash_after_ios () =
+  let plan = Em.Fault.crash_after_ios 5 in
+  Tu.check_bool "crashes exactly once, at io 5" true
+    (firing_indices plan ~op:`Write ~n:20 = [ 5 ])
+
+let test_crash_at () =
+  let plan = Em.Fault.crash_at [ 4; 9; 9; 2 ] in
+  Tu.check_bool "sorted, deduplicated schedule" true
+    (firing_indices plan ~op:`Read ~n:20 = [ 2; 4; 9 ])
+
+let test_any () =
+  let plan =
+    Em.Fault.any
+      [
+        Em.Fault.every_nth ~n:4 Em.Fault.Transient_read;
+        Em.Fault.every_nth ~n:6 Em.Fault.Transient_read;
+      ]
+  in
+  Tu.check_bool "union of schedules" true
+    (firing_indices plan ~op:`Read ~n:12 = [ 4; 6; 8; 12 ])
+
+let test_rng_determinism () =
+  let draw seed = Array.init 16 (fun _ -> Em.Fault.Rng.int (Em.Fault.Rng.create seed) 1000) in
+  let stream seed =
+    let r = Em.Fault.Rng.create seed in
+    Array.init 16 (fun _ -> Em.Fault.Rng.int r 1000)
+  in
+  Tu.check_int_array "stream reproducible" (stream 99) (stream 99);
+  ignore (draw 99);
+  Array.iter
+    (fun f -> Tu.check_bool "float01 in range" true (f >= 0.0 && f < 1.0))
+    (let r = Em.Fault.Rng.create 3 in
+     Array.init 64 (fun _ -> Em.Fault.Rng.float01 r))
+
+let suite =
+  [
+    Alcotest.test_case "never" `Quick test_never;
+    Alcotest.test_case "every_nth schedule" `Quick test_every_nth;
+    Alcotest.test_case "seeded reproducible" `Quick test_seeded_reproducible;
+    Alcotest.test_case "seeded extremes" `Quick test_seeded_extremes;
+    Alcotest.test_case "on_blocks" `Quick test_on_blocks;
+    Alcotest.test_case "combinators: phase/op/limit" `Quick test_combinators;
+    Alcotest.test_case "crash_after_ios" `Quick test_crash_after_ios;
+    Alcotest.test_case "crash_at" `Quick test_crash_at;
+    Alcotest.test_case "any" `Quick test_any;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+  ]

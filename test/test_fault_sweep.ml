@@ -1,0 +1,145 @@
+(* Fault-sweep property tests: >= 100 seeded fault schedules across external
+   sort, multi-selection and Theorem 5 splitters.  Every run must either
+   complete oracle-verified-correct or fail with a typed [Em_error]; memory
+   never exceeds M, including on recovery paths. *)
+
+(* Recoverable mix: every non-crash kind except Permanent_read (which
+   destroys data by design, so runs hitting it legitimately fail).  With
+   verify_writes on, a run that returns Ok has had every silent corruption
+   caught and repaired, so Ok implies the oracle check must pass. *)
+let recoverable =
+  [
+    Em.Fault.Transient_read;
+    Em.Fault.Transient_write;
+    Em.Fault.Torn_write;
+    Em.Fault.Bit_corruption;
+    Em.Fault.Permanent_write;
+  ]
+
+let hostile = Em.Fault.Permanent_read :: recoverable
+
+let sweep_policy = { Em.Device.default_policy with Em.Device.verify_writes = true }
+
+(* One run: fresh armed machine, seeded plan, protect-wrapped algorithm.
+   [run] gets the ctx and the on-disk input and must verify its own output,
+   failing the test on a mismatch.  Returns true when the run completed. *)
+let one_run ~what ~seed ~p ~kinds data run =
+  let ctx = Tu.ctx () in
+  Em.Ctx.arm ~policy:sweep_policy ctx;
+  let v = Tu.int_vec ctx data in
+  Em.Ctx.inject ctx (Em.Fault.seeded ~seed ~p kinds);
+  let outcome = Em.Em_error.protect (fun () -> run ctx v) in
+  Em.Ctx.clear_injector ctx;
+  Tu.check_bool
+    (Printf.sprintf "%s seed %d: mem_peak within M" what seed)
+    true
+    (ctx.Em.Ctx.stats.Em.Stats.mem_peak <= ctx.Em.Ctx.params.Em.Params.mem);
+  match outcome with
+  | Ok () -> true
+  | Error (_ : Em.Em_error.t) -> false
+  (* Any other exception escapes [protect] and fails the sweep: only typed
+     [Em_error]s are acceptable failures. *)
+
+let sort_run data ctx v =
+  let sorted = Emalg.External_sort.sort Tu.icmp v in
+  let out = Em.Vec.Oracle.to_array sorted in
+  Em.Vec.free sorted;
+  ignore ctx;
+  Tu.check_int_array "sort output oracle-correct" (Tu.sorted_copy data) out
+
+let select_ranks = Array.init 24 (fun i -> (i * 20) + 9)
+
+let select_run data ctx v =
+  ignore ctx;
+  let out = Core.Multi_select.select Tu.icmp v ~ranks:select_ranks in
+  Tu.check_ok "multi-select oracle-correct"
+    (Core.Verify.multi_select Tu.icmp ~input:data ~ranks:select_ranks out)
+
+let splitter_spec n = Core.Problem.even_spec ~n ~k:8
+
+let splitters_run data ctx v =
+  ignore ctx;
+  let sv = Core.Splitters.solve Tu.icmp v (splitter_spec (Array.length data)) in
+  let out = Em.Vec.Oracle.to_array sv in
+  Em.Vec.free sv;
+  Tu.check_ok "splitters oracle-correct"
+    (Core.Verify.splitters Tu.icmp ~input:data (splitter_spec (Array.length data)) out)
+
+let algos data =
+  [
+    ("external-sort", sort_run data);
+    ("multi-selection", select_run data);
+    ("splitters", splitters_run data)
+  ]
+
+(* 35 seeds x 3 algorithms = 105 recoverable-mix schedules, plus 5 x 3
+   hostile schedules below: > 100 distinct seeded schedules total. *)
+let test_sweep_recoverable () =
+  let data = Tu.random_ints ~seed:77 ~bound:1_000_000 500 in
+  let completed = ref 0 and total = ref 0 in
+  List.iter
+    (fun (what, run) ->
+      for seed = 0 to 34 do
+        incr total;
+        if one_run ~what ~seed ~p:0.01 ~kinds:recoverable data (fun ctx v -> run ctx v)
+        then incr completed
+      done)
+    (algos data);
+  (* At p = 1% per I/O with a 3-retry budget, the overwhelming majority of
+     runs must recover end-to-end; a collapse here means recovery is broken
+     even though each failure was typed. *)
+  Tu.check_bool
+    (Printf.sprintf "most runs recover (%d/%d)" !completed !total)
+    true
+    (!completed * 10 >= !total * 9)
+
+let test_sweep_hostile () =
+  (* Permanent read faults at a high rate: data loss is expected, but every
+     failure must still be a typed [Em_error] (protect re-raises anything
+     else) and the memory ledger must stay bounded. *)
+  let data = Tu.random_ints ~seed:78 ~bound:1_000_000 500 in
+  List.iter
+    (fun (what, run) ->
+      for seed = 100 to 104 do
+        ignore (one_run ~what ~seed ~p:0.05 ~kinds:hostile data (fun ctx v -> run ctx v))
+      done)
+    (algos data)
+
+let test_transient_overhead_bounded () =
+  (* Transient-only faults at p = 1/64 must keep total I/O within 2x the
+     fault-free cost of the same computation. *)
+  let data = Tu.random_ints ~seed:79 ~bound:1_000_000 600 in
+  let fault_free =
+    let ctx = Tu.ctx () in
+    Em.Ctx.arm ~policy:sweep_policy ctx;
+    let v = Tu.int_vec ctx data in
+    sort_run data ctx v;
+    Em.Stats.ios ctx.Em.Ctx.stats
+  in
+  List.iter
+    (fun seed ->
+      let ctx = Tu.ctx () in
+      Em.Ctx.arm ~policy:sweep_policy ctx;
+      let v = Tu.int_vec ctx data in
+      Em.Ctx.inject ctx
+        (Em.Fault.seeded ~seed ~p:(1.0 /. 64.0)
+           [ Em.Fault.Transient_read; Em.Fault.Transient_write ]);
+      (match Em.Em_error.protect (fun () -> sort_run data ctx v) with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "seed %d: transient-only run failed: %s" seed
+            (Em.Em_error.to_string e));
+      let total = Em.Stats.ios ctx.Em.Ctx.stats in
+      if total > 2 * fault_free then
+        Alcotest.failf "seed %d: %d ios > 2x fault-free %d" seed total fault_free)
+    [ 301; 302; 303; 304; 305; 306; 307; 308; 309; 310 ]
+
+let suite =
+  [
+    Alcotest.test_case "105 recoverable-mix schedules across 3 algorithms" `Slow
+      test_sweep_recoverable;
+    Alcotest.test_case "hostile schedules fail typed, memory bounded" `Quick
+      test_sweep_hostile;
+    Alcotest.test_case "transient-only p=1/64 within 2x fault-free I/O" `Quick
+      test_transient_overhead_bounded;
+  ]

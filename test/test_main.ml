@@ -27,4 +27,8 @@ let () =
       ("geometry", Test_geometry.suite);
       ("leaks", Test_leaks.suite);
       ("props", Test_props.suite);
+      ("fault", Test_fault.suite);
+      ("resilient", Test_resilient.suite);
+      ("restart", Test_restart.suite);
+      ("fault_sweep", Test_fault_sweep.suite);
     ]

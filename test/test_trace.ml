@@ -102,11 +102,11 @@ let test_jsonl_sink () =
   Sys.remove path;
   Alcotest.(check string)
     "first event json"
-    "{\"seq\":0,\"op\":\"read\",\"block\":5,\"phase\":[\"merge\",\"sort\"],\"locality\":\"random\"}"
+    "{\"seq\":0,\"op\":\"read\",\"kind\":\"io\",\"block\":5,\"phase\":[\"merge\",\"sort\"],\"locality\":\"random\"}"
     l1;
   Alcotest.(check string)
     "second event json"
-    "{\"seq\":1,\"op\":\"write\",\"block\":6,\"phase\":[],\"locality\":\"sequential\"}"
+    "{\"seq\":1,\"op\":\"write\",\"kind\":\"io\",\"block\":6,\"phase\":[],\"locality\":\"sequential\"}"
     l2
 
 let test_report_tree () =
