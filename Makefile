@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test fmt goldens bench faults clean
+.PHONY: all build test fmt goldens bench bench-json faults clean
 
 all: build
 
@@ -24,6 +24,14 @@ goldens:
 
 bench:
 	dune exec bench/main.exe
+
+# Bounded small-geometry sweep of every bench section; writes the
+# machine-readable BENCH_{table1,figures,ablations,timing}.json artifacts at
+# the repo root and fails if any Table-1 measured/predicted ratio exceeds the
+# blessed ceilings. CI runs this on every push.
+bench-json:
+	dune exec bench/main.exe -- --small --json \
+	  --check-ratios test/golden/ratios.expected
 
 # Fault-injection smoke: one recoverable run per algorithm family, plus a
 # crash-restart run.  Each exits non-zero on an unexpected failure (exit 2:

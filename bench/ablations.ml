@@ -1,17 +1,19 @@
 (* Ablations over the design choices DESIGN.md calls out: the sub-sampling
-   rate of the pivot recursion, and the machine geometry M/B. *)
+   rate of the pivot recursion, and the machine geometry M/B.  Measured
+   points feed the BENCH_ablations.json artifact. *)
 
 let icmp = Exp.icmp
 let seed = 77
 
 (* Sampling rate r trades sample size (cost) against pivot quality (gap). *)
 let sample_rate () =
-  let n = 1 lsl 18 and k = 16 in
+  let n = Exp.scaled (1 lsl 18) and k = 16 in
   let machine = Exp.default_machine in
   Exp.section
     (Printf.sprintf
        "Ablation RATE — Sample_splitters sub-sampling rate   [N=%d, k=%d, %s]" n k
        (Exp.machine_name machine));
+  let artifacts = ref [] in
   let rows =
     List.map
       (fun rate ->
@@ -38,6 +40,12 @@ let sample_rate () =
         let bound =
           Emalg.Sample_splitters.gap_bound ~rate (Exp.params machine) ~n ~k
         in
+        artifacts :=
+          Exp.artifact_row ~row:"sample_rate" ~label:(Printf.sprintf "rate=%d" rate)
+            ~machine ~n
+            ~extra_geometry:[ ("k", k); ("rate", rate) ]
+            m
+          :: !artifacts;
         [
           string_of_int rate;
           string_of_int m.Exp.ios;
@@ -52,12 +60,13 @@ let sample_rate () =
     rows;
   Printf.printf
     "  => higher rates scan less sample but loosen the buckets; rate 4 (the paper's\n";
-  Printf.printf "     median-of-5 flavour) is the default.\n"
+  Printf.printf "     median-of-5 flavour) is the default.\n";
+  List.rev !artifacts
 
 (* Extension: randomized reservoir pivots vs the paper's deterministic
    sampling recursion. *)
 let randomized () =
-  let n = 1 lsl 18 and k = 16 in
+  let n = Exp.scaled (1 lsl 18) and k = 16 in
   let machine = Exp.default_machine in
   Exp.section
     (Printf.sprintf
@@ -110,12 +119,21 @@ let randomized () =
   Printf.printf
     "  => the randomized extension pays exactly one scan; the paper's recursion pays\n";
   Printf.printf
-    "     ~1.3 scans but certifies its buckets deterministically (comparison model).\n"
+    "     ~1.3 scans but certifies its buckets deterministically (comparison model).\n";
+  [
+    Exp.artifact_row ~row:"pivots_deterministic" ~label:"deterministic" ~machine ~n
+      ~extra_geometry:[ ("k", k) ]
+      det;
+    Exp.artifact_row ~row:"pivots_randomized" ~label:"randomized" ~machine ~n
+      ~extra_geometry:[ ("k", k) ]
+      rand;
+  ]
 
 (* The lg_{M/B} factors in every bound: sweep the fanout M/B. *)
 let geometry () =
-  let n = 1 lsl 18 in
+  let n = Exp.scaled (1 lsl 18) in
   Exp.section (Printf.sprintf "Ablation GEOM — machine fanout M/B   [N=%d, B=64]" n);
+  let artifacts = ref [] in
   let rows =
     List.map
       (fun mem ->
@@ -135,6 +153,16 @@ let geometry () =
           Exp.measure ~machine ~seed ~n (fun _ctx v ->
               Em.Vec.free (Emalg.External_sort.sort icmp v))
         in
+        let lbl = Printf.sprintf "M/B=%d" (mem / 64) in
+        artifacts :=
+          Exp.artifact_row ~row:"geometry_sort" ~label:lbl ~machine ~n sort
+          :: Exp.artifact_row ~row:"geometry_left_partitioning" ~label:lbl ~machine ~n
+               ~extra_geometry:[ ("k", 64); ("a", 0); ("b", n / 16) ]
+               lp
+          :: Exp.artifact_row ~row:"geometry_multi_select" ~label:lbl ~machine ~n
+               ~extra_geometry:[ ("k", k) ]
+               ms
+          :: !artifacts;
         [
           Printf.sprintf "%d" (mem / 64);
           string_of_int ms.Exp.ios;
@@ -146,17 +174,19 @@ let geometry () =
   Exp.table
     ~header:[ "M/B"; "multi-select I/O"; "left partitioning I/O"; "sort I/O" ]
     rows;
-  Printf.printf "  => larger fanout flattens every lg_{M/B} factor, as Table 1 predicts.\n"
+  Printf.printf "  => larger fanout flattens every lg_{M/B} factor, as Table 1 predicts.\n";
+  List.rev !artifacts
 
 (* Workload robustness: the same algorithm across all generators, including
    the lower-bound adversary layout. *)
 let workloads () =
-  let n = 1 lsl 17 in
+  let n = Exp.scaled (1 lsl 17) in
   let machine = Exp.default_machine in
   Exp.section
     (Printf.sprintf "Ablation WORKLOAD — input layouts   [N=%d, %s]" n
        (Exp.machine_name machine));
   let spec = { Core.Problem.n; k = 32; a = n / 64; b = n / 8 } in
+  let artifacts = ref [] in
   let rows =
     List.map
       (fun kind ->
@@ -168,16 +198,29 @@ let workloads () =
               Exp.expect_ok "splitters"
                 (Core.Verify.splitters icmp ~input spec (Em.Vec.Oracle.to_array out)))
         in
+        artifacts :=
+          Exp.artifact_row ~row:"workloads" ~label:(Core.Workload.kind_name kind)
+            ~machine ~n
+            ~extra_geometry:
+              [
+                ("k", spec.Core.Problem.k);
+                ("a", spec.Core.Problem.a);
+                ("b", spec.Core.Problem.b);
+              ]
+            m
+          :: !artifacts;
         [ Core.Workload.kind_name kind; string_of_int m.Exp.ios; string_of_int m.Exp.comparisons ])
       Core.Workload.all_kinds
   in
   Exp.table ~header:[ "workload"; "two-sided splitters I/O"; "comparisons" ] rows;
-  Printf.printf "  => costs are layout-insensitive, as comparison-based bounds demand.\n"
+  Printf.printf "  => costs are layout-insensitive, as comparison-based bounds demand.\n";
+  List.rev !artifacts
 
 (* Where do the I/Os go?  Per-phase attribution for three representative
-   algorithms (the Em.Phase labels inside the library). *)
+   algorithms (the Em.Phase labels inside the library; keys are full
+   phase paths now that attribution is path-keyed). *)
 let phases () =
-  let n = 1 lsl 18 in
+  let n = Exp.scaled (1 lsl 18) in
   let machine = Exp.default_machine in
   Exp.section
     (Printf.sprintf "Ablation PHASES — per-phase I/O breakdown   [N=%d, %s]" n
@@ -190,7 +233,7 @@ let phases () =
     Printf.printf "  %s (total %d I/Os):\n" label total;
     List.iter
       (fun (phase, ios) ->
-        Printf.printf "    %-16s %7d  (%4.1f%%)\n" phase ios
+        Printf.printf "    %-28s %7d  (%4.1f%%)\n" phase ios
           (100. *. float_of_int ios /. float_of_int total))
       (Em.Phase.report ctx)
   in
@@ -202,14 +245,18 @@ let phases () =
         (Core.Multi_partition.partition_sizes icmp v ~sizes:(Array.make 64 (n / 64))));
   show "two-sided splitters" (fun _ctx v ->
       Em.Vec.free
-        (Core.Splitters.two_sided icmp v { Core.Problem.n; k = 64; a = 512; b = n / 8 }));
+        (Core.Splitters.two_sided icmp v
+           { Core.Problem.n; k = 64; a = max 1 (n / 512); b = n / 8 }));
   show "external sort" (fun _ctx v -> Em.Vec.free (Emalg.External_sort.sort icmp v));
   Printf.printf
     "  => '(other)' is tagging and stream glue; the named phases are the library's passes.\n"
 
 let all () =
-  sample_rate ();
-  randomized ();
-  geometry ();
-  workloads ();
-  phases ()
+  (* Explicit lets keep the sections printing in order (list elements
+     evaluate right-to-left). *)
+  let a1 = sample_rate () in
+  let a2 = randomized () in
+  let a3 = geometry () in
+  let a4 = workloads () in
+  phases ();
+  Exp.write_artifact ~bench:"ablations" (List.concat [ a1; a2; a3; a4 ])

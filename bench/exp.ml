@@ -13,6 +13,19 @@ let machine_name m = Printf.sprintf "M=%d B=%d (M/B=%d)" m.mem m.block (m.mem / 
 
 let params m = Em.Params.create ~mem:m.mem ~block:m.block
 
+(* Run modes, set by bench/main.ml's flags.  [--small] shrinks every input
+   size 16x (the CI sweep); [--json] makes each section write its
+   machine-readable BENCH_<section>.json artifact at the repo root. *)
+let small_mode = ref false
+let json_mode = ref false
+
+let scaled n = if !small_mode then max 4096 (n lsr 4) else n
+
+(* Every section publishes its measurements into this shared registry
+   (Table 1 rows via Core.Bound_track gauges); `em_repro metrics` exposes
+   the same machinery for single runs. *)
+let registry = Em.Metrics.create ~namespace:"bench" ()
+
 type measurement = {
   ios : int;
   reads : int;
@@ -20,6 +33,7 @@ type measurement = {
   comparisons : int;
   peak_mem : int;
   random_ios : int;  (* I/Os the tracer classified as seeks *)
+  wall_ns : int;  (* host wall-clock around the measured computation *)
 }
 
 (* Run [f] on a fresh machine loaded with a workload; measure only [f].
@@ -33,7 +47,9 @@ let measure ?(machine = default_machine) ?(kind = Core.Workload.Pi_hard) ~seed ~
   Em.Trace.add_sink trace seeks;
   let ctx : int Em.Ctx.t = Em.Ctx.create ~trace (params machine) in
   let v = Core.Workload.vec ctx kind ~seed ~n in
+  let t0 = Unix.gettimeofday () in
   let (), d = Em.Ctx.measured ctx (fun () -> f ctx v) in
+  let wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
   {
     ios = Em.Stats.delta_ios d;
     reads = d.Em.Stats.d_reads;
@@ -41,6 +57,7 @@ let measure ?(machine = default_machine) ?(kind = Core.Workload.Pi_hard) ~seed ~
     comparisons = d.Em.Stats.d_comparisons;
     peak_mem = ctx.Em.Ctx.stats.Em.Stats.mem_peak;
     random_ios = read_seeks ();
+    wall_ns;
   }
 
 let icmp = Int.compare
@@ -92,3 +109,121 @@ let verdict ~what ~spread ~limit =
 let expect_ok what = function
   | Ok () -> ()
   | Error msg -> failwith (Printf.sprintf "verification failed (%s): %s" what msg)
+
+(* ---- machine-readable artifacts ---- *)
+
+(* Minimal JSON value builder: enough for the BENCH_*.json schema, with
+   deterministic field order (rows keep insertion order). *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float x =
+  if Float.is_nan x then "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.12g" x
+
+let rec json_to_buf buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float x -> Buffer.add_string buf (json_float x)
+  | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (json_escape s);
+      Buffer.add_char buf '"'
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          json_to_buf buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (json_escape k);
+          Buffer.add_string buf "\":";
+          json_to_buf buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let json_to_string j =
+  let buf = Buffer.create 4096 in
+  json_to_buf buf j;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* One artifact row in the stable BENCH_*.json schema.  [row] is the
+   machine key (e.g. a Table 1 row name), [label] the human-readable
+   sweep-point description. *)
+let artifact_row ~row ~label ~machine ~n ?(extra_geometry = []) ?(predicted = nan)
+    (m : measurement) =
+  Obj
+    [
+      ("row", Str row);
+      ("label", Str label);
+      ( "geometry",
+        Obj
+          ([ ("n", Int n); ("mem", Int machine.mem); ("block", Int machine.block) ]
+          @ List.map (fun (k, v) -> (k, Int v)) extra_geometry) );
+      ( "measured",
+        Obj
+          [
+            ("ios", Int m.ios);
+            ("reads", Int m.reads);
+            ("writes", Int m.writes);
+            ("comparisons", Int m.comparisons);
+            ("mem_peak", Int m.peak_mem);
+          ] );
+      ("predicted", Float predicted);
+      ( "ratio",
+        Float (if Float.is_nan predicted then nan else float_of_int m.ios /. predicted) );
+      ("seeks", Int m.random_ios);
+      ("wall_ns", Int m.wall_ns);
+    ]
+
+(* Write BENCH_<bench>.json at the repo root (the bench binary runs from
+   the project root via `make bench*`; dune exec keeps cwd).  Only in
+   [--json] mode. *)
+let write_artifact ~bench rows =
+  if !json_mode then begin
+    let doc =
+      Obj
+        [
+          ("bench", Str bench);
+          ("schema", Int 1);
+          ("small", Bool !small_mode);
+          ("rows", List rows);
+        ]
+    in
+    let path = Printf.sprintf "BENCH_%s.json" bench in
+    let oc = open_out path in
+    output_string oc (json_to_string doc);
+    close_out oc;
+    Printf.printf "  [json] wrote %s (%d rows)\n%!" path (List.length rows)
+  end

@@ -1,79 +1,112 @@
 (* Derived figures: the behaviours the paper's theory implies but never plots
    (it has no empirical section).  Each figure prints a series and a
-   one-line interpretation. *)
+   one-line interpretation, and contributes its measured points to the
+   BENCH_figures.json artifact. *)
 
 let icmp = Exp.icmp
 let seed = 23
+
+(* Points without a matching Table 1 formula publish predicted = null. *)
+let point ~fig ~label ~machine ~n ?extra_geometry ?predicted m =
+  Exp.artifact_row ~row:fig ~label ~machine ~n ?extra_geometry ?predicted m
 
 (* F-SUB — the headline observation after Theorem 1: right-grounded
    splitters cost o(N/B) when aK is small: the algorithm does not even read
    most of the input. *)
 let sublinear () =
-  let n = 1 lsl 20 and k = 16 in
+  let n = Exp.scaled (1 lsl 20) and k = 16 in
   let machine = Exp.default_machine in
+  let p = Exp.params machine in
   Exp.section
     (Printf.sprintf
        "Figure SUB — sublinear right-grounded splitters   [N=%d, K=%d, %s]" n k
        (Exp.machine_name machine));
   let one_scan = n / machine.Exp.block in
+  let artifacts = ref [] in
   let rows =
-    List.map
+    List.filter_map
       (fun a ->
         let spec = { Core.Problem.n; k; a; b = n } in
-        let m =
-          Exp.measure ~machine ~seed ~n (fun _ctx v ->
-              let out = Core.Splitters.right_grounded icmp v spec in
-              let input = Em.Vec.Oracle.to_array v in
-              Exp.expect_ok "splitters"
-                (Core.Verify.splitters icmp ~input spec (Em.Vec.Oracle.to_array out)))
-        in
-        [
-          Printf.sprintf "a=%d" a;
-          string_of_int m.Exp.ios;
-          Printf.sprintf "%.4f" (float_of_int m.Exp.ios /. float_of_int one_scan);
-        ])
+        if Result.is_error (Core.Problem.validate spec) then None
+        else begin
+          let m =
+            Exp.measure ~machine ~seed ~n (fun _ctx v ->
+                let out = Core.Splitters.right_grounded icmp v spec in
+                let input = Em.Vec.Oracle.to_array v in
+                Exp.expect_ok "splitters"
+                  (Core.Verify.splitters icmp ~input spec (Em.Vec.Oracle.to_array out)))
+          in
+          artifacts :=
+            point ~fig:"sublinear" ~label:(Printf.sprintf "a=%d" a) ~machine ~n
+              ~extra_geometry:[ ("k", k); ("a", a); ("b", n) ]
+              ~predicted:(Core.Bounds.splitters_right_upper p spec)
+              m
+            :: !artifacts;
+          Some
+            [
+              Printf.sprintf "a=%d" a;
+              string_of_int m.Exp.ios;
+              Printf.sprintf "%.4f" (float_of_int m.Exp.ios /. float_of_int one_scan);
+            ]
+        end)
       [ 2; 8; 64; 512; 4_096; 16_384; n / k ]
   in
   Exp.table ~header:[ "a"; "measured I/O"; "fraction of one scan" ] rows;
   Printf.printf
     "  => one full scan of the input is %d I/Os; small a stays far below it.\n"
-    one_scan
+    one_scan;
+  List.rev !artifacts
 
 (* F-SEP — Section 1.3: multi-selection (Theorem 4) is never more expensive
    than multi-partition at the same K, and the bounds separate at small K
    (lg(K/B) vs lg(K)). *)
 let separation () =
-  let n = 1 lsl 18 in
+  let n = Exp.scaled (1 lsl 18) in
   let machine = Exp.default_machine in
   let p = Exp.params machine in
   Exp.section
     (Printf.sprintf
        "Figure SEP — multi-selection vs multi-partition   [N=%d, %s]" n
        (Exp.machine_name machine));
+  let artifacts = ref [] in
   let rows =
-    List.map
+    List.filter_map
       (fun k ->
-        let ranks = Array.init k (fun i -> (i + 1) * (n / k)) in
-        let ms =
-          Exp.measure ~machine ~seed ~n (fun _ctx v ->
-              let results = Core.Multi_select.select icmp v ~ranks in
-              let input = Em.Vec.Oracle.to_array v in
-              Exp.expect_ok "multi-select"
-                (Core.Verify.multi_select icmp ~input ~ranks results))
-        in
-        let mp =
-          Exp.measure ~machine ~seed ~n (fun _ctx v ->
-              let sizes = Array.make k (n / k) in
-              let parts = Core.Multi_partition.partition_sizes icmp v ~sizes in
-              Array.iter Em.Vec.free parts)
-        in
-        [
-          string_of_int k;
-          string_of_int ms.Exp.ios;
-          Exp.fmt_f (Core.Bounds.multi_select p ~n ~k);
-          string_of_int mp.Exp.ios;
-          Exp.fmt_f (Core.Bounds.multi_partition p ~n ~k);
-        ])
+        if k > n then None
+        else begin
+          let ranks = Array.init k (fun i -> (i + 1) * (n / k)) in
+          let ms =
+            Exp.measure ~machine ~seed ~n (fun _ctx v ->
+                let results = Core.Multi_select.select icmp v ~ranks in
+                let input = Em.Vec.Oracle.to_array v in
+                Exp.expect_ok "multi-select"
+                  (Core.Verify.multi_select icmp ~input ~ranks results))
+          in
+          let mp =
+            Exp.measure ~machine ~seed ~n (fun _ctx v ->
+                let sizes = Array.make k (n / k) in
+                let parts = Core.Multi_partition.partition_sizes icmp v ~sizes in
+                Array.iter Em.Vec.free parts)
+          in
+          artifacts :=
+            point ~fig:"separation_multi_partition" ~label:(Printf.sprintf "K=%d" k)
+              ~machine ~n ~extra_geometry:[ ("k", k) ]
+              ~predicted:(Core.Bounds.multi_partition p ~n ~k)
+              mp
+            :: point ~fig:"separation_multi_select" ~label:(Printf.sprintf "K=%d" k)
+                 ~machine ~n ~extra_geometry:[ ("k", k) ]
+                 ~predicted:(Core.Bounds.multi_select p ~n ~k)
+                 ms
+            :: !artifacts;
+          Some
+            [
+              string_of_int k;
+              string_of_int ms.Exp.ios;
+              Exp.fmt_f (Core.Bounds.multi_select p ~n ~k);
+              string_of_int mp.Exp.ios;
+              Exp.fmt_f (Core.Bounds.multi_partition p ~n ~k);
+            ]
+        end)
       [ 4; 16; 64; 256; 1_024; 4_096 ]
   in
   Exp.table
@@ -85,18 +118,20 @@ let separation () =
   Printf.printf
     "     Measured costs carry the base case's constants (see EXPERIMENTS.md):\n";
   Printf.printf
-    "     the separation is asymptotic, not a constant-factor win at this scale.\n"
+    "     the separation is asymptotic, not a constant-factor win at this scale.\n";
+  List.rev !artifacts
 
 (* F-APPROX — the introduction's motivation: accepting slack [a, b] around
    the perfectly balanced N/K makes both problems cheaper. *)
 let slack () =
-  let n = 1 lsl 18 and k = 64 in
+  let n = Exp.scaled (1 lsl 18) and k = 64 in
   let machine = Exp.default_machine in
   Exp.section
     (Printf.sprintf
        "Figure APPROX — price of balance: slack sweep   [N=%d, K=%d, %s]" n k
        (Exp.machine_name machine));
   let even = n / k in
+  let artifacts = ref [] in
   let rows =
     List.map
       (fun s ->
@@ -116,6 +151,13 @@ let slack () =
               Exp.expect_ok "partitioning"
                 (Core.Verify.partitioning icmp ~input spec (Array.map Em.Vec.Oracle.to_array parts)))
         in
+        let geom = [ ("k", k); ("a", a); ("b", b) ] in
+        artifacts :=
+          point ~fig:"slack_partitioning" ~label:(Printf.sprintf "%dx" s) ~machine ~n
+            ~extra_geometry:geom par
+          :: point ~fig:"slack_splitters" ~label:(Printf.sprintf "%dx" s) ~machine ~n
+               ~extra_geometry:geom spl
+          :: !artifacts;
         [
           Printf.sprintf "%dx" s;
           Printf.sprintf "[%d, %d]" a b;
@@ -128,7 +170,8 @@ let slack () =
   Printf.printf
     "  => large slack collapses the cost (the paper's motivation); moderate slack\n";
   Printf.printf
-    "     keeps the even-quantile shortcut, so the curve is a step, not a slope.\n"
+    "     keeps the even-quantile shortcut, so the curve is a step, not a slope.\n";
+  List.rev !artifacts
 
 (* F-SCALE — cost per scan across input sizes: the optimal algorithms stay
    (near-)flat while the sort baseline grows with lg_{M/B}(N/B). *)
@@ -138,6 +181,11 @@ let scaling () =
     (Printf.sprintf "Figure SCALE — scans used vs input size   [%s]"
        (Exp.machine_name machine));
   let per_scan n ios = float_of_int ios /. (float_of_int n /. float_of_int machine.Exp.block) in
+  let sizes =
+    List.sort_uniq Int.compare
+      (List.map Exp.scaled [ 1 lsl 14; 1 lsl 16; 1 lsl 18; 1 lsl 20 ])
+  in
+  let artifacts = ref [] in
   let rows =
     List.map
       (fun n ->
@@ -156,13 +204,23 @@ let scaling () =
           Exp.measure ~machine ~seed ~n (fun _ctx v ->
               Em.Vec.free (Emalg.External_sort.sort icmp v))
         in
+        let lbl = Printf.sprintf "N=%d" n in
+        artifacts :=
+          point ~fig:"scaling_sort" ~label:lbl ~machine ~n sort
+          :: point ~fig:"scaling_left_splitters" ~label:lbl ~machine ~n
+               ~extra_geometry:[ ("k", 16); ("a", 0); ("b", n / 4) ]
+               ls
+          :: point ~fig:"scaling_multi_select" ~label:lbl ~machine ~n
+               ~extra_geometry:[ ("k", k) ]
+               ms
+          :: !artifacts;
         [
           string_of_int n;
           Exp.fmt_ratio (per_scan n ms.Exp.ios);
           Exp.fmt_ratio (per_scan n ls.Exp.ios);
           Exp.fmt_ratio (per_scan n sort.Exp.ios);
         ])
-      [ 1 lsl 14; 1 lsl 16; 1 lsl 18; 1 lsl 20 ]
+      sizes
   in
   Exp.table
     ~header:
@@ -175,19 +233,21 @@ let scaling () =
   Printf.printf
     "     residual growth is the Θ(M)-splitter substitute's distribution depth\n";
   Printf.printf
-    "     (linear only for N = O(M^2); DESIGN.md section 2).\n"
+    "     (linear only for N = O(M^2); DESIGN.md section 2).\n";
+  List.rev !artifacts
 
 (* F-INTER — Lemma 6: intermixed selection is linear in |D|, independent of
    the number of groups L. *)
 let intermixed () =
   let machine = Exp.default_machine in
-  let total = 1 lsl 17 in
+  let total = Exp.scaled (1 lsl 17) in
   Exp.section
     (Printf.sprintf "Figure INTER — intermixed selection: L independence   [|D|=%d, %s]"
        total (Exp.machine_name machine));
   let ctx_probe : int Em.Ctx.t = Em.Ctx.create (Exp.params machine) in
   let lmax = Core.Intermixed.max_groups ctx_probe in
   let rng = Core.Workload.Rng.create 99 in
+  let artifacts = ref [] in
   let rows =
     List.filter_map
       (fun l ->
@@ -201,13 +261,36 @@ let intermixed () =
           let counts = Array.make l 0 in
           Array.iter (fun (_, g) -> counts.(g) <- counts.(g) + 1) pairs;
           let targets = Array.map (fun c -> (c + 1) / 2) counts in
-          let ctx : int Em.Ctx.t = Em.Ctx.create (Exp.params machine) in
+          let trace = Em.Trace.create () in
+          let seek_sink, seeks =
+            Em.Trace.counter (fun e -> e.Em.Trace.locality = Em.Trace.Random)
+          in
+          Em.Trace.add_sink trace seek_sink;
+          let ctx : int Em.Ctx.t = Em.Ctx.create ~trace (Exp.params machine) in
           let pctx : (int * int) Em.Ctx.t = Em.Ctx.linked ctx in
           let d = Em.Vec.of_array pctx pairs in
+          let t0 = Unix.gettimeofday () in
           let (), cost =
             Em.Ctx.measured ctx (fun () -> ignore (Core.Intermixed.select icmp d ~targets))
           in
+          let wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
           let ios = Em.Stats.delta_ios cost in
+          let m =
+            {
+              Exp.ios;
+              reads = cost.Em.Stats.d_reads;
+              writes = cost.Em.Stats.d_writes;
+              comparisons = cost.Em.Stats.d_comparisons;
+              peak_mem = ctx.Em.Ctx.stats.Em.Stats.mem_peak;
+              random_ios = seeks ();
+              wall_ns;
+            }
+          in
+          artifacts :=
+            point ~fig:"intermixed" ~label:(Printf.sprintf "L=%d" l) ~machine ~n:total
+              ~extra_geometry:[ ("groups", l) ]
+              m
+            :: !artifacts;
           Some
             [
               string_of_int l;
@@ -220,17 +303,20 @@ let intermixed () =
       [ 1; 2; 4; 8; 16; lmax ]
   in
   Exp.table ~header:[ "L (groups)"; "measured I/O"; "scans of D" ] rows;
-  Printf.printf "  => cost is O(|D|/B) regardless of how many selection threads run.\n"
+  Printf.printf "  => cost is O(|D|/B) regardless of how many selection threads run.\n";
+  List.rev !artifacts
 
 (* F-MP-GAP — Section 1.2: before Theorem 4, the best multi-selection upper
    bound went through multi-partition; the new algorithm closes the gap. *)
 let old_vs_new () =
-  let n = 1 lsl 18 in
+  let n = Exp.scaled (1 lsl 18) in
   let machine = Exp.default_machine in
+  let p = Exp.params machine in
   Exp.section
     (Printf.sprintf
        "Figure GAP — multi-selection: Theorem 4 vs the old multi-partition route   [N=%d, %s]"
        n (Exp.machine_name machine));
+  let artifacts = ref [] in
   let rows =
     List.map
       (fun k ->
@@ -260,6 +346,15 @@ let old_vs_new () =
                 parts;
               Em.Vec.free bounds)
         in
+        artifacts :=
+          point ~fig:"gap_via_multi_partition" ~label:(Printf.sprintf "K=%d" k)
+            ~machine ~n ~extra_geometry:[ ("k", k) ]
+            old_way
+          :: point ~fig:"gap_theorem4" ~label:(Printf.sprintf "K=%d" k) ~machine ~n
+               ~extra_geometry:[ ("k", k) ]
+               ~predicted:(Core.Bounds.multi_select p ~n ~k)
+               new_way
+          :: !artifacts;
         [
           string_of_int k;
           string_of_int new_way.Exp.ios;
@@ -276,44 +371,60 @@ let old_vs_new () =
   Printf.printf
     "     advantage is the lg(K/B)-vs-lg(K) factor in the bounds, which dominates\n";
   Printf.printf
-    "     only once multi-partition needs deeper recursion (K >> M/B).\n"
+    "     only once multi-partition needs deeper recursion (K >> M/B).\n";
+  List.rev !artifacts
 
 (* F-FLOOR — the lower-bound proofs, executed: the unconditional counting
    floors of Sections 2/3 sit below the measured cost of our algorithms,
    which sit below a constant times the Table 1 upper-bound formulas. *)
 let floors () =
-  let n = 1 lsl 18 in
+  let n = Exp.scaled (1 lsl 18) in
   let machine = Exp.default_machine in
   let p = Exp.params machine in
   Exp.section
     (Printf.sprintf
        "Figure FLOOR — counting floors vs measured vs bound formulas   [N=%d, %s]" n
        (Exp.machine_name machine));
+  let artifacts = ref [] in
   let rows =
-    List.map
+    List.filter_map
       (fun (label, spec, solve) ->
-        let m =
-          Exp.measure ~machine ~seed ~n (fun _ctx v -> (solve v spec : unit))
-        in
-        let floor, lb, ub =
-          match Core.Problem.classify spec with
-          | Core.Problem.Right_grounded ->
-              ( Core.Counting.splitters_right_floor p spec,
-                Core.Bounds.splitters_right_lower p spec,
-                Core.Bounds.splitters_right_upper p spec )
-          | Core.Problem.Left_grounded | Core.Problem.Two_sided
-          | Core.Problem.Unconstrained ->
-              ( Core.Counting.splitters_left_floor p spec,
-                Core.Bounds.splitters_left_lower p spec,
-                Core.Bounds.splitters_left_upper p spec )
-        in
-        [
-          label;
-          Exp.fmt_f floor;
-          Exp.fmt_f lb;
-          string_of_int m.Exp.ios;
-          Exp.fmt_f ub;
-        ])
+        if Result.is_error (Core.Problem.validate spec) then None
+        else begin
+          let m =
+            Exp.measure ~machine ~seed ~n (fun _ctx v -> (solve v spec : unit))
+          in
+          let floor, lb, ub =
+            match Core.Problem.classify spec with
+            | Core.Problem.Right_grounded ->
+                ( Core.Counting.splitters_right_floor p spec,
+                  Core.Bounds.splitters_right_lower p spec,
+                  Core.Bounds.splitters_right_upper p spec )
+            | Core.Problem.Left_grounded | Core.Problem.Two_sided
+            | Core.Problem.Unconstrained ->
+                ( Core.Counting.splitters_left_floor p spec,
+                  Core.Bounds.splitters_left_lower p spec,
+                  Core.Bounds.splitters_left_upper p spec )
+          in
+          artifacts :=
+            point ~fig:"floors" ~label ~machine ~n
+              ~extra_geometry:
+                [
+                  ("k", spec.Core.Problem.k);
+                  ("a", spec.Core.Problem.a);
+                  ("b", spec.Core.Problem.b);
+                ]
+              ~predicted:ub m
+            :: !artifacts;
+          Some
+            [
+              label;
+              Exp.fmt_f floor;
+              Exp.fmt_f lb;
+              string_of_int m.Exp.ios;
+              Exp.fmt_f ub;
+            ]
+        end)
       [
         ( "right a=64 K=256",
           { Core.Problem.n; k = 256; a = 64; b = n },
@@ -346,18 +457,25 @@ let floors () =
     (Core.Bounds.multi_partition p ~n ~k);
   Printf.printf
     "  => every measured cost sits above the unconditional floor and below a\n";
-  Printf.printf "     constant times the bound formula: the sandwich of Table 1, executed.\n"
+  Printf.printf "     constant times the bound formula: the sandwich of Table 1, executed.\n";
+  List.rev
+    (point ~fig:"floors_precise_partition" ~label:(Printf.sprintf "K=%d" k) ~machine ~n
+       ~extra_geometry:[ ("k", k) ]
+       ~predicted:(Core.Bounds.multi_partition p ~n ~k)
+       mp
+    :: !artifacts)
 
 (* F-RED — the Section 3 reduction measured in the harness: precise
    partitioning = approximate partitioning + O(N/B), the identity behind
    Theorem 3's lower-bound transfer. *)
 let reduction () =
-  let n = 1 lsl 18 in
+  let n = Exp.scaled (1 lsl 18) in
   let machine = Exp.default_machine in
   Exp.section
     (Printf.sprintf
        "Figure RED — Section 3 reduction: precise = approximate + O(N/B)   [N=%d, %s]" n
        (Exp.machine_name machine));
+  let artifacts = ref [] in
   let rows =
     List.map
       (fun chunk ->
@@ -374,6 +492,14 @@ let reduction () =
                    { Core.Problem.n; k; a = 0; b = chunk }))
         in
         let post = reduction.Exp.ios - approx.Exp.ios in
+        artifacts :=
+          point ~fig:"reduction_approximate" ~label:(Printf.sprintf "chunk=%d" chunk)
+            ~machine ~n ~extra_geometry:[ ("chunk", chunk) ]
+            approx
+          :: point ~fig:"reduction_precise" ~label:(Printf.sprintf "chunk=%d" chunk)
+               ~machine ~n ~extra_geometry:[ ("chunk", chunk) ]
+               reduction
+          :: !artifacts;
         [
           string_of_int chunk;
           string_of_int approx.Exp.ios;
@@ -391,14 +517,19 @@ let reduction () =
     "  => the post-pass stays a bounded number of scans regardless of chunk size,\n";
   Printf.printf
     "     so any approximate-partitioning speedup would transfer to the precise\n";
-  Printf.printf "     problem — which is how Theorem 3 rules such a speedup out.\n"
+  Printf.printf "     problem — which is how Theorem 3 rules such a speedup out.\n";
+  List.rev !artifacts
 
 let all () =
-  sublinear ();
-  separation ();
-  slack ();
-  scaling ();
-  intermixed ();
-  old_vs_new ();
-  floors ();
-  reduction ()
+  (* Explicit lets keep the figures printing in order (list elements
+     evaluate right-to-left). *)
+  let f1 = sublinear () in
+  let f2 = separation () in
+  let f3 = slack () in
+  let f4 = scaling () in
+  let f5 = intermixed () in
+  let f6 = old_vs_new () in
+  let f7 = floors () in
+  let f8 = reduction () in
+  Exp.write_artifact ~bench:"figures"
+    (List.concat [ f1; f2; f3; f4; f5; f6; f7; f8 ])

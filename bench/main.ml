@@ -1,32 +1,118 @@
 (* Benchmark harness entry point: regenerates every row of the paper's
    Table 1, the derived figures, the design ablations, and a wall-clock
    suite.  `dune exec bench/main.exe` runs everything; pass section names
-   (table1 / figures / ablations / timing) to run a subset. *)
+   (table1 / figures / ablations / timing) to run a subset.
+
+   Flags:
+     --small              16x-smaller inputs (the bounded CI sweep)
+     --json               write BENCH_<section>.json artifacts at the repo root
+     --check-ratios FILE  after table1, fail (exit 1) if any row's worst
+                          measured/predicted ratio exceeds its blessed
+                          ceiling in FILE (lines: "<row_name> <ceiling>") *)
 
 let sections =
   [
     ("table1", fun () -> Table1.all ());
-    ("figures", fun () -> Figures.all ());
-    ("ablations", fun () -> Ablations.all ());
-    ("timing", fun () -> Timing.all ());
+    ("figures", fun () -> Figures.all (); []);
+    ("ablations", fun () -> Ablations.all (); []);
+    ("timing", fun () -> Timing.all (); []);
   ]
 
+(* ratios.expected: one "<row_name> <ceiling>" pair per line; '#' comments. *)
+let read_ceilings file =
+  let ic = open_in file in
+  let rec go acc =
+    match input_line ic with
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    | line -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go acc
+        else
+          match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+          | [ row; ceiling ] -> go ((row, float_of_string ceiling) :: acc)
+          | _ -> failwith (Printf.sprintf "%s: malformed line %S" file line))
+  in
+  go []
+
+let check_ratios file ratios =
+  let ceilings = read_ceilings file in
+  Printf.printf "\nRatio gate (%s)\n" file;
+  let failures =
+    List.filter
+      (fun (row, worst) ->
+        let ceiling = List.assoc_opt row ceilings in
+        let ok =
+          match ceiling with
+          | None -> false
+          | Some c -> Float.is_finite worst && worst <= c
+        in
+        Printf.printf "  %-24s worst ratio %8.3f  ceiling %s  %s\n" row worst
+          (match ceiling with Some c -> Printf.sprintf "%8.3f" c | None -> "(missing)")
+          (if ok then "ok" else "FAIL");
+        not ok)
+      ratios
+  in
+  (match
+     List.filter (fun (row, _) -> not (List.mem_assoc row ratios)) ceilings
+   with
+  | [] -> ()
+  | missing ->
+      List.iter
+        (fun (row, _) -> Printf.printf "  %-24s not measured in this run\n" row)
+        missing);
+  if failures <> [] then begin
+    Printf.eprintf "ratio gate FAILED for: %s\n"
+      (String.concat ", " (List.map fst failures));
+    exit 1
+  end;
+  Printf.printf "  => all ratios within blessed ceilings.\n"
+
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let ceilings_file = ref None in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--small" :: rest ->
+        Exp.small_mode := true;
+        parse acc rest
+    | "--json" :: rest ->
+        Exp.json_mode := true;
+        parse acc rest
+    | "--check-ratios" :: file :: rest ->
+        ceilings_file := Some file;
+        parse acc rest
+    | "--check-ratios" :: [] ->
+        Printf.eprintf "--check-ratios needs a file argument\n";
+        exit 1
+    | name :: rest -> parse (name :: acc) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst sections
+    match parse [] args with [] -> List.map fst sections | names -> names
   in
   Printf.printf
     "Reproduction harness: \"Finding Approximate Partitions and Splitters in External Memory\" (SPAA 2014)\n";
   Printf.printf
     "Metric: exact simulated I/O counts; every output is oracle-verified before being reported.\n";
-  List.iter
-    (fun name ->
-      match List.assoc_opt name sections with
-      | Some run -> run ()
-      | None ->
-          Printf.eprintf "unknown section %S (available: %s)\n" name
-            (String.concat ", " (List.map fst sections));
-          exit 1)
-    requested
+  if !Exp.small_mode then
+    Printf.printf "Mode: --small (inputs scaled down 16x for the bounded sweep)\n";
+  let ratios =
+    List.concat_map
+      (fun name ->
+        match List.assoc_opt name sections with
+        | Some run -> run ()
+        | None ->
+            Printf.eprintf "unknown section %S (available: %s)\n" name
+              (String.concat ", " (List.map fst sections));
+            exit 1)
+      requested
+  in
+  match !ceilings_file with
+  | None -> ()
+  | Some file ->
+      if ratios = [] then begin
+        Printf.eprintf "--check-ratios requires the table1 section to run\n";
+        exit 1
+      end;
+      check_ratios file ratios

@@ -1,6 +1,9 @@
 (* Table 1 of the paper, row by row: measured I/Os of each algorithm against
    the matching bound formula, across a parameter sweep, with the sort-based
-   baseline alongside. *)
+   baseline alongside.  Every sweep point is published into the shared
+   metrics registry through [Core.Bound_track] and collected into the
+   BENCH_table1.json artifact; [all] returns the per-row worst ratio so the
+   driver can gate on blessed ceilings. *)
 
 let icmp = Exp.icmp
 
@@ -29,18 +32,39 @@ let run_baseline_partitioning spec ~machine ~kind =
   Exp.measure ~machine ~kind ~seed ~n:spec.Core.Problem.n (fun _ctx v ->
       ignore (Core.Baseline.partitioning icmp v spec))
 
-(* Generic sweep runner: one row per spec. *)
-let sweep ~what ~bound ~solve ~baseline ~machine ~kind specs =
+(* Drop sweep points whose spec is invalid at the current (possibly
+   [--small]-scaled) input size instead of crashing the whole sweep. *)
+let valid_specs specs =
+  List.filter (fun (_, spec) -> Result.is_ok (Core.Problem.validate spec)) specs
+
+(* Generic sweep runner: one printed row and one artifact row per spec.
+   Returns the artifact rows and the worst measured/bound ratio. *)
+let sweep ~row ~what ~solve ~baseline ~machine ~kind specs =
   let p = Exp.params machine in
+  let row_name = Core.Bound_track.name row in
   let ratios = ref [] in
+  let artifacts = ref [] in
   let rows =
     List.map
       (fun (label, spec) ->
         let ours = (solve spec ~machine ~kind : Exp.measurement) in
         let base = (baseline spec ~machine ~kind : Exp.measurement) in
-        let b = bound p spec in
-        let ratio = float_of_int ours.Exp.ios /. b in
+        let b = Core.Bound_track.predicted row p spec in
+        let ratio =
+          Core.Bound_track.publish_values Exp.registry p row spec
+            ~measured_ios:ours.Exp.ios
+        in
         ratios := ratio :: !ratios;
+        artifacts :=
+          Exp.artifact_row ~row:row_name ~label ~machine ~n:spec.Core.Problem.n
+            ~extra_geometry:
+              [
+                ("k", spec.Core.Problem.k);
+                ("a", spec.Core.Problem.a);
+                ("b", spec.Core.Problem.b);
+              ]
+            ~predicted:b ours
+          :: !artifacts;
         [
           label;
           string_of_int ours.Exp.ios;
@@ -54,38 +78,42 @@ let sweep ~what ~bound ~solve ~baseline ~machine ~kind specs =
   Exp.table
     ~header:[ what; "measured I/O"; "rand seeks"; "bound"; "ratio"; "sort baseline" ]
     rows;
-  Exp.verdict ~what ~spread:(Exp.ratio_spread !ratios) ~limit:6.
+  Exp.verdict ~what ~spread:(Exp.ratio_spread !ratios) ~limit:6.;
+  let worst = List.fold_left Float.max neg_infinity !ratios in
+  (List.rev !artifacts, (row_name, worst))
 
 let row_splitters_right ~machine ~kind =
-  let n = n_default and k = 16 in
+  let n = Exp.scaled n_default and k = 16 in
   Exp.section
     (Printf.sprintf
        "Table 1 / row 1 — right-grounded K-splitters: Θ((1 + aK/B) lg_{M/B}(K/B))   [N=%d, K=%d, %s, %s]"
        n k (Exp.machine_name machine) (Core.Workload.kind_name kind));
   let specs =
-    List.map
-      (fun a -> (Printf.sprintf "a=%d" a, { Core.Problem.n; k; a; b = n }))
-      [ 2; 16; 128; 1_024; 8_192; n / k ]
+    valid_specs
+      (List.map
+         (fun a -> (Printf.sprintf "a=%d" a, { Core.Problem.n; k; a; b = n }))
+         (List.sort_uniq Int.compare [ 2; 16; 128; 1_024; 8_192; n / k ]))
   in
-  sweep ~what:"a" ~bound:Core.Bounds.splitters_right_upper ~solve:run_splitters
+  sweep ~row:Core.Bound_track.Splitters_right ~what:"a" ~solve:run_splitters
     ~baseline:run_baseline_splitters ~machine ~kind specs
 
 let row_splitters_left ~machine ~kind =
-  let n = n_default and k = 64 in
+  let n = Exp.scaled n_default and k = 64 in
   Exp.section
     (Printf.sprintf
        "Table 1 / row 2 — left-grounded K-splitters: Θ((N/B) lg_{M/B}(N/(bB)))   [N=%d, K=%d, %s, %s]"
        n k (Exp.machine_name machine) (Core.Workload.kind_name kind));
   let specs =
-    List.map
-      (fun b -> (Printf.sprintf "b=%d" b, { Core.Problem.n; k; a = 0; b }))
-      [ n / k; n / 16; n / 8; n / 4; n / 2 ]
+    valid_specs
+      (List.map
+         (fun b -> (Printf.sprintf "b=%d" b, { Core.Problem.n; k; a = 0; b }))
+         [ n / k; n / 16; n / 8; n / 4; n / 2 ])
   in
-  sweep ~what:"b" ~bound:Core.Bounds.splitters_left_upper ~solve:run_splitters
+  sweep ~row:Core.Bound_track.Splitters_left ~what:"b" ~solve:run_splitters
     ~baseline:run_baseline_splitters ~machine ~kind specs
 
 let row_splitters_two_sided ~machine ~kind =
-  let n = n_default and k = 64 in
+  let n = Exp.scaled n_default and k = 64 in
   Exp.section
     (Printf.sprintf
        "Table 1 / row 3 — two-sided K-splitters: O((aK/B) lg_{M/B}(K/B) + (N/B) lg_{M/B}(N/(bB)))   [N=%d, K=%d, %s, %s]"
@@ -102,39 +130,41 @@ let row_splitters_two_sided ~machine ~kind =
           [ n / 32; n / 8; n / 2 ])
       [ 2; 256; 4_096 ]
   in
-  sweep ~what:"(a, b)" ~bound:Core.Bounds.splitters_two_sided_upper ~solve:run_splitters
+  sweep ~row:Core.Bound_track.Splitters_two_sided ~what:"(a, b)" ~solve:run_splitters
     ~baseline:run_baseline_splitters ~machine ~kind specs
 
 let row_partition_right ~machine ~kind =
-  let n = n_default and k = 16 in
+  let n = Exp.scaled n_default and k = 16 in
   Exp.section
     (Printf.sprintf
        "Table 1 / row 4 — right-grounded K-partitioning: O(N/B + (aK/B) lg_{M/B} min(K, aK/B))   [N=%d, K=%d, %s, %s]"
        n k (Exp.machine_name machine) (Core.Workload.kind_name kind));
   let specs =
-    List.map
-      (fun a -> (Printf.sprintf "a=%d" a, { Core.Problem.n; k; a; b = n }))
-      [ 2; 16; 128; 1_024; 8_192; n / k ]
+    valid_specs
+      (List.map
+         (fun a -> (Printf.sprintf "a=%d" a, { Core.Problem.n; k; a; b = n }))
+         (List.sort_uniq Int.compare [ 2; 16; 128; 1_024; 8_192; n / k ]))
   in
-  sweep ~what:"a" ~bound:Core.Bounds.partition_right_upper ~solve:run_partitioning
+  sweep ~row:Core.Bound_track.Partition_right ~what:"a" ~solve:run_partitioning
     ~baseline:run_baseline_partitioning ~machine ~kind specs
 
 let row_partition_left ~machine ~kind =
-  let n = n_default and k = 64 in
+  let n = Exp.scaled n_default and k = 64 in
   Exp.section
     (Printf.sprintf
        "Table 1 / row 5 — left-grounded K-partitioning: Θ((N/B) lg_{M/B} min(N/b, N/B))   [N=%d, K=%d, %s, %s]"
        n k (Exp.machine_name machine) (Core.Workload.kind_name kind));
   let specs =
-    List.map
-      (fun b -> (Printf.sprintf "b=%d" b, { Core.Problem.n; k; a = 0; b }))
-      [ n / k; n / 16; n / 8; n / 4; n / 2 ]
+    valid_specs
+      (List.map
+         (fun b -> (Printf.sprintf "b=%d" b, { Core.Problem.n; k; a = 0; b }))
+         [ n / k; n / 16; n / 8; n / 4; n / 2 ])
   in
-  sweep ~what:"b" ~bound:Core.Bounds.partition_left_upper ~solve:run_partitioning
+  sweep ~row:Core.Bound_track.Partition_left ~what:"b" ~solve:run_partitioning
     ~baseline:run_baseline_partitioning ~machine ~kind specs
 
 let row_partition_two_sided ~machine ~kind =
-  let n = n_default and k = 64 in
+  let n = Exp.scaled n_default and k = 64 in
   Exp.section
     (Printf.sprintf
        "Table 1 / row 6 — two-sided K-partitioning: O((aK/B) lg_{M/B} min(K, aK/B) + (N/B) lg_{M/B} min(N/b, N/B))   [N=%d, K=%d, %s, %s]"
@@ -151,13 +181,20 @@ let row_partition_two_sided ~machine ~kind =
           [ n / 32; n / 8; n / 2 ])
       [ 2; 256; 4_096 ]
   in
-  sweep ~what:"(a, b)" ~bound:Core.Bounds.partition_two_sided_upper ~solve:run_partitioning
+  sweep ~row:Core.Bound_track.Partition_two_sided ~what:"(a, b)" ~solve:run_partitioning
     ~baseline:run_baseline_partitioning ~machine ~kind specs
 
+(* Runs all six rows; returns (row_name, worst ratio) per row for the
+   ceiling gate in main.ml. *)
 let all ?(machine = Exp.default_machine) ?(kind = Core.Workload.Pi_hard) () =
-  row_splitters_right ~machine ~kind;
-  row_splitters_left ~machine ~kind;
-  row_splitters_two_sided ~machine ~kind;
-  row_partition_right ~machine ~kind;
-  row_partition_left ~machine ~kind;
-  row_partition_two_sided ~machine ~kind
+  (* Explicit lets: list elements would otherwise evaluate right-to-left,
+     printing the rows in reverse. *)
+  let r1 = row_splitters_right ~machine ~kind in
+  let r2 = row_splitters_left ~machine ~kind in
+  let r3 = row_splitters_two_sided ~machine ~kind in
+  let r4 = row_partition_right ~machine ~kind in
+  let r5 = row_partition_left ~machine ~kind in
+  let r6 = row_partition_two_sided ~machine ~kind in
+  let results = [ r1; r2; r3; r4; r5; r6 ] in
+  Exp.write_artifact ~bench:"table1" (List.concat_map fst results);
+  List.map snd results

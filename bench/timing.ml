@@ -1,90 +1,71 @@
 (* Wall-clock micro-benchmarks (Bechamel): one Test per core algorithm.
    The primary metric of the reproduction is the simulated I/O count (see
    Table1 / Figures); this section reports host CPU time per run as a
-   sanity check that the simulator itself is fast. *)
+   sanity check that the simulator itself is fast.
+
+   Tests are built inside [all] so the input size respects [Exp.scaled]
+   (run modes are parsed after module initialisation). *)
 
 open Bechamel
 open Toolkit
 
 let icmp = Exp.icmp
-let n = 1 lsl 14
 let machine = Exp.default_machine
 let seed = 5
 
-let fresh_input () =
-  let ctx : int Em.Ctx.t = Em.Ctx.create (Exp.params machine) in
-  Core.Workload.vec ctx Core.Workload.Random_perm ~seed ~n
-
-let test_sort =
-  Test.make ~name:"external-sort"
-    (Staged.stage (fun () ->
-         let v = fresh_input () in
-         Em.Vec.free (Emalg.External_sort.sort icmp v)))
-
-let test_em_select =
-  Test.make ~name:"em-select (median)"
-    (Staged.stage (fun () ->
-         let v = fresh_input () in
-         ignore (Emalg.Em_select.select icmp v ~rank:(n / 2))))
-
-let test_mem_splitters =
-  Test.make ~name:"memory-splitters"
-    (Staged.stage (fun () ->
-         let v = fresh_input () in
-         ignore (Quantile.Mem_splitters.memory_splitters icmp v)))
-
-let test_multi_select =
-  let ranks = Array.init 8 (fun i -> (i + 1) * (n / 8)) in
-  Test.make ~name:"multi-select (K=8)"
-    (Staged.stage (fun () ->
-         let v = fresh_input () in
-         ignore (Core.Multi_select.select icmp v ~ranks)))
-
-let test_multi_partition =
-  let sizes = Array.make 16 (n / 16) in
-  Test.make ~name:"multi-partition (K=16)"
-    (Staged.stage (fun () ->
-         let v = fresh_input () in
-         Array.iter Em.Vec.free (Core.Multi_partition.partition_sizes icmp v ~sizes)))
-
-let test_splitters =
+let make_tests ~n =
+  let fresh_input () =
+    let ctx : int Em.Ctx.t = Em.Ctx.create (Exp.params machine) in
+    Core.Workload.vec ctx Core.Workload.Random_perm ~seed ~n
+  in
   let spec = { Core.Problem.n; k = 16; a = n / 64; b = n / 4 } in
-  Test.make ~name:"two-sided splitters"
-    (Staged.stage (fun () ->
-         let v = fresh_input () in
-         Em.Vec.free (Core.Splitters.solve icmp v spec)))
-
-let test_partitioning =
-  let spec = { Core.Problem.n; k = 16; a = n / 64; b = n / 4 } in
-  Test.make ~name:"two-sided partitioning"
-    (Staged.stage (fun () ->
-         let v = fresh_input () in
-         Array.iter Em.Vec.free (Core.Partitioning.solve icmp v spec)))
+  [
+    Test.make ~name:"external-sort"
+      (Staged.stage (fun () ->
+           let v = fresh_input () in
+           Em.Vec.free (Emalg.External_sort.sort icmp v)));
+    Test.make ~name:"em-select (median)"
+      (Staged.stage (fun () ->
+           let v = fresh_input () in
+           ignore (Emalg.Em_select.select icmp v ~rank:(n / 2))));
+    Test.make ~name:"memory-splitters"
+      (Staged.stage (fun () ->
+           let v = fresh_input () in
+           ignore (Quantile.Mem_splitters.memory_splitters icmp v)));
+    (let ranks = Array.init 8 (fun i -> (i + 1) * (n / 8)) in
+     Test.make ~name:"multi-select (K=8)"
+       (Staged.stage (fun () ->
+            let v = fresh_input () in
+            ignore (Core.Multi_select.select icmp v ~ranks))));
+    (let sizes = Array.make 16 (n / 16) in
+     Test.make ~name:"multi-partition (K=16)"
+       (Staged.stage (fun () ->
+            let v = fresh_input () in
+            Array.iter Em.Vec.free (Core.Multi_partition.partition_sizes icmp v ~sizes))));
+    Test.make ~name:"two-sided splitters"
+      (Staged.stage (fun () ->
+           let v = fresh_input () in
+           Em.Vec.free (Core.Splitters.solve icmp v spec)));
+    Test.make ~name:"two-sided partitioning"
+      (Staged.stage (fun () ->
+           let v = fresh_input () in
+           Array.iter Em.Vec.free (Core.Partitioning.solve icmp v spec)));
+  ]
 
 let all () =
+  let n = Exp.scaled (1 lsl 14) in
   Exp.section
     (Printf.sprintf
        "Timing — host wall-clock per run (Bechamel, simulated N=%d, %s)" n
        (Exp.machine_name machine));
-  let tests =
-    Test.make_grouped ~name:"repro"
-      [
-        test_sort;
-        test_em_select;
-        test_mem_splitters;
-        test_multi_select;
-        test_multi_partition;
-        test_splitters;
-        test_partitioning;
-      ]
-  in
+  let tests = Test.make_grouped ~name:"repro" (make_tests ~n) in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
+  let estimates =
     Hashtbl.fold
       (fun name ols acc ->
         let time_ns =
@@ -95,7 +76,29 @@ let all () =
         (name, time_ns) :: acc)
       results []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-    |> List.map (fun (name, t) ->
-           [ name; Printf.sprintf "%.3f ms/run" (t /. 1e6) ])
   in
-  Exp.table ~header:[ "benchmark"; "monotonic clock" ] rows
+  Exp.table ~header:[ "benchmark"; "monotonic clock" ]
+    (List.map (fun (name, t) -> [ name; Printf.sprintf "%.3f ms/run" (t /. 1e6) ]) estimates);
+  (* Timing rows carry only the wall-clock estimate: no simulated I/O is
+     measured here, so the cost fields are null in the shared schema. *)
+  Exp.write_artifact ~bench:"timing"
+    (List.map
+       (fun (name, t) ->
+         Exp.Obj
+           [
+             ("row", Exp.Str "timing");
+             ("label", Exp.Str name);
+             ( "geometry",
+               Exp.Obj
+                 [
+                   ("n", Exp.Int n);
+                   ("mem", Exp.Int machine.Exp.mem);
+                   ("block", Exp.Int machine.Exp.block);
+                 ] );
+             ("measured", Exp.Null);
+             ("predicted", Exp.Null);
+             ("ratio", Exp.Null);
+             ("seeks", Exp.Null);
+             ("wall_ns", Exp.Int (int_of_float t));
+           ])
+       estimates)

@@ -563,6 +563,165 @@ let faults_cmd =
       $ k_opt_t $ ranks_opt_t $ fault_seed_t $ fault_p_t $ fault_kinds_t $ crash_every_t
       $ max_retries_t $ verify_writes_t $ restartable_t)
 
+(* ---- metrics & profile ---- *)
+
+let observed_algo_t =
+  Arg.(
+    required
+    & pos 0
+        (some
+           (enum
+              [
+                ("splitters", `Splitters);
+                ("partition", `Partition);
+                ("multiselect", `Multiselect);
+                ("quantiles", `Quantiles);
+                ("sort", `Sort);
+              ]))
+        None
+    & info [] ~docv:"ALGO"
+        ~doc:"Algorithm to observe: splitters, partition, multiselect, quantiles or sort.")
+
+(* Run [algo] with a span profiler and a seek-counting trace sink attached.
+   Returns the machine, the profiler, the measured cost delta, the seek
+   count and — when the algorithm has a Table 1 row — its (row, spec). *)
+let run_observed ~mem ~block ~seed ~workload ~algo ~n ~k ~a ~b ~ranks =
+  let trace = Em.Trace.create () in
+  let seek_sink, seeks =
+    Em.Trace.counter (fun e -> e.Em.Trace.locality = Em.Trace.Random)
+  in
+  Em.Trace.add_sink trace seek_sink;
+  let ctx : int Em.Ctx.t = Em.Ctx.create ~trace (Em.Params.create ~mem ~block) in
+  let profiler = Em.Profile.create () in
+  Em.Profile.attach profiler ctx.Em.Ctx.stats;
+  let v = Core.Workload.vec ctx workload ~seed ~n in
+  let cmp = Em.Ctx.counted ctx icmp in
+  let table1_row, (name, ((), cost)) =
+    match algo with
+    | `Splitters ->
+        let spec = spec_of ~n ~k ~a ~b in
+        let row =
+          match Core.Problem.classify spec with
+          | Core.Problem.Right_grounded -> Core.Bound_track.Splitters_right
+          | Core.Problem.Left_grounded -> Core.Bound_track.Splitters_left
+          | Core.Problem.Two_sided | Core.Problem.Unconstrained ->
+              Core.Bound_track.Splitters_two_sided
+        in
+        ( Some (row, spec),
+          ( "splitters",
+            Em.Ctx.measured ctx (fun () -> Em.Vec.free (Core.Splitters.solve cmp v spec)) ) )
+    | `Partition ->
+        let spec = spec_of ~n ~k ~a ~b in
+        let row =
+          match Core.Problem.classify spec with
+          | Core.Problem.Right_grounded -> Core.Bound_track.Partition_right
+          | Core.Problem.Left_grounded -> Core.Bound_track.Partition_left
+          | Core.Problem.Two_sided | Core.Problem.Unconstrained ->
+              Core.Bound_track.Partition_two_sided
+        in
+        ( Some (row, spec),
+          ( "partition",
+            Em.Ctx.measured ctx (fun () ->
+                Array.iter Em.Vec.free (Core.Partitioning.solve cmp v spec)) ) )
+    | `Multiselect ->
+        let ranks =
+          match ranks with
+          | Some rs -> Array.of_list rs
+          | None -> Core.Splitters.quantile_ranks ~n ~k
+        in
+        ( None,
+          ( "multiselect",
+            Em.Ctx.measured ctx (fun () -> ignore (Core.Multi_select.select cmp v ~ranks)) ) )
+    | `Quantiles ->
+        ( None,
+          ( "quantiles",
+            Em.Ctx.measured ctx (fun () -> Em.Vec.free (Core.Splitters.quantiles cmp v ~k)) ) )
+    | `Sort ->
+        ( None,
+          ( "sort",
+            Em.Ctx.measured ctx (fun () -> Em.Vec.free (Emalg.External_sort.sort cmp v)) ) )
+  in
+  (ctx, profiler, cost, seeks (), table1_row, name)
+
+let format_t =
+  Arg.(
+    value
+    & opt (enum [ ("prom", `Prom); ("json", `Json) ]) `Prom
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:"Registry dump format: prom (Prometheus text exposition) or json (canonical).")
+
+let run_metrics verbose mem block seed workload algo n k a b ranks format =
+  setup_logs verbose;
+  let ctx, profiler, cost, seeks, table1_row, _name =
+    run_observed ~mem ~block ~seed ~workload ~algo ~n ~k ~a ~b ~ranks
+  in
+  let reg = Em.Metrics.create () in
+  Em.Metrics.publish_stats reg ctx.Em.Ctx.stats;
+  Em.Metrics.set
+    (Em.Metrics.gauge reg ~help:"I/Os the tracer classified as random" "seeks_total")
+    (float_of_int seeks);
+  Em.Profile.publish reg profiler;
+  (match table1_row with
+  | Some (row, spec) ->
+      ignore
+        (Core.Bound_track.publish_values reg ctx.Em.Ctx.params row spec
+           ~measured_ios:(Em.Stats.delta_ios cost))
+  | None -> ());
+  print_string
+    (match format with
+    | `Prom -> Em.Metrics.to_prometheus reg
+    | `Json -> Em.Metrics.to_json reg)
+
+let metrics_cmd =
+  let doc =
+    "Run an algorithm and dump the full metrics registry (machine counters, \
+     per-span profile, and — where the problem maps to a Table 1 row — \
+     measured vs predicted bound gauges)."
+  in
+  Cmd.v
+    (Cmd.info "metrics" ~doc)
+    Term.(
+      const run_metrics $ verbose_t $ mem_t $ block_t $ seed_t $ workload_t $ observed_algo_t
+      $ n_t $ k_opt_t $ a_t $ b_opt_t $ ranks_opt_t $ format_t)
+
+let run_profile verbose mem block seed workload algo n k a b ranks =
+  setup_logs verbose;
+  let ctx, profiler, cost, seeks, table1_row, name =
+    run_observed ~mem ~block ~seed ~workload ~algo ~n ~k ~a ~b ~ranks
+  in
+  describe_machine ~mem ~block;
+  report_cost ctx cost;
+  Printf.printf "random seeks: %d\n" seeks;
+  (match table1_row with
+  | Some (row, spec) ->
+      let pred = Core.Bound_track.predicted row ctx.Em.Ctx.params spec in
+      let measured = Em.Stats.delta_ios cost in
+      Printf.printf "Table 1 row:  %s — measured %d / predicted %.1f = ratio %.2f\n"
+        (Core.Bound_track.name row) measured pred (float_of_int measured /. pred)
+  | None -> ());
+  Printf.printf "\nspan tree (%s), children sorted by inclusive I/O:\n" name;
+  Format.printf "%a" Em.Profile.pp profiler;
+  Printf.printf "\nheaviest spans:\n";
+  List.iteri
+    (fun i s ->
+      if i < 10 then
+        Printf.printf "  %8d I/O  %9d cmp  x%-4d %s\n" (Em.Profile.span_ios s)
+          s.Em.Profile.comparisons s.Em.Profile.calls
+          (Em.Profile.path_name s.Em.Profile.path))
+    (Em.Profile.spans profiler)
+
+let profile_cmd =
+  let doc =
+    "Run an algorithm under the span profiler and print its phase-path span \
+     tree (I/Os, comparisons, wall-clock and memory peaks per span), plus \
+     the flat list of heaviest spans."
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(
+      const run_profile $ verbose_t $ mem_t $ block_t $ seed_t $ workload_t $ observed_algo_t
+      $ n_t $ k_opt_t $ a_t $ b_opt_t $ ranks_opt_t)
+
 (* ---- bounds ---- *)
 
 let run_bounds mem block n k a b =
@@ -618,6 +777,8 @@ let () =
         quantiles_cmd;
         reduce_cmd;
         trace_cmd;
+        metrics_cmd;
+        profile_cmd;
         faults_cmd;
         bounds_cmd;
         info_cmd;

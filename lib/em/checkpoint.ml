@@ -37,7 +37,7 @@ let blocks_of_words t words = max 1 ((max 0 words + t.block - 1) / t.block)
 
 let charge t (op : Trace.op) ~label n =
   let s = t.stats in
-  s.Stats.phase_stack <- label :: s.Stats.phase_stack;
+  Stats.push_phase s label;
   for i = 0 to n - 1 do
     (match op with
     | Trace.Read -> s.Stats.reads <- s.Stats.reads + 1
@@ -46,9 +46,7 @@ let charge t (op : Trace.op) ~label n =
     (* The checkpoint region lives at negative "addresses". *)
     Trace.emit t.trace op ~block:(-1 - i) ~phase:s.Stats.phase_stack
   done;
-  match s.Stats.phase_stack with
-  | _ :: rest -> s.Stats.phase_stack <- rest
-  | [] -> ()
+  Stats.pop_phase s
 
 let save t ~words state =
   let n = blocks_of_words t words in

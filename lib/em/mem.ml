@@ -8,7 +8,8 @@ let charge p s n =
     raise (Memory_exceeded { requested = n; in_use; capacity });
   s.Stats.mem_in_use <- in_use + n;
   if s.Stats.mem_in_use > s.Stats.mem_peak then
-    s.Stats.mem_peak <- s.Stats.mem_in_use
+    s.Stats.mem_peak <- s.Stats.mem_in_use;
+  Stats.notify_mem s
 
 let release _p s n =
   if n < 0 then raise (Em_error.Negative_words { op = "release"; n });

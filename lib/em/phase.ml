@@ -1,17 +1,12 @@
 let with_label ctx label f =
   let s = ctx.Ctx.stats in
-  s.Stats.phase_stack <- label :: s.Stats.phase_stack;
-  let pop () =
-    match s.Stats.phase_stack with
-    | _ :: rest -> s.Stats.phase_stack <- rest
-    | [] -> ()
-  in
+  Stats.push_phase s label;
   match f () with
   | result ->
-      pop ();
+      Stats.pop_phase s;
       result
   | exception e ->
-      pop ();
+      Stats.pop_phase s;
       raise e
 
 let report ctx = Stats.phase_report ctx.Ctx.stats

@@ -2,12 +2,16 @@
 
     Algorithms label their passes ([with_label ctx "distribute" f]); every
     block read/write performed while a label is active is attributed to the
-    innermost label.  The report makes the cost structure of a composed
-    algorithm visible (the benchmarks print it), at zero simulated cost. *)
+    full path of active labels, outermost first and joined with ["/"]
+    (so ["sort/merge"] and ["multiselect/merge"] stay distinct).  The report
+    makes the cost structure of a composed algorithm visible (the benchmarks
+    print it), at zero simulated cost. *)
 
 val with_label : 'a Ctx.t -> string -> (unit -> 'b) -> 'b
-(** Push a label around a computation (restored on exceptions too). *)
+(** Push a label around a computation (restored on exceptions too).  Entering
+    and leaving the label also fires any {!Stats.span_hooks} attached to the
+    machine, which is how {!Profile} sees span boundaries. *)
 
 val report : 'a Ctx.t -> (string * int) list
-(** Per-phase I/O counts since the last {!Stats.reset}, largest first;
+(** Per-phase-path I/O counts since the last {!Stats.reset}, largest first;
     unlabeled I/O appears as ["(other)"]. *)

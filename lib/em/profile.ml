@@ -1,0 +1,205 @@
+(* Span-scoped profiler.  Attaches to a machine's [Stats] through the
+   [span_hooks] observer interface: every [Phase.with_label] (and
+   checkpoint/resume charge) becomes a span keyed on its full phase path,
+   accumulating the I/Os, comparisons, fault/retry overhead, peak memory and
+   host wall-clock time spent while the span was open.  Pure observation: no
+   simulated I/O, no behavior change. *)
+
+type span = {
+  path : string list;  (* outermost label first *)
+  mutable calls : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable comparisons : int;
+  mutable faults : int;
+  mutable retries : int;
+  mutable wall_ns : float;
+  mutable mem_peak : int;
+}
+
+type frame = {
+  span : span;
+  snap : Stats.snapshot;
+  start : float;  (* host seconds *)
+  mutable peak : int;
+  counted : bool;
+      (* Re-entrant spans (a phase label nested inside itself) only bump
+         [calls]: the outermost open frame already covers their cost, so
+         counting them again would double-charge the span. *)
+}
+
+type t = {
+  spans : (string list, span) Hashtbl.t;
+  mutable open_frames : frame list;  (* innermost first *)
+  mutable source : Stats.t option;
+}
+
+let create () = { spans = Hashtbl.create 32; open_frames = []; source = None }
+
+let now () = Unix.gettimeofday ()
+
+let span_ios s = s.reads + s.writes
+
+let find_span t path =
+  match Hashtbl.find_opt t.spans path with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          path;
+          calls = 0;
+          reads = 0;
+          writes = 0;
+          comparisons = 0;
+          faults = 0;
+          retries = 0;
+          wall_ns = 0.;
+          mem_peak = 0;
+        }
+      in
+      Hashtbl.add t.spans path s;
+      s
+
+let on_push t stats stack =
+  let path = List.rev stack in
+  let span = find_span t path in
+  let counted =
+    not (List.exists (fun f -> f.span == span) t.open_frames)
+  in
+  t.open_frames <-
+    {
+      span;
+      snap = Stats.snapshot stats;
+      start = now ();
+      peak = stats.Stats.mem_in_use;
+      counted;
+    }
+    :: t.open_frames
+
+let on_pop t stats _stack =
+  match t.open_frames with
+  | [] -> ()  (* unbalanced pop after a crash wiped the stack: ignore *)
+  | frame :: rest ->
+      t.open_frames <- rest;
+      let s = frame.span in
+      s.calls <- s.calls + 1;
+      if frame.counted then begin
+        let d = Stats.delta stats frame.snap in
+        s.reads <- s.reads + d.Stats.d_reads;
+        s.writes <- s.writes + d.Stats.d_writes;
+        s.comparisons <- s.comparisons + d.Stats.d_comparisons;
+        s.faults <- s.faults + d.Stats.d_faults;
+        s.retries <- s.retries + d.Stats.d_retries;
+        s.wall_ns <- s.wall_ns +. ((now () -. frame.start) *. 1e9);
+        if frame.peak > s.mem_peak then s.mem_peak <- frame.peak
+      end;
+      (* The parent's peak must cover everything the child saw. *)
+      (match rest with
+      | parent :: _ -> if frame.peak > parent.peak then parent.peak <- frame.peak
+      | [] -> ())
+
+let on_mem t m =
+  match t.open_frames with
+  | [] -> ()
+  | frame :: _ -> if m > frame.peak then frame.peak <- m
+
+let attach t stats =
+  t.source <- Some stats;
+  Stats.set_hooks stats
+    (Some
+       {
+         Stats.on_push = (fun stack -> on_push t stats stack);
+         on_pop = (fun stack -> on_pop t stats stack);
+         on_mem = (fun m -> on_mem t m);
+       })
+
+let detach stats = Stats.set_hooks stats None
+
+let reset t =
+  Hashtbl.reset t.spans;
+  t.open_frames <- []
+
+let spans t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.spans []
+  |> List.sort (fun a b ->
+         match Int.compare (span_ios b) (span_ios a) with
+         | 0 -> compare a.path b.path
+         | c -> c)
+
+let path_name path = String.concat "/" path
+
+(* ---- tree report ---- *)
+
+type node = { label : string; mutable span : span option; mutable children : node list }
+
+let make_node label = { label; span = None; children = [] }
+
+let child_named node label =
+  match List.find_opt (fun c -> c.label = label) node.children with
+  | Some c -> c
+  | None ->
+      let c = make_node label in
+      node.children <- node.children @ [ c ];
+      c
+
+let tree t =
+  let root = make_node "(run)" in
+  List.iter
+    (fun s ->
+      let node = List.fold_left child_named root s.path in
+      node.span <- Some s)
+    (List.sort (fun a b -> compare a.path b.path) (spans t));
+  root
+
+let zero_like path =
+  {
+    path;
+    calls = 0;
+    reads = 0;
+    writes = 0;
+    comparisons = 0;
+    faults = 0;
+    retries = 0;
+    wall_ns = 0.;
+    mem_peak = 0;
+  }
+
+let node_span node = match node.span with Some s -> s | None -> zero_like []
+
+let rec pp_node ppf ~depth node =
+  let s = node_span node in
+  if depth > 0 then begin
+    Format.fprintf ppf "%s%-*s %8d I/O (r %d / w %d)  %9d cmp  %8.2f ms  x%d"
+      (String.make (2 * (depth - 1)) ' ')
+      (max 1 (28 - (2 * (depth - 1))))
+      node.label (span_ios s) s.reads s.writes s.comparisons (s.wall_ns /. 1e6) s.calls;
+    if s.faults > 0 || s.retries > 0 then
+      Format.fprintf ppf "  [faulted %d / retried %d]" s.faults s.retries;
+    Format.fprintf ppf "@."
+  end;
+  List.iter
+    (pp_node ppf ~depth:(depth + 1))
+    (List.sort
+       (fun a b -> Int.compare (span_ios (node_span b)) (span_ios (node_span a)))
+       node.children)
+
+let pp ppf t = pp_node ppf ~depth:0 (tree t)
+
+(* ---- metrics bridge ---- *)
+
+let publish reg t =
+  List.iter
+    (fun s ->
+      let labels = [ ("span", path_name s.path) ] in
+      let g name help v = Metrics.set (Metrics.gauge reg ~help ~labels name) v in
+      g "span_ios" "I/Os inside the span (inclusive)" (float_of_int (span_ios s));
+      g "span_reads" "Reads inside the span" (float_of_int s.reads);
+      g "span_writes" "Writes inside the span" (float_of_int s.writes);
+      g "span_comparisons" "Comparisons inside the span" (float_of_int s.comparisons);
+      g "span_faults" "Faulted attempts inside the span" (float_of_int s.faults);
+      g "span_retries" "Recovery re-attempts inside the span" (float_of_int s.retries);
+      g "span_mem_peak_words" "Peak memory words while the span was open"
+        (float_of_int s.mem_peak);
+      g "span_wall_ns" "Host wall-clock nanoseconds inside the span" s.wall_ns;
+      g "span_calls" "Times the span was entered" (float_of_int s.calls))
+    (spans t)

@@ -1,0 +1,58 @@
+(** Span-scoped profiling over the {!Phase} label tree.
+
+    A profiler attaches to a machine's {!Stats} through the
+    {!Stats.span_hooks} observer interface; from then on every
+    {!Phase.with_label} (and checkpoint/resume charge) is recorded as a
+    {e span} keyed on its full phase path.  Each span accumulates, across
+    all its invocations: block reads/writes, comparisons, fault and retry
+    overhead, the peak memory level observed while it was open, and host
+    wall-clock time.  Attaching a profiler is free in the simulated cost
+    model — golden I/O costs are byte-identical with or without one
+    (property-tested). *)
+
+type span = {
+  path : string list;  (** full phase path, outermost label first *)
+  mutable calls : int;  (** times the span was entered *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable comparisons : int;
+  mutable faults : int;
+  mutable retries : int;
+  mutable wall_ns : float;  (** host wall-clock nanoseconds, inclusive *)
+  mutable mem_peak : int;  (** max words in use while the span was open *)
+}
+(** Counters are {e inclusive}: a span's numbers cover its nested sub-spans.
+    A phase label re-entered while already open (direct recursion) bumps
+    [calls] only — the outermost open frame already accounts for its cost. *)
+
+type t
+
+val create : unit -> t
+
+val attach : t -> Stats.t -> unit
+(** Install the profiler's hooks on the machine (replacing any previously
+    attached hooks).  Attach before entering phases: spans already open are
+    not back-filled. *)
+
+val detach : Stats.t -> unit
+(** Remove whatever hooks are attached to the machine. *)
+
+val reset : t -> unit
+(** Drop all recorded spans (detaching is not required). *)
+
+val spans : t -> span list
+(** All spans, most I/O first (ties by path). *)
+
+val span_ios : span -> int
+
+val path_name : string list -> string
+(** Join a span path with ["/"] (matches {!Stats.current_path}). *)
+
+val pp : Format.formatter -> t -> unit
+(** Span-tree report: one line per span, indented by nesting, children
+    sorted by inclusive I/O cost. *)
+
+val publish : Metrics.t -> t -> unit
+(** Publish every span into a registry as [span_*{span=path}] gauges
+    (ios, reads, writes, comparisons, faults, retries, mem_peak_words,
+    wall_ns, calls). *)

@@ -1,3 +1,9 @@
+type span_hooks = {
+  on_push : string list -> unit;
+  on_pop : string list -> unit;
+  on_mem : int -> unit;
+}
+
 type t = {
   mutable reads : int;
   mutable writes : int;
@@ -10,6 +16,7 @@ type t = {
   mutable mem_peak : int;
   mutable phase_stack : string list;
   phase_ios : (string, int) Hashtbl.t;
+  mutable hooks : span_hooks option;
 }
 
 let create () =
@@ -25,6 +32,7 @@ let create () =
     mem_peak = 0;
     phase_stack = [];
     phase_ios = Hashtbl.create 16;
+    hooks = None;
   }
 
 let reset s =
@@ -40,23 +48,50 @@ let reset s =
   s.phase_stack <- [];
   Hashtbl.reset s.phase_ios
 
+let set_hooks s hooks = s.hooks <- hooks
+let hooks s = s.hooks
+
+let push_phase s label =
+  s.phase_stack <- label :: s.phase_stack;
+  match s.hooks with None -> () | Some h -> h.on_push s.phase_stack
+
+let pop_phase s =
+  match s.phase_stack with
+  | [] -> ()
+  | (_ :: rest) as before ->
+      (match s.hooks with None -> () | Some h -> h.on_pop before);
+      s.phase_stack <- rest
+
+let notify_mem s =
+  match s.hooks with None -> () | Some h -> h.on_mem s.mem_in_use
+
 (* A crash wipes RAM: whatever the interrupted computation had charged to the
-   ledger is gone.  The high-water mark survives — it already happened. *)
+   ledger is gone.  The high-water mark survives — it already happened.  Open
+   phases are unwound one by one so an attached profiler sees balanced
+   enter/exit pairs. *)
 let wipe_memory s =
   s.mem_in_use <- 0;
-  s.phase_stack <- []
+  while s.phase_stack <> [] do
+    pop_phase s
+  done
 
 let current_phase s =
   match s.phase_stack with [] -> "(other)" | label :: _ -> label
 
+(* The attribution key is the full phase path, outermost label first, so two
+   distinct paths sharing a leaf name stay distinct. *)
+let join_path stack = String.concat "/" (List.rev stack)
+let current_path s = match s.phase_stack with [] -> "(other)" | st -> join_path st
+
 let record_phase_io s =
-  let label = current_phase s in
-  let previous = Option.value (Hashtbl.find_opt s.phase_ios label) ~default:0 in
-  Hashtbl.replace s.phase_ios label (previous + 1)
+  let path = current_path s in
+  let previous = Option.value (Hashtbl.find_opt s.phase_ios path) ~default:0 in
+  Hashtbl.replace s.phase_ios path (previous + 1)
 
 let phase_report s =
-  Hashtbl.fold (fun label ios acc -> (label, ios) :: acc) s.phase_ios []
-  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+  Hashtbl.fold (fun path ios acc -> (path, ios) :: acc) s.phase_ios []
+  |> List.sort (fun (pa, a) (pb, b) ->
+         match Int.compare b a with 0 -> String.compare pa pb | c -> c)
 
 let ios s = s.reads + s.writes
 

@@ -5,6 +5,20 @@
     comparison-based) and track the peak number of memory words in use, so
     that violating the memory budget is observable. *)
 
+type span_hooks = {
+  on_push : string list -> unit;
+      (** Called after a phase label is pushed, with the new stack
+          (innermost label first). *)
+  on_pop : string list -> unit;
+      (** Called before a phase label is popped, with the stack as it was
+          while the phase ran. *)
+  on_mem : int -> unit;
+      (** Called after the memory ledger grows, with the new [mem_in_use]. *)
+}
+(** Observer hooks for span-scoped profiling (see {!Profile}).  Hooks are
+    observability machinery: they cost no simulated I/O and must not change
+    what an algorithm does. *)
+
 type t = {
   mutable reads : int;
   mutable writes : int;
@@ -16,16 +30,34 @@ type t = {
   mutable mem_in_use : int;  (** words currently charged to memory *)
   mutable mem_peak : int;  (** high-water mark of [mem_in_use] *)
   mutable phase_stack : string list;  (** innermost phase label first *)
-  phase_ios : (string, int) Hashtbl.t;  (** I/Os attributed per phase *)
+  phase_ios : (string, int) Hashtbl.t;
+      (** I/Os attributed per full phase path (see {!current_path}) *)
+  mutable hooks : span_hooks option;  (** attached profiler, if any *)
 }
 
 val create : unit -> t
 val reset : t -> unit
 
+val set_hooks : t -> span_hooks option -> unit
+(** Attach (or detach, with [None]) span observer hooks. *)
+
+val hooks : t -> span_hooks option
+
+val push_phase : t -> string -> unit
+(** Push a phase label and fire [on_push].  Use {!Phase.with_label} unless
+    you need unbalanced control over the stack. *)
+
+val pop_phase : t -> unit
+(** Fire [on_pop] and pop the innermost label (no-op on an empty stack). *)
+
+val notify_mem : t -> unit
+(** Fire [on_mem] with the current ledger level (called by {!Mem}). *)
+
 val wipe_memory : t -> unit
-(** Simulate RAM loss on a crash: zero [mem_in_use] and clear the phase
-    stack, leaving I/O counters and [mem_peak] intact.  Called by restart
-    drivers before resuming from a checkpoint. *)
+(** Simulate RAM loss on a crash: zero [mem_in_use] and unwind the phase
+    stack (firing [on_pop] per frame so profilers stay balanced), leaving
+    I/O counters and [mem_peak] intact.  Called by restart drivers before
+    resuming from a checkpoint. *)
 
 val ios : t -> int
 (** [ios s] is [s.reads + s.writes], the total I/O cost. *)
@@ -63,10 +95,16 @@ val pp_delta : Format.formatter -> delta -> unit
 val current_phase : t -> string
 (** Innermost active phase label, or ["(other)"]. *)
 
+val current_path : t -> string
+(** Full active phase path joined with ["/"], outermost label first, or
+    ["(other)"] when no phase is active.  This is the attribution key of
+    [phase_ios]: two paths sharing a leaf label (e.g. ["sort/merge"] vs
+    ["multiselect/merge"]) are kept distinct. *)
+
 val record_phase_io : t -> unit
-(** Attribute one I/O to the current phase (called by {!Device}). *)
+(** Attribute one I/O to the current phase path (called by {!Device}). *)
 
 val phase_report : t -> (string * int) list
-(** Per-phase I/O counts, largest first.  See {!Phase}. *)
+(** Per-phase-path I/O counts, largest first (ties by path).  See {!Phase}. *)
 
 val pp : Format.formatter -> t -> unit

@@ -22,7 +22,7 @@ type ring = {
 type sink =
   | Ring of ring
   | Jsonl of out_channel
-  | Custom of (event -> unit)
+  | Custom of { push : event -> unit; on_reset : unit -> unit }
 
 type t = {
   mutable sinks : sink list;
@@ -38,7 +38,7 @@ let make_ring capacity =
 
 let ring_sink ~capacity = Ring (make_ring capacity)
 let jsonl_sink oc = Jsonl oc
-let custom_sink f = Custom f
+let custom_sink ?(reset = fun () -> ()) f = Custom { push = f; on_reset = reset }
 
 let create ?(ring_capacity = default_ring_capacity) () =
   { sinks = [ ring_sink ~capacity:ring_capacity ]; last_block = min_int; next_seq = 0 }
@@ -47,11 +47,13 @@ let add_sink t sink = t.sinks <- t.sinks @ [ sink ]
 
 let collector () =
   let acc = ref [] in
-  (Custom (fun e -> acc := e :: !acc), fun () -> List.rev !acc)
+  ( Custom { push = (fun e -> acc := e :: !acc); on_reset = (fun () -> acc := []) },
+    fun () -> List.rev !acc )
 
 let counter pred =
   let n = ref 0 in
-  (Custom (fun e -> if pred e then incr n), fun () -> !n)
+  ( Custom { push = (fun e -> if pred e then incr n); on_reset = (fun () -> n := 0) },
+    fun () -> !n )
 
 let op_name = function Read -> "read" | Write -> "write"
 let locality_name = function Sequential -> "sequential" | Random -> "random"
@@ -98,7 +100,7 @@ let emit ?(kind = Io) t op ~block ~phase =
       | Jsonl oc ->
           output_string oc (event_to_json e);
           output_char oc '\n'
-      | Custom f -> f e)
+      | Custom c -> c.push e)
     t.sinks
 
 let first_ring t =
@@ -117,5 +119,6 @@ let reset t =
           r.len <- 0;
           r.head <- 0;
           r.dropped <- 0
-      | Jsonl _ | Custom _ -> ())
+      | Custom c -> c.on_reset ()
+      | Jsonl _ -> ())
     t.sinks

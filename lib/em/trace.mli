@@ -44,15 +44,19 @@ val ring_sink : capacity:int -> sink
 val jsonl_sink : out_channel -> sink
 (** One JSON object per line; the caller owns (and closes) the channel. *)
 
-val custom_sink : (event -> unit) -> sink
+val custom_sink : ?reset:(unit -> unit) -> (event -> unit) -> sink
+(** Ad-hoc callback sink.  [reset] (default: do nothing) is invoked by
+    {!reset} so stateful callbacks can drop accumulated state along with the
+    rest of the tracer. *)
 
 val collector : unit -> sink * (unit -> event list)
 (** An unbounded sink that retains every event, plus a function returning
     them oldest-first.  Use for reports on runs whose length exceeds any
-    reasonable ring. *)
+    reasonable ring.  {!reset} clears the retained events. *)
 
 val counter : (event -> bool) -> sink * (unit -> int)
-(** A constant-space sink counting the events that satisfy the predicate. *)
+(** A constant-space sink counting the events that satisfy the predicate.
+    {!reset} zeroes the count. *)
 
 val add_sink : t -> sink -> unit
 
@@ -71,8 +75,13 @@ val total : t -> int
 (** Total events emitted (independent of ring capacity). *)
 
 val reset : t -> unit
-(** Clear sequence numbering, locality state, and ring contents.  File and
-    custom sinks are untouched. *)
+(** Clear sequence numbering, locality state, and the contents of {e every}
+    sink that owns state: ring sinks are emptied (length, head and dropped
+    count), and custom sinks — including {!collector} and {!counter} — have
+    their [reset] hook invoked, so no sink silently carries events across
+    runs.  JSONL sinks are the one exception: the tracer does not own the
+    channel, so already-written lines stay in the file and subsequent events
+    are appended (their [seq] restarts at 0). *)
 
 val op_name : op -> string
 val locality_name : locality -> string

@@ -1,0 +1,76 @@
+(* Tests for the Table-1 bound-ratio telemetry. *)
+
+let test_names_roundtrip () =
+  List.iter
+    (fun r ->
+      let n = Core.Bound_track.name r in
+      match Core.Bound_track.of_name n with
+      | Some r' -> Tu.check_bool (n ^ " roundtrips") true (r = r')
+      | None -> Alcotest.failf "of_name rejected %s" n)
+    Core.Bound_track.all;
+  Tu.check_bool "unknown name rejected" true
+    (Core.Bound_track.of_name "splitters_diagonal" = None);
+  Tu.check_int "six Table 1 rows" 6 (List.length Core.Bound_track.all)
+
+let test_default_specs_valid () =
+  List.iter
+    (fun r ->
+      let spec = Core.Bound_track.default_spec r ~n:4_096 in
+      Tu.check_ok
+        (Core.Bound_track.name r ^ " default spec")
+        (Core.Problem.validate spec))
+    Core.Bound_track.all
+
+let test_run_and_publish () =
+  let p = Em.Params.create ~mem:1024 ~block:16 in
+  List.iter
+    (fun r ->
+      let label = Core.Bound_track.name r in
+      let spec = Core.Bound_track.default_spec r ~n:4_096 in
+      let s = Core.Bound_track.run ~seed:7 p r spec in
+      Tu.check_bool (label ^ ": did some I/O") true (s.Core.Bound_track.measured_ios > 0);
+      Tu.check_bool (label ^ ": predicted bound is positive") true
+        (s.Core.Bound_track.predicted_ios > 0.);
+      Tu.check_bool (label ^ ": ratio is finite") true
+        (Float.is_finite s.Core.Bound_track.ratio);
+      Tu.check_bool (label ^ ": seeks within total I/Os") true
+        (s.Core.Bound_track.seeks >= 0
+        && s.Core.Bound_track.seeks <= s.Core.Bound_track.measured_ios);
+      let reg = Em.Metrics.create () in
+      let ratio = Core.Bound_track.publish reg s in
+      Alcotest.(check (float 1e-9))
+        (label ^ ": publish returns the sample ratio")
+        s.Core.Bound_track.ratio ratio;
+      let prom = Em.Metrics.to_prometheus reg in
+      let has needle =
+        let nl = String.length needle and pl = String.length prom in
+        let rec go i = i + nl <= pl && (String.sub prom i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Tu.check_bool (label ^ ": bound_ratio gauge exported") true
+        (has "em_bound_ratio{");
+      Tu.check_bool (label ^ ": row label exported") true
+        (has ("row=\"" ^ label ^ "\"")))
+    Core.Bound_track.all
+
+let test_publish_values_matches_formula () =
+  let p = Em.Params.create ~mem:1024 ~block:16 in
+  let row = Core.Bound_track.Partition_right in
+  let spec = Core.Bound_track.default_spec row ~n:4_096 in
+  let predicted = Core.Bound_track.predicted row p spec in
+  let reg = Em.Metrics.create () in
+  let ratio =
+    Core.Bound_track.publish_values reg p row spec ~measured_ios:(2 * int_of_float predicted)
+  in
+  Alcotest.(check (float 1e-6)) "ratio = measured / predicted"
+    (float_of_int (2 * int_of_float predicted) /. predicted)
+    ratio
+
+let suite =
+  [
+    Alcotest.test_case "row names roundtrip" `Quick test_names_roundtrip;
+    Alcotest.test_case "default specs are valid" `Quick test_default_specs_valid;
+    Alcotest.test_case "run + publish per row" `Quick test_run_and_publish;
+    Alcotest.test_case "publish_values ratio formula" `Quick
+      test_publish_values_matches_formula;
+  ]

@@ -31,4 +31,7 @@ let () =
       ("resilient", Test_resilient.suite);
       ("restart", Test_restart.suite);
       ("fault_sweep", Test_fault_sweep.suite);
+      ("metrics", Test_metrics.suite);
+      ("profile", Test_profile.suite);
+      ("bound_track", Test_bound_track.suite);
     ]

@@ -18,15 +18,32 @@ let test_phases_sum_to_total () =
   let sum = List.fold_left (fun acc (_, ios) -> acc + ios) 0 (Em.Phase.report ctx) in
   Tu.check_int "phases partition the total" total sum
 
-let test_nesting_innermost_wins () =
+let test_nesting_full_path () =
   let ctx = Tu.ctx ~mem:256 ~block:16 () in
   let v = Tu.int_vec ctx (Array.init 64 (fun i -> i)) in
   Em.Phase.with_label ctx "outer" (fun () ->
       Emalg.Scan.iter (fun _ -> ()) v;
       Em.Phase.with_label ctx "inner" (fun () -> Emalg.Scan.iter (fun _ -> ()) v));
   let report = Em.Phase.report ctx in
-  Tu.check_int "outer" 4 (List.assoc "outer" report);
-  Tu.check_int "inner" 4 (List.assoc "inner" report)
+  Tu.check_int "outer keeps only its own I/Os" 4 (List.assoc "outer" report);
+  Tu.check_int "nested I/Os key on the joined path" 4 (List.assoc "outer/inner" report);
+  Tu.check_bool "no bare 'inner' key" true (not (List.mem_assoc "inner" report))
+
+(* Regression: the same leaf label under two different parents must stay
+   two separate report entries (innermost-label keying conflated them). *)
+let test_shared_leaf_not_conflated () =
+  let ctx = Tu.ctx ~mem:256 ~block:16 () in
+  let v = Tu.int_vec ctx (Array.init 64 (fun i -> i)) in
+  Em.Phase.with_label ctx "sort" (fun () ->
+      Em.Phase.with_label ctx "merge" (fun () -> Emalg.Scan.iter (fun _ -> ()) v));
+  Em.Phase.with_label ctx "multiselect" (fun () ->
+      Em.Phase.with_label ctx "merge" (fun () ->
+          Emalg.Scan.iter (fun _ -> ()) v;
+          Emalg.Scan.iter (fun _ -> ()) v));
+  let report = Em.Phase.report ctx in
+  Tu.check_int "merge under sort" 4 (List.assoc "sort/merge" report);
+  Tu.check_int "merge under multiselect" 8 (List.assoc "multiselect/merge" report);
+  Tu.check_bool "no conflated 'merge' key" true (not (List.mem_assoc "merge" report))
 
 let test_label_restored_on_raise () =
   let ctx = Tu.ctx () in
@@ -39,6 +56,7 @@ let suite =
   [
     Alcotest.test_case "labels attribute I/Os" `Quick test_labels_attribute_ios;
     Alcotest.test_case "phases sum to total" `Quick test_phases_sum_to_total;
-    Alcotest.test_case "nesting: innermost wins" `Quick test_nesting_innermost_wins;
+    Alcotest.test_case "nesting: full-path keys" `Quick test_nesting_full_path;
+    Alcotest.test_case "shared leaf label not conflated" `Quick test_shared_leaf_not_conflated;
     Alcotest.test_case "label restored on raise" `Quick test_label_restored_on_raise;
   ]

@@ -76,6 +76,32 @@ let test_collector_and_counter () =
   Tu.check_int "collector is unbounded" 8 (List.length (collected ()));
   Tu.check_int "counter sees writes" 4 (counted ())
 
+(* Satellite of the attribution change: [Trace.reset] must clear stateful
+   sinks too, not just the ring — collector/counter used to keep stale
+   events across a reset. *)
+let test_reset_clears_sinks () =
+  let t = Em.Trace.create () in
+  let collect, collected = Em.Trace.collector () in
+  let count, counted = Em.Trace.counter (fun _ -> true) in
+  let custom_seen = ref 0 and custom_resets = ref 0 in
+  Em.Trace.add_sink t collect;
+  Em.Trace.add_sink t count;
+  Em.Trace.add_sink t
+    (Em.Trace.custom_sink
+       ~reset:(fun () -> incr custom_resets)
+       (fun _ -> incr custom_seen));
+  for i = 0 to 4 do
+    Em.Trace.emit t Em.Trace.Read ~block:i ~phase:[]
+  done;
+  Em.Trace.reset t;
+  Tu.check_int "collector emptied" 0 (List.length (collected ()));
+  Tu.check_int "counter zeroed" 0 (counted ());
+  Tu.check_int "custom on_reset hook fired" 1 !custom_resets;
+  Em.Trace.emit t Em.Trace.Read ~block:7 ~phase:[];
+  Tu.check_int "collector counts fresh events only" 1 (List.length (collected ()));
+  Tu.check_int "counter counts fresh events only" 1 (counted ());
+  Tu.check_int "custom sink kept receiving" 6 !custom_seen
+
 let test_phase_paths_recorded () =
   let ctx = Tu.ctx ~mem:64 ~block:8 () in
   let v = Tu.int_vec ctx (Array.init 8 (fun i -> i)) in
@@ -169,6 +195,7 @@ let suite =
     Alcotest.test_case "ring buffer is bounded" `Quick test_ring_is_bounded;
     Alcotest.test_case "reset clears ring and numbering" `Quick test_reset;
     Alcotest.test_case "collector and counter sinks" `Quick test_collector_and_counter;
+    Alcotest.test_case "reset clears stateful sinks" `Quick test_reset_clears_sinks;
     Alcotest.test_case "phase paths recorded on events" `Quick test_phase_paths_recorded;
     Alcotest.test_case "jsonl sink format" `Quick test_jsonl_sink;
     Alcotest.test_case "report: per-phase tree" `Quick test_report_tree;
