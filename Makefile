@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test fmt goldens bench bench-json faults clean
+.PHONY: all build test fmt goldens bench bench-json bench-file test-backends faults clean
 
 all: build
 
@@ -32,6 +32,21 @@ bench:
 bench-json:
 	dune exec bench/main.exe -- --small --json \
 	  --check-ratios test/golden/ratios.expected
+
+# Same bounded sweep, but with every machine that doesn't pin its backend
+# running on real disk blocks (EM_BACKEND steers Ctx.create's default).
+# Counted I/Os — and therefore the ratio gate — are identical to the sim
+# run; only wall-clock differs.  The timing section additionally reports
+# sim/file/cached columns regardless of EM_BACKEND.
+bench-file:
+	EM_BACKEND=file dune exec bench/main.exe -- --small --json \
+	  --check-ratios test/golden/ratios.expected
+
+# Tier-1 suite re-run on each non-default backend (the backend matrix).
+test-backends:
+	EM_BACKEND=file dune runtest --force
+	EM_BACKEND=cached dune runtest --force
+	EM_BACKEND=cached:file dune runtest --force
 
 # Fault-injection smoke: one recoverable run per algorithm family, plus a
 # crash-restart run.  Each exits non-zero on an unexpected failure (exit 2:

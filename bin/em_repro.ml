@@ -67,6 +67,21 @@ let b_opt_t =
 let baseline_t =
   Arg.(value & flag & info [ "baseline" ] ~doc:"Run the sort-based baseline instead.")
 
+let backend_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Em.Backend.spec_of_string s) in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Em.Backend.spec_name s))
+
+let backend_t =
+  Arg.(
+    value
+    & opt (some backend_conv) None
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Storage backend: $(b,sim) (in-memory simulation, the default), $(b,file) (real \
+           disk blocks, fsynced on flush), $(b,cached) or $(b,cached:file) (buffer-pool LRU \
+           over sim/file).  Counted I/Os are identical on all of them.  When omitted, \
+           honours the EM_BACKEND environment variable.")
+
 let verbose_t =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print debug logs of the recursions.")
 
@@ -75,13 +90,18 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
 
-let make_ctx ~mem ~block : int Em.Ctx.t = Em.Ctx.create (Em.Params.create ~mem ~block)
+let make_ctx ?backend ~mem ~block () : int Em.Ctx.t =
+  Em.Ctx.create ?backend (Em.Params.create ~mem ~block)
 
 (* Cost of the measured computation only, as reported by [Ctx.measured]
    (workload placement is free and outside the bracket either way). *)
 let report_cost ctx (d : Em.Stats.delta) =
   Printf.printf "I/O:          %d (reads %d, writes %d)\n" (Em.Stats.delta_ios d)
     d.Em.Stats.d_reads d.Em.Stats.d_writes;
+  (if d.Em.Stats.d_cache_hits > 0 || d.Em.Stats.d_cache_misses > 0 then
+     let s = ctx.Em.Ctx.stats in
+     Printf.printf "cache:        %d hits, %d misses (%d evictions)\n" d.Em.Stats.d_cache_hits
+       d.Em.Stats.d_cache_misses s.Em.Stats.cache_evictions);
   Printf.printf "comparisons:  %d\n" d.Em.Stats.d_comparisons;
   Printf.printf "peak memory:  %d / %d words\n" ctx.Em.Ctx.stats.Em.Stats.mem_peak
     ctx.Em.Ctx.params.Em.Params.mem
@@ -105,14 +125,17 @@ let spec_of ~n ~k ~a ~b =
 let describe_machine ~mem ~block =
   Printf.printf "machine:      M=%d, B=%d (fanout M/B = %d)\n" mem block (mem / block)
 
+let describe_backend ctx = Printf.printf "backend:      %s\n" (Em.Ctx.backend_name ctx)
+
 (* ---- splitters ---- *)
 
-let run_splitters verbose mem block seed workload n k a b baseline =
+let run_splitters verbose backend mem block seed workload n k a b baseline =
   setup_logs verbose;
   let spec = spec_of ~n ~k ~a ~b in
-  let ctx = make_ctx ~mem ~block in
+  let ctx = make_ctx ?backend ~mem ~block () in
   let v = Core.Workload.vec ctx workload ~seed ~n in
   describe_machine ~mem ~block;
+  describe_backend ctx;
   Printf.printf "problem:      %s K-splitters, %s\n"
     (Core.Problem.variant_name (Core.Problem.classify spec))
     (Format.asprintf "%a" Core.Problem.pp_spec spec);
@@ -134,17 +157,18 @@ let splitters_cmd =
   Cmd.v
     (Cmd.info "splitters" ~doc)
     Term.(
-      const run_splitters $ verbose_t $ mem_t $ block_t $ seed_t $ workload_t $ n_t $ k_t $ a_t
-      $ b_opt_t $ baseline_t)
+      const run_splitters $ verbose_t $ backend_t $ mem_t $ block_t $ seed_t $ workload_t $ n_t
+      $ k_t $ a_t $ b_opt_t $ baseline_t)
 
 (* ---- partitioning ---- *)
 
-let run_partition verbose mem block seed workload n k a b baseline =
+let run_partition verbose backend mem block seed workload n k a b baseline =
   setup_logs verbose;
   let spec = spec_of ~n ~k ~a ~b in
-  let ctx = make_ctx ~mem ~block in
+  let ctx = make_ctx ?backend ~mem ~block () in
   let v = Core.Workload.vec ctx workload ~seed ~n in
   describe_machine ~mem ~block;
+  describe_backend ctx;
   Printf.printf "problem:      %s K-partitioning, %s\n"
     (Core.Problem.variant_name (Core.Problem.classify spec))
     (Format.asprintf "%a" Core.Problem.pp_spec spec);
@@ -170,8 +194,8 @@ let partition_cmd =
   Cmd.v
     (Cmd.info "partition" ~doc)
     Term.(
-      const run_partition $ verbose_t $ mem_t $ block_t $ seed_t $ workload_t $ n_t $ k_t $ a_t
-      $ b_opt_t $ baseline_t)
+      const run_partition $ verbose_t $ backend_t $ mem_t $ block_t $ seed_t $ workload_t $ n_t
+      $ k_t $ a_t $ b_opt_t $ baseline_t)
 
 (* ---- multi-selection ---- *)
 
@@ -181,12 +205,13 @@ let ranks_t =
     & opt (some (list int)) None
     & info [ "ranks" ] ~docv:"R1,R2,..." ~doc:"Strictly increasing 1-based ranks.")
 
-let run_multiselect verbose mem block seed workload n ranks baseline =
+let run_multiselect verbose backend mem block seed workload n ranks baseline =
   setup_logs verbose;
   let ranks = Array.of_list ranks in
-  let ctx = make_ctx ~mem ~block in
+  let ctx = make_ctx ?backend ~mem ~block () in
   let v = Core.Workload.vec ctx workload ~seed ~n in
   describe_machine ~mem ~block;
+  describe_backend ctx;
   Printf.printf "problem:      multi-selection of %d ranks from %d elements\n"
     (Array.length ranks) n;
   let cmp = Em.Ctx.counted ctx icmp in
@@ -205,7 +230,9 @@ let multiselect_cmd =
   let doc = "Report the elements of the given ranks (Theorem 4)." in
   Cmd.v
     (Cmd.info "multiselect" ~doc)
-    Term.(const run_multiselect $ verbose_t $ mem_t $ block_t $ seed_t $ workload_t $ n_t $ ranks_t $ baseline_t)
+    Term.(
+      const run_multiselect $ verbose_t $ backend_t $ mem_t $ block_t $ seed_t $ workload_t
+      $ n_t $ ranks_t $ baseline_t)
 
 (* ---- multi-partition ---- *)
 
@@ -215,12 +242,13 @@ let sizes_t =
     & opt (some (list int)) None
     & info [ "sizes" ] ~docv:"S1,S2,..." ~doc:"Positive partition sizes summing to n.")
 
-let run_multipartition verbose mem block seed workload n sizes baseline =
+let run_multipartition verbose backend mem block seed workload n sizes baseline =
   setup_logs verbose;
   let sizes = Array.of_list sizes in
-  let ctx = make_ctx ~mem ~block in
+  let ctx = make_ctx ?backend ~mem ~block () in
   let v = Core.Workload.vec ctx workload ~seed ~n in
   describe_machine ~mem ~block;
+  describe_backend ctx;
   Printf.printf "problem:      multi-partition into %d prescribed sizes\n" (Array.length sizes);
   let cmp = Em.Ctx.counted ctx icmp in
   let parts, cost =
@@ -239,15 +267,18 @@ let multipartition_cmd =
   let doc = "Physically partition into prescribed sizes." in
   Cmd.v
     (Cmd.info "multipartition" ~doc)
-    Term.(const run_multipartition $ verbose_t $ mem_t $ block_t $ seed_t $ workload_t $ n_t $ sizes_t $ baseline_t)
+    Term.(
+      const run_multipartition $ verbose_t $ backend_t $ mem_t $ block_t $ seed_t $ workload_t
+      $ n_t $ sizes_t $ baseline_t)
 
 (* ---- quantiles ---- *)
 
-let run_quantiles verbose mem block seed workload n k =
+let run_quantiles verbose backend mem block seed workload n k =
   setup_logs verbose;
-  let ctx = make_ctx ~mem ~block in
+  let ctx = make_ctx ?backend ~mem ~block () in
   let v = Core.Workload.vec ctx workload ~seed ~n in
   describe_machine ~mem ~block;
+  describe_backend ctx;
   Printf.printf "problem:      exact (1/%d)-quantiles of %d elements
 " k n;
   let cmp = Em.Ctx.counted ctx icmp in
@@ -263,7 +294,9 @@ let quantiles_cmd =
   let doc = "Report the exact (1/K)-quantile elements (equi-depth boundaries)." in
   Cmd.v
     (Cmd.info "quantiles" ~doc)
-    Term.(const run_quantiles $ verbose_t $ mem_t $ block_t $ seed_t $ workload_t $ n_t $ k_t)
+    Term.(
+      const run_quantiles $ verbose_t $ backend_t $ mem_t $ block_t $ seed_t $ workload_t $ n_t
+      $ k_t)
 
 (* ---- reduce (Section 3) ---- *)
 
@@ -273,11 +306,12 @@ let chunk_t =
     & opt (some int) None
     & info [ "chunk" ] ~docv:"SIZE" ~doc:"Exact partition size for the precise reduction.")
 
-let run_reduce verbose mem block seed workload n chunk =
+let run_reduce verbose backend mem block seed workload n chunk =
   setup_logs verbose;
-  let ctx = make_ctx ~mem ~block in
+  let ctx = make_ctx ?backend ~mem ~block () in
   let v = Core.Workload.vec ctx workload ~seed ~n in
   describe_machine ~mem ~block;
+  describe_backend ctx;
   Printf.printf "problem:      precise partitioning into chunks of %d (Section 3 reduction)
 " chunk;
   let cmp = Em.Ctx.counted ctx icmp in
@@ -298,7 +332,9 @@ let reduce_cmd =
   let doc = "Precise partitioning via the Section 3 reduction." in
   Cmd.v
     (Cmd.info "reduce" ~doc)
-    Term.(const run_reduce $ verbose_t $ mem_t $ block_t $ seed_t $ workload_t $ n_t $ chunk_t)
+    Term.(
+      const run_reduce $ verbose_t $ backend_t $ mem_t $ block_t $ seed_t $ workload_t $ n_t
+      $ chunk_t)
 
 (* ---- trace ---- *)
 
@@ -333,16 +369,17 @@ let jsonl_t =
     & opt (some string) None
     & info [ "jsonl" ] ~docv:"FILE" ~doc:"Also stream every I/O event to FILE as JSON lines.")
 
-let run_trace verbose mem block seed workload algo n k a b ranks jsonl =
+let run_trace verbose backend mem block seed workload algo n k a b ranks jsonl =
   setup_logs verbose;
   let trace = Em.Trace.create () in
   let collect, collected = Em.Trace.collector () in
   Em.Trace.add_sink trace collect;
   let jsonl_oc = Option.map open_out jsonl in
   Option.iter (fun oc -> Em.Trace.add_sink trace (Em.Trace.jsonl_sink oc)) jsonl_oc;
-  let ctx : int Em.Ctx.t = Em.Ctx.create ~trace (Em.Params.create ~mem ~block) in
+  let ctx : int Em.Ctx.t = Em.Ctx.create ~trace ?backend (Em.Params.create ~mem ~block) in
   let v = Core.Workload.vec ctx workload ~seed ~n in
   describe_machine ~mem ~block;
+  describe_backend ctx;
   let cmp = Em.Ctx.counted ctx icmp in
   let name, ((), cost) =
     match algo with
@@ -393,8 +430,8 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace" ~doc)
     Term.(
-      const run_trace $ verbose_t $ mem_t $ block_t $ seed_t $ workload_t $ trace_algo_t $ n_t
-      $ k_opt_t $ a_t $ b_opt_t $ ranks_opt_t $ jsonl_t)
+      const run_trace $ verbose_t $ backend_t $ mem_t $ block_t $ seed_t $ workload_t
+      $ trace_algo_t $ n_t $ k_opt_t $ a_t $ b_opt_t $ ranks_opt_t $ jsonl_t)
 
 (* ---- faults ---- *)
 
@@ -485,17 +522,18 @@ let print_restarts (o : _ Emalg.Restart.outcome) =
     o.Emalg.Restart.restarts o.Emalg.Restart.saves o.Emalg.Restart.save_ios
     o.Emalg.Restart.loads o.Emalg.Restart.load_ios
 
-let run_faults verbose mem block seed workload algo n k ranks fault_seed p kinds crash_every
-    max_retries verify_writes restartable =
+let run_faults verbose backend mem block seed workload algo n k ranks fault_seed p kinds
+    crash_every max_retries verify_writes restartable =
   setup_logs verbose;
   let trace = Em.Trace.create () in
   let collect, collected = Em.Trace.collector () in
   Em.Trace.add_sink trace collect;
-  let ctx : int Em.Ctx.t = Em.Ctx.create ~trace (Em.Params.create ~mem ~block) in
+  let ctx : int Em.Ctx.t = Em.Ctx.create ~trace ?backend (Em.Params.create ~mem ~block) in
   Em.Ctx.arm ~policy:{ Em.Device.default_policy with Em.Device.max_retries; verify_writes } ctx;
   let v = Core.Workload.vec ctx workload ~seed ~n in
   let input = Em.Vec.Oracle.to_array v in
   describe_machine ~mem ~block;
+  describe_backend ctx;
   let plan = Em.Fault.seeded ~seed:fault_seed ~p kinds in
   let plan =
     match crash_every with
@@ -559,9 +597,9 @@ let faults_cmd =
   Cmd.v
     (Cmd.info "faults" ~doc)
     Term.(
-      const run_faults $ verbose_t $ mem_t $ block_t $ seed_t $ workload_t $ fault_algo_t $ n_t
-      $ k_opt_t $ ranks_opt_t $ fault_seed_t $ fault_p_t $ fault_kinds_t $ crash_every_t
-      $ max_retries_t $ verify_writes_t $ restartable_t)
+      const run_faults $ verbose_t $ backend_t $ mem_t $ block_t $ seed_t $ workload_t
+      $ fault_algo_t $ n_t $ k_opt_t $ ranks_opt_t $ fault_seed_t $ fault_p_t $ fault_kinds_t
+      $ crash_every_t $ max_retries_t $ verify_writes_t $ restartable_t)
 
 (* ---- metrics & profile ---- *)
 
@@ -585,13 +623,13 @@ let observed_algo_t =
 (* Run [algo] with a span profiler and a seek-counting trace sink attached.
    Returns the machine, the profiler, the measured cost delta, the seek
    count and — when the algorithm has a Table 1 row — its (row, spec). *)
-let run_observed ~mem ~block ~seed ~workload ~algo ~n ~k ~a ~b ~ranks =
+let run_observed ?backend ~mem ~block ~seed ~workload ~algo ~n ~k ~a ~b ~ranks () =
   let trace = Em.Trace.create () in
   let seek_sink, seeks =
     Em.Trace.counter (fun e -> e.Em.Trace.locality = Em.Trace.Random)
   in
   Em.Trace.add_sink trace seek_sink;
-  let ctx : int Em.Ctx.t = Em.Ctx.create ~trace (Em.Params.create ~mem ~block) in
+  let ctx : int Em.Ctx.t = Em.Ctx.create ~trace ?backend (Em.Params.create ~mem ~block) in
   let profiler = Em.Profile.create () in
   Em.Profile.attach profiler ctx.Em.Ctx.stats;
   let v = Core.Workload.vec ctx workload ~seed ~n in
@@ -650,10 +688,10 @@ let format_t =
     & info [ "format" ] ~docv:"FMT"
         ~doc:"Registry dump format: prom (Prometheus text exposition) or json (canonical).")
 
-let run_metrics verbose mem block seed workload algo n k a b ranks format =
+let run_metrics verbose backend mem block seed workload algo n k a b ranks format =
   setup_logs verbose;
   let ctx, profiler, cost, seeks, table1_row, _name =
-    run_observed ~mem ~block ~seed ~workload ~algo ~n ~k ~a ~b ~ranks
+    run_observed ?backend ~mem ~block ~seed ~workload ~algo ~n ~k ~a ~b ~ranks ()
   in
   let reg = Em.Metrics.create () in
   Em.Metrics.publish_stats reg ctx.Em.Ctx.stats;
@@ -681,15 +719,16 @@ let metrics_cmd =
   Cmd.v
     (Cmd.info "metrics" ~doc)
     Term.(
-      const run_metrics $ verbose_t $ mem_t $ block_t $ seed_t $ workload_t $ observed_algo_t
-      $ n_t $ k_opt_t $ a_t $ b_opt_t $ ranks_opt_t $ format_t)
+      const run_metrics $ verbose_t $ backend_t $ mem_t $ block_t $ seed_t $ workload_t
+      $ observed_algo_t $ n_t $ k_opt_t $ a_t $ b_opt_t $ ranks_opt_t $ format_t)
 
-let run_profile verbose mem block seed workload algo n k a b ranks =
+let run_profile verbose backend mem block seed workload algo n k a b ranks =
   setup_logs verbose;
   let ctx, profiler, cost, seeks, table1_row, name =
-    run_observed ~mem ~block ~seed ~workload ~algo ~n ~k ~a ~b ~ranks
+    run_observed ?backend ~mem ~block ~seed ~workload ~algo ~n ~k ~a ~b ~ranks ()
   in
   describe_machine ~mem ~block;
+  describe_backend ctx;
   report_cost ctx cost;
   Printf.printf "random seeks: %d\n" seeks;
   (match table1_row with
@@ -719,12 +758,15 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile" ~doc)
     Term.(
-      const run_profile $ verbose_t $ mem_t $ block_t $ seed_t $ workload_t $ observed_algo_t
-      $ n_t $ k_opt_t $ a_t $ b_opt_t $ ranks_opt_t)
+      const run_profile $ verbose_t $ backend_t $ mem_t $ block_t $ seed_t $ workload_t
+      $ observed_algo_t $ n_t $ k_opt_t $ a_t $ b_opt_t $ ranks_opt_t)
 
 (* ---- bounds ---- *)
 
-let run_bounds mem block n k a b =
+(* [bounds] is pure bound arithmetic — no device is ever created — but it
+   accepts [--backend] like every other subcommand so sweep scripts can pass
+   a uniform flag set. *)
+let run_bounds _backend mem block n k a b =
   let spec = spec_of ~n ~k ~a ~b in
   let p = Em.Params.create ~mem ~block in
   describe_machine ~mem ~block;
@@ -745,13 +787,15 @@ let run_bounds mem block n k a b =
 
 let bounds_cmd =
   let doc = "Evaluate the paper's Table 1 bound formulas for a spec." in
-  Cmd.v (Cmd.info "bounds" ~doc) Term.(const run_bounds $ mem_t $ block_t $ n_t $ k_t $ a_t $ b_opt_t)
+  Cmd.v (Cmd.info "bounds" ~doc)
+    Term.(const run_bounds $ backend_t $ mem_t $ block_t $ n_t $ k_t $ a_t $ b_opt_t)
 
 (* ---- info ---- *)
 
-let run_info mem block =
-  let ctx = make_ctx ~mem ~block in
+let run_info backend mem block =
+  let ctx = make_ctx ?backend ~mem ~block () in
   describe_machine ~mem ~block;
+  describe_backend ctx;
   Printf.printf "merge fanout:            %d runs\n" (Emalg.Merge.max_fanout ctx);
   Printf.printf "distribution fanout:     %d buckets\n" (Emalg.Distribute.max_fanout ctx);
   Printf.printf "half-load (base cases):  %d words\n" (Emalg.Layout.half_load ctx);
@@ -761,7 +805,7 @@ let run_info mem block =
 
 let info_cmd =
   let doc = "Print the derived parameters of a machine geometry." in
-  Cmd.v (Cmd.info "info" ~doc) Term.(const run_info $ mem_t $ block_t)
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run_info $ backend_t $ mem_t $ block_t)
 
 let () =
   let doc =

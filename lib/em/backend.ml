@@ -1,0 +1,480 @@
+(* Physical block storage behind [Device].
+
+   [Device] keeps everything the EM model cares about — metering, fault
+   injection, checksums, remapping — and delegates the actual byte shuffling
+   to a backend: a record of closures over *physical* slot numbers.  Three
+   implementations ship: [sim] (the historical in-memory option array),
+   [file] (fixed-size marshalled slots on a real Unix file), and [cached]
+   (a buffer-pool LRU wrapper over any other backend whose resident pages
+   are charged against the [Mem] ledger).
+
+   Closures rather than a functor because a linked device family mixes
+   element types but must share one buffer pool; the pool stores untyped
+   eviction callbacks and each typed backend keeps its own page table. *)
+
+type 'a t = {
+  name : string;
+  alloc : unit -> int;  (* grab a fresh (or recycled) physical slot *)
+  load : int -> 'a array option;  (* [None] = never written / freed *)
+  store : int -> 'a array -> unit;  (* owns copying: caller's array is not retained *)
+  free : int -> unit;  (* recycle the slot; subsequent [load] is [None] *)
+  probe : int -> Trace.cache option;  (* pre-read residency check; [None] = uncached *)
+  pin : int -> unit;  (* protect a resident page from eviction (no-op if uncached) *)
+  unpin : int -> unit;
+  flush : unit -> unit;  (* write back dirty pages / fsync to stable storage *)
+  close : unit -> unit;  (* release OS resources; idempotent *)
+}
+
+(* Initial slot-table sizing: enough for a few streams of M/B blocks each, so
+   large sweeps don't pay repeated regrowth (the historical store doubled from
+   a hardcoded 64-slot seed regardless of geometry). *)
+let default_slots p = max 64 (8 * Params.fanout p)
+
+(* Dense physical-slot allocator with LIFO recycling — the same discipline the
+   historical in-device free list used, so allocation traces (and therefore
+   golden I/O counts, which mention block ids) are byte-identical. *)
+type allocator = { mutable next_slot : int; mutable recycled : int list }
+
+let allocator () = { next_slot = 0; recycled = [] }
+
+let alloc_slot a =
+  match a.recycled with
+  | s :: rest ->
+      a.recycled <- rest;
+      s
+  | [] ->
+      let s = a.next_slot in
+      a.next_slot <- s + 1;
+      s
+
+let free_slot a s = a.recycled <- s :: a.recycled
+
+(* ------------------------------------------------------------------ *)
+(* Sim: the in-memory store, extracted verbatim from Device.          *)
+(* ------------------------------------------------------------------ *)
+
+let sim ?(slots = 64) () =
+  let store = ref (Array.make (max 1 slots) None) in
+  let a = allocator () in
+  let ensure_capacity s =
+    let n = Array.length !store in
+    if s >= n then begin
+      let grown = Array.make (max (2 * n) (s + 1)) None in
+      Array.blit !store 0 grown 0 n;
+      store := grown
+    end
+  in
+  {
+    name = "sim";
+    alloc =
+      (fun () ->
+        let s = alloc_slot a in
+        ensure_capacity s;
+        s);
+    load = (fun s -> !store.(s));
+    store =
+      (fun s payload ->
+        ensure_capacity s;
+        !store.(s) <- Some (Array.copy payload));
+    free =
+      (fun s ->
+        ensure_capacity s;
+        !store.(s) <- None;
+        free_slot a s);
+    probe = (fun _ -> None);
+    pin = (fun _ -> ());
+    unpin = (fun _ -> ());
+    flush = (fun () -> ());
+    close = (fun () -> ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* File: fixed-size marshalled slots on a real Unix file.             *)
+(* ------------------------------------------------------------------ *)
+
+let really_write fd buf =
+  let len = Bytes.length buf in
+  let n = ref 0 in
+  while !n < len do
+    n := !n + Unix.write fd buf !n (len - !n)
+  done
+
+let really_read fd len =
+  let buf = Bytes.create len in
+  let n = ref 0 in
+  while !n < len do
+    let k = Unix.read fd buf !n (len - !n) in
+    if k = 0 then failwith "Backend.file: unexpected end of block file";
+    n := !n + k
+  done;
+  buf
+
+let slot_header = 8  (* little-endian marshalled-payload byte count *)
+let env_dir_var = "EM_BACKEND_DIR"
+
+let backing_dir dir =
+  match dir with
+  | Some d -> d
+  | None -> (
+      match Sys.getenv_opt env_dir_var with
+      | Some d when d <> "" -> d
+      | _ -> Filename.get_temp_dir_name ())
+
+let file (type elt) ?dir ~slot_bytes () : elt t =
+  if slot_bytes < slot_header + 8 then
+    invalid_arg "Backend.file: slot_bytes is too small to hold any payload";
+  let temp_dir = backing_dir dir in
+  let path = Filename.temp_file ~temp_dir "em-blocks-" ".dat" in
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
+  (* Unlink immediately: the kernel keeps the inode alive while the fd is
+     open and reclaims the space on close, so block files can never leak —
+     not across a bench sweep, not even on a crash. *)
+  (try Sys.remove path with Sys_error _ -> ());
+  let closed = ref false in
+  let close () =
+    if not !closed then begin
+      closed := true;
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    end
+  in
+  let check_open () = if !closed then invalid_arg "Backend.file: backend is closed" in
+  let a = allocator () in
+  let written : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  (* Backstop for backends dropped without an explicit close (tests, bench
+     iterations): release the fd once the backend is unreachable.  The
+     finaliser hangs off [written] — captured by the closures below, so it
+     stays alive as long as *any* copy of the record does (the record itself
+     may be functionally updated, e.g. renamed by [make]). *)
+  Gc.finalise (fun (_ : (int, unit) Hashtbl.t) -> close ()) written;
+  let seek s = ignore (Unix.lseek fd (s * slot_bytes) Unix.SEEK_SET) in
+  let write_slot s (payload : elt array) =
+    let data = Marshal.to_bytes payload [] in
+    let len = Bytes.length data in
+    if len + slot_header > slot_bytes then
+      raise (Em_error.Slot_overflow { bytes = len + slot_header; capacity = slot_bytes; slot = s });
+    let buf = Bytes.create (len + slot_header) in
+    Bytes.set_int64_le buf 0 (Int64.of_int len);
+    Bytes.blit data 0 buf slot_header len;
+    seek s;
+    really_write fd buf;
+    Hashtbl.replace written s ()
+  in
+  let read_slot s : elt array =
+    seek s;
+    let len = Int64.to_int (Bytes.get_int64_le (really_read fd slot_header) 0) in
+    Marshal.from_bytes (really_read fd len) 0
+  in
+  {
+    name = "file";
+    alloc = (fun () -> alloc_slot a);
+    load =
+      (fun s ->
+        check_open ();
+        if Hashtbl.mem written s then Some (read_slot s) else None);
+    store =
+      (fun s payload ->
+        check_open ();
+        write_slot s payload);
+    free =
+      (fun s ->
+        Hashtbl.remove written s;
+        free_slot a s);
+    probe = (fun _ -> None);
+    pin = (fun _ -> ());
+    unpin = (fun _ -> ());
+    flush =
+      (fun () ->
+        check_open ();
+        Unix.fsync fd);
+    close;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Pool: a buffer pool shared by a linked device family.              *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = struct
+  type frame = {
+    owner : int;
+    slot : int;
+    words : int;  (* charged to the Mem ledger while resident *)
+    mutable pins : int;
+    mutable stamp : int;  (* LRU clock value of the last touch *)
+    evict : unit -> unit;  (* write back (if dirty) and drop the owner's page *)
+  }
+
+  type t = {
+    params : Params.t;
+    stats : Stats.t;
+    capacity : int;  (* max resident frames *)
+    frames : (int * int, frame) Hashtbl.t;  (* keyed by (owner, slot) *)
+    mutable clock : int;
+    mutable clients : int;
+  }
+
+  let default_pages p = max 2 (Params.fanout p / 2)
+
+  let reclaim_words t deficit =
+    let freed = ref 0 in
+    let stuck = ref false in
+    while !freed < deficit && not !stuck do
+      let victim =
+        Hashtbl.fold
+          (fun _ f best ->
+            if f.pins > 0 then best
+            else
+              match best with
+              | Some b when b.stamp <= f.stamp -> best
+              | _ -> Some f)
+          t.frames None
+      in
+      match victim with
+      | None -> stuck := true
+      | Some f ->
+          (* Remove the frame before running its eviction callback so a
+             reentrant admission (nested cached backends) cannot pick the
+             same victim twice. *)
+          Hashtbl.remove t.frames (f.owner, f.slot);
+          f.evict ();
+          Mem.release_pool t.params t.stats (min f.words t.stats.Stats.pool_words);
+          t.stats.Stats.cache_evictions <- t.stats.Stats.cache_evictions + 1;
+          freed := !freed + f.words
+    done;
+    !freed
+
+  let create ?pages params stats =
+    let capacity = match pages with Some n -> max 1 n | None -> default_pages params in
+    let t =
+      {
+        params;
+        stats;
+        capacity;
+        frames = Hashtbl.create (4 * capacity);
+        clock = 0;
+        clients = 0;
+      }
+    in
+    (* Under memory pressure the algorithm's ledger charge wins over cache
+       residency: [Mem.charge] calls this hook with the word deficit before
+       giving up, and the pool yields pages.  Chain any hook that was already
+       installed, handing it whatever deficit remains. *)
+    let previous = stats.Stats.reclaim in
+    Stats.set_reclaim stats
+      (Some
+         (fun deficit ->
+           let freed = reclaim_words t deficit in
+           if freed < deficit then
+             match previous with Some f -> f (deficit - freed) | None -> ()));
+    t
+
+  let client t =
+    t.clients <- t.clients + 1;
+    t.clients
+
+  let capacity t = t.capacity
+  let resident t = Hashtbl.length t.frames
+
+  let find t ~owner ~slot = Hashtbl.find_opt t.frames (owner, slot)
+
+  let touch t ~owner ~slot =
+    match find t ~owner ~slot with
+    | None -> ()
+    | Some f ->
+        t.clock <- t.clock + 1;
+        f.stamp <- t.clock
+
+  let pin t ~owner ~slot =
+    match find t ~owner ~slot with None -> () | Some f -> f.pins <- f.pins + 1
+
+  let unpin t ~owner ~slot =
+    match find t ~owner ~slot with
+    | None -> ()
+    | Some f -> if f.pins > 0 then f.pins <- f.pins - 1
+
+  (* Admission is opportunistic: when every frame is pinned, or when even
+     after reclaim the ledger cannot absorb one more page, the caller simply
+     bypasses the cache (pass-through I/O) instead of failing — the
+     [mem_peak <= M] property must hold whatever the backend. *)
+  let admit t ~owner ~slot ~evict =
+    let made_room = ref true in
+    while Hashtbl.length t.frames >= t.capacity && !made_room do
+      made_room := reclaim_words t t.params.Params.block > 0
+    done;
+    if Hashtbl.length t.frames >= t.capacity then false
+    else
+      let words = t.params.Params.block in
+      match Mem.charge_pool t.params t.stats words with
+      | () ->
+          t.clock <- t.clock + 1;
+          Hashtbl.replace t.frames (owner, slot)
+            { owner; slot; words; pins = 0; stamp = t.clock; evict };
+          true
+      | exception Mem.Memory_exceeded _ -> false
+
+  (* Evict every unpinned frame (write-back included), returning their words
+     to the ledger.  End-of-run teardown and leak accounting. *)
+  let drop_all t = ignore (reclaim_words t max_int)
+
+  (* Drop a frame without eviction semantics: no write-back callback, no
+     eviction count.  Used when the block itself is freed or the backend is
+     closed. *)
+  let forget t ~owner ~slot =
+    match find t ~owner ~slot with
+    | None -> ()
+    | Some f ->
+        Hashtbl.remove t.frames (owner, slot);
+        Mem.release_pool t.params t.stats (min f.words t.stats.Stats.pool_words)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Cached: write-back / write-allocate LRU pages over any backend.    *)
+(* ------------------------------------------------------------------ *)
+
+type 'a page = { mutable payload : 'a array; mutable dirty : bool }
+
+let cached ~pool inner =
+  let owner = Pool.client pool in
+  let pages : (int, 'a page) Hashtbl.t = Hashtbl.create 64 in
+  let evict slot =
+    match Hashtbl.find_opt pages slot with
+    | None -> ()
+    | Some pg ->
+        Hashtbl.remove pages slot;
+        if pg.dirty then inner.store slot pg.payload
+  in
+  let admit slot payload ~dirty =
+    if Pool.admit pool ~owner ~slot ~evict:(fun () -> evict slot) then
+      Hashtbl.replace pages slot { payload = Array.copy payload; dirty }
+    else if dirty then inner.store slot payload
+  in
+  {
+    name = "cached:" ^ inner.name;
+    alloc = inner.alloc;
+    load =
+      (fun slot ->
+        match Hashtbl.find_opt pages slot with
+        | Some pg ->
+            Pool.touch pool ~owner ~slot;
+            Some pg.payload
+        | None -> (
+            match inner.load slot with
+            | None -> None
+            | Some payload ->
+                admit slot payload ~dirty:false;
+                Some payload));
+    store =
+      (fun slot payload ->
+        match Hashtbl.find_opt pages slot with
+        | Some pg ->
+            pg.payload <- Array.copy payload;
+            pg.dirty <- true;
+            Pool.touch pool ~owner ~slot
+        | None -> admit slot payload ~dirty:true);
+    free =
+      (fun slot ->
+        Hashtbl.remove pages slot;
+        Pool.forget pool ~owner ~slot;
+        inner.free slot);
+    probe = (fun slot -> Some (if Hashtbl.mem pages slot then Trace.Hit else Trace.Miss));
+    pin =
+      (fun slot -> if Hashtbl.mem pages slot then Pool.pin pool ~owner ~slot);
+    unpin = (fun slot -> Pool.unpin pool ~owner ~slot);
+    flush =
+      (fun () ->
+        Hashtbl.iter
+          (fun slot pg ->
+            if pg.dirty then begin
+              inner.store slot pg.payload;
+              pg.dirty <- false
+            end)
+          pages;
+        inner.flush ());
+    close =
+      (fun () ->
+        Hashtbl.iter (fun slot _ -> Pool.forget pool ~owner ~slot) pages;
+        Hashtbl.reset pages;
+        inner.close ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Specs and instances: family-level backend configuration.           *)
+(* ------------------------------------------------------------------ *)
+
+type spec = Sim | File | Cached of spec
+
+let rec spec_name = function
+  | Sim -> "sim"
+  | File -> "file"
+  | Cached Sim -> "cached"
+  | Cached inner -> "cached:" ^ spec_name inner
+
+let spec_of_string s =
+  let rec go t =
+    match t with
+    | "sim" -> Ok Sim
+    | "file" -> Ok File
+    | "cached" -> Ok (Cached Sim)
+    | _ ->
+        let prefix = "cached:" in
+        let plen = String.length prefix in
+        if String.length t > plen && String.sub t 0 plen = prefix then
+          Result.map (fun i -> Cached i) (go (String.sub t plen (String.length t - plen)))
+        else
+          Error
+            (Printf.sprintf "unknown backend %S (expected sim, file, cached or cached:BACKEND)" s)
+  in
+  go (String.lowercase_ascii (String.trim s))
+
+let env_var = "EM_BACKEND"
+
+let default_spec () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> Sim
+  | Some s -> (
+      match spec_of_string s with
+      | Ok spec -> spec
+      | Error msg -> invalid_arg (env_var ^ ": " ^ msg))
+
+let uses_pool = function Cached _ -> true | Sim | File -> false
+
+(* Generous per-slot budget for the file backend: B boxed words marshal to a
+   few dozen bytes each for the scalar payloads the algorithms move around. *)
+let default_slot_bytes p = (32 * p.Params.block) + 512
+
+type instance = {
+  spec : spec;
+  params : Params.t;
+  stats : Stats.t;
+  dir : string option;
+  slot_bytes : int;
+  pool : Pool.t option;
+}
+
+let instance ?dir ?slot_bytes ?pool_pages spec params stats =
+  let slot_bytes =
+    match slot_bytes with Some n -> n | None -> default_slot_bytes params
+  in
+  let pool =
+    if uses_pool spec then Some (Pool.create ?pages:pool_pages params stats) else None
+  in
+  { spec; params; stats; dir; slot_bytes; pool }
+
+let name i = spec_name i.spec
+let pool i = i.pool
+
+(* One typed backend per device.  Within a linked family every call shares
+   the instance — and therefore the buffer pool — while each device gets its
+   own slot space (its own file, its own page table). *)
+let make i =
+  let rec build = function
+    | Sim -> sim ~slots:(default_slots i.params) ()
+    | File -> file ?dir:i.dir ~slot_bytes:i.slot_bytes ()
+    | Cached inner ->
+        let pool =
+          match i.pool with
+          | Some p -> p
+          | None -> invalid_arg "Backend.make: cached spec without a pool"
+        in
+        cached ~pool (build inner)
+  in
+  { (build i.spec) with name = spec_name i.spec }

@@ -1,0 +1,145 @@
+(** Physical block storage behind {!Device}.
+
+    {!Device} is a metering / fault-injection / recovery shell; the actual
+    byte shuffling happens in a backend — a record of closures over
+    {e physical} slot numbers.  Three implementations ship:
+
+    - {!sim}: the historical in-memory option array.  Zero-cost, default,
+      and the reference for golden I/O counts.
+    - {!file}: fixed-size marshalled slots on a real Unix file (one seek +
+      read/write per block, [fsync] on flush), for honest wall-clock numbers.
+    - {!cached}: a buffer-pool LRU wrapper over any backend.  Resident pages
+      are charged against the {!Mem} ledger (so [mem_peak <= M] still
+      holds), and hits/misses/evictions are metered through {!Stats},
+      {!Trace} and {!Metrics}.
+
+    Backends are records of closures rather than a functor because a linked
+    device family ({!Ctx.linked}) mixes element types yet must share one
+    buffer pool: the pool holds untyped eviction callbacks while each typed
+    backend keeps its own page table.
+
+    Whatever the backend, the {e counted} I/O model is unchanged: {!Device}
+    charges one I/O per metered block access (a cache hit still costs one
+    counted I/O), so golden cost files are identical across backends. *)
+
+type 'a t = {
+  name : string;
+  alloc : unit -> int;  (** grab a fresh (or recycled) physical slot *)
+  load : int -> 'a array option;  (** [None] = never written / freed *)
+  store : int -> 'a array -> unit;
+      (** owns copying: the caller's array is not retained *)
+  free : int -> unit;  (** recycle the slot; subsequent [load] is [None] *)
+  probe : int -> Trace.cache option;
+      (** residency check {e before} a metered read; [None] = uncached *)
+  pin : int -> unit;  (** protect a resident page from eviction (no-op if uncached) *)
+  unpin : int -> unit;
+  flush : unit -> unit;  (** write back dirty pages / [fsync] to stable storage *)
+  close : unit -> unit;  (** release OS resources; idempotent *)
+}
+
+val default_slots : Params.t -> int
+(** Initial slot-table size for fresh devices: scaled to the machine's
+    [M/B] fanout (never below the historical 64) so large sweeps don't pay
+    repeated store regrowth. *)
+
+val sim : ?slots:int -> unit -> 'a t
+(** In-memory store seeded with [slots] (default 64) and doubling on
+    demand — behaviourally identical to the store {!Device} used to embed. *)
+
+val file : ?dir:string -> slot_bytes:int -> unit -> 'a t
+(** Marshalled blocks in fixed [slot_bytes]-sized slots of a temp file.
+
+    The file is created under [dir] (default: [$EM_BACKEND_DIR], falling
+    back to the system temp dir) and unlinked immediately after opening, so
+    no block file can outlive its fd — not across a bench sweep, not even on
+    a crash.  The fd is released by {!field-close} (idempotent) or, as a
+    backstop, by a GC finaliser.
+
+    A payload whose marshalled form exceeds the slot raises
+    {!Em_error.Slot_overflow}; size [slot_bytes] from the block size via
+    {!default_slot_bytes}. *)
+
+val default_slot_bytes : Params.t -> int
+(** [32*B + 512] bytes: a generous budget for [B] marshalled scalars. *)
+
+(** A buffer pool shared by every cached backend of a linked device family.
+
+    Frames are keyed by [(owner, slot)] where [owner] identifies the client
+    backend, replaced LRU, and charged [B] words each against the {!Mem}
+    ledger while resident.  Admission is {e opportunistic}: when every frame
+    is pinned or the ledger cannot absorb another page even after reclaim,
+    the would-be admission is simply bypassed (pass-through I/O) — caching
+    must never make an algorithm exceed [M].  Conversely, the pool installs
+    a {!Stats.set_reclaim} hook so that an algorithm's own memory pressure
+    evicts cache pages before [Memory_exceeded] is raised. *)
+module Pool : sig
+  type t
+
+  val create : ?pages:int -> Params.t -> Stats.t -> t
+  (** Pool holding at most [pages] frames (default {!default_pages}).
+      Installs the memory-pressure reclaim hook on [stats], chaining any
+      hook already present. *)
+
+  val default_pages : Params.t -> int
+  (** [max 2 (fanout/2)]: half the machine's memory, leaving the other half
+      to the algorithm. *)
+
+  val capacity : t -> int
+  val resident : t -> int  (** currently resident frames; [<= capacity] *)
+
+  val client : t -> int
+  (** Fresh owner id for one cached backend. *)
+
+  val admit : t -> owner:int -> slot:int -> evict:(unit -> unit) -> bool
+  (** Try to make [(owner, slot)] resident, evicting LRU unpinned frames as
+      needed.  [false] = bypass (pool pinned solid, or ledger full). *)
+
+  val touch : t -> owner:int -> slot:int -> unit
+  val pin : t -> owner:int -> slot:int -> unit
+  val unpin : t -> owner:int -> slot:int -> unit
+
+  val drop_all : t -> unit
+  (** Evict every unpinned frame (write-back included), returning their
+      words to the {!Mem} ledger.  End-of-run teardown. *)
+
+  val forget : t -> owner:int -> slot:int -> unit
+  (** Drop a frame without eviction semantics (no write-back, not counted as
+      an eviction): the block was freed or the backend closed. *)
+end
+
+val cached : pool:Pool.t -> 'a t -> 'a t
+(** Write-back, write-allocate LRU pages over [inner].  {!field-probe}
+    reports {!Trace.Hit}/{!Trace.Miss}; {!field-flush} writes back dirty
+    pages (keeping them resident) before flushing [inner]; {!field-free}
+    and {!field-close} return pages to the pool without write-back. *)
+
+(** {1 Specs and instances}
+
+    A {!spec} is the user-facing backend choice (CLI flag, [EM_BACKEND]
+    environment variable); an {!instance} binds it to one machine's
+    parameters, stats and (for cached specs) buffer pool, and mints one
+    typed backend per device so a linked family shares the pool while each
+    device keeps its own slot space. *)
+
+type spec = Sim | File | Cached of spec  (** [Cached Sim] is plain [cached] *)
+
+val spec_name : spec -> string
+(** ["sim"], ["file"], ["cached"], ["cached:file"], ... *)
+
+val spec_of_string : string -> (spec, string) result
+val env_var : string  (** ["EM_BACKEND"] *)
+
+val default_spec : unit -> spec
+(** [$EM_BACKEND] parsed with {!spec_of_string} ([Sim] when unset); an
+    unparseable value raises [Invalid_argument] rather than being silently
+    ignored. *)
+
+type instance
+
+val instance :
+  ?dir:string -> ?slot_bytes:int -> ?pool_pages:int -> spec -> Params.t -> Stats.t -> instance
+
+val name : instance -> string
+val pool : instance -> Pool.t option
+val make : instance -> 'a t
+(** A fresh typed backend for one device of the family. *)

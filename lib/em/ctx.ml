@@ -1,17 +1,36 @@
-type 'a t = { params : Params.t; stats : Stats.t; trace : Trace.t; dev : 'a Device.t }
+type 'a t = {
+  params : Params.t;
+  stats : Stats.t;
+  trace : Trace.t;
+  backend : Backend.instance;
+  dev : 'a Device.t;
+}
 
-let create ?trace params =
+let create ?trace ?backend ?backend_dir ?pool_pages params =
   let stats = Stats.create () in
   let trace = match trace with Some t -> t | None -> Trace.create () in
-  { params; stats; trace; dev = Device.create ~trace params stats }
+  let spec = match backend with Some s -> s | None -> Backend.default_spec () in
+  let backend = Backend.instance ?dir:backend_dir ?pool_pages spec params stats in
+  { params; stats; trace; backend;
+    dev = Device.create ~trace ~backend:(Backend.make backend) params stats }
 
 let linked ctx =
-  let dev = Device.create ~trace:ctx.trace ctx.params ctx.stats in
+  (* The linked device inherits the family's backend instance: same spec,
+     same backing directory, and — crucially — the same buffer pool when
+     cached, while keeping its own (disjoint) slot space. *)
+  let dev =
+    Device.create ~trace:ctx.trace ~backend:(Backend.make ctx.backend) ctx.params ctx.stats
+  in
   (* Auxiliary streams face the same disk: one fault plan sees the family's
      interleaved I/O stream, and recovery counters aggregate across it. *)
   (match Device.injector ctx.dev with None -> () | Some plan -> Device.inject dev plan);
   (match Device.recovery ctx.dev with None -> () | Some r -> Device.arm ~share:r dev);
-  { params = ctx.params; stats = ctx.stats; trace = ctx.trace; dev }
+  { params = ctx.params; stats = ctx.stats; trace = ctx.trace; backend = ctx.backend; dev }
+
+let backend_name ctx = Backend.name ctx.backend
+let backend_pool ctx = Backend.pool ctx.backend
+let flush ctx = Device.flush ctx.dev
+let close ctx = Device.close ctx.dev
 
 let inject ctx plan = Device.inject ctx.dev plan
 let clear_injector ctx = Device.clear_injector ctx.dev

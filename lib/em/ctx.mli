@@ -5,21 +5,51 @@
     are of an arbitrary type ['a] (one element = one word); algorithms are
     comparison-based and receive an explicit comparator. *)
 
-type 'a t = { params : Params.t; stats : Stats.t; trace : Trace.t; dev : 'a Device.t }
+type 'a t = {
+  params : Params.t;
+  stats : Stats.t;
+  trace : Trace.t;
+  backend : Backend.instance;
+  dev : 'a Device.t;
+}
 
-val create : ?trace:Trace.t -> Params.t -> 'a t
+val create :
+  ?trace:Trace.t -> ?backend:Backend.spec -> ?backend_dir:string -> ?pool_pages:int ->
+  Params.t -> 'a t
 (** Fresh machine with zeroed counters.  Pass [~trace] to route I/O events
     into a tracer you configured (extra sinks, larger ring); otherwise a
-    default ring-buffered tracer is attached. *)
+    default ring-buffered tracer is attached.
+
+    [backend] selects where blocks physically live (default: the
+    [$EM_BACKEND] environment variable, falling back to {!Backend.Sim});
+    [backend_dir] places file-backed storage, and [pool_pages] sizes the
+    buffer pool of cached backends.  The choice is invisible to counted
+    I/Os — see {!Backend}. *)
 
 val linked : 'a t -> 'b t
 (** A context over a fresh device for elements of another type, sharing the
     parameters, I/O counters, tracer and memory ledger of the original
     machine.  Used for auxiliary streams (rank lists, tagged pairs): all
-    their I/Os and buffers are charged to the same meters.  Fault injection
+    their I/Os and buffers are charged to the same meters.  The linked
+    device inherits the parent's backend instance — file-backed families
+    write under the same directory and cached families share one buffer
+    pool — while keeping its own disjoint block-id space.  Fault injection
     carries over — the linked device consults the {e same} {!Fault.plan}
     (one schedule over the family's interleaved I/O stream) and, when the
     original is armed, shares its recovery policy and counters. *)
+
+val backend_name : 'a t -> string
+(** e.g. ["sim"], ["file"], ["cached"], ["cached:file"]. *)
+
+val backend_pool : 'a t -> Backend.Pool.t option
+(** The family's shared buffer pool, when the backend is cached. *)
+
+val flush : 'a t -> unit
+(** Push pending state to stable storage; see {!Device.flush}. *)
+
+val close : 'a t -> unit
+(** Release this context's backend resources; see {!Device.close}.  Each
+    member of a linked family owns its device and is closed separately. *)
 
 val inject : 'a t -> Fault.plan -> unit
 (** Install a fault plan on the machine's device; see {!Device.inject}. *)

@@ -45,9 +45,8 @@ type 'a t = {
   params : Params.t;
   stats : Stats.t;
   trace : Trace.t;
-  mutable store : 'a array option array;
-  mutable next_id : int;
-  mutable free_list : int list;
+  backend : 'a Backend.t;  (* physical slot storage; see [Backend] *)
+  mutable next_id : int;  (* watermark: every issued id is < next_id *)
   mutable live : int;
   freed : (int, unit) Hashtbl.t;  (* ids currently on the free list *)
   perm_faults : (int, Fault.kind) Hashtbl.t;  (* sticky-bad physical blocks *)
@@ -55,15 +54,19 @@ type 'a t = {
   mutable recovery : recovery option;
 }
 
-let create ?trace params stats =
+let create ?trace ?backend params stats =
   let trace = match trace with Some t -> t | None -> Trace.create () in
+  let backend =
+    match backend with
+    | Some b -> b
+    | None -> Backend.sim ~slots:(Backend.default_slots params) ()
+  in
   {
     params;
     stats;
     trace;
-    store = Array.make 64 None;
+    backend;
     next_id = 0;
-    free_list = [];
     live = 0;
     freed = Hashtbl.create 64;
     perm_faults = Hashtbl.create 8;
@@ -74,6 +77,9 @@ let create ?trace params stats =
 let params d = d.params
 let stats d = d.stats
 let trace d = d.trace
+let backend_name d = d.backend.Backend.name
+let flush d = d.backend.Backend.flush ()
+let close d = d.backend.Backend.close ()
 
 (* Fault injection / recovery configuration. *)
 
@@ -101,6 +107,10 @@ let phys d id =
   | None -> id
   | Some r -> ( match Hashtbl.find_opt r.remap id with None -> id | Some p -> p)
 
+(* Pin/unpin a block's buffer-pool page (no-ops on uncached backends). *)
+let pin d id = d.backend.Backend.pin (phys d id)
+let unpin d id = d.backend.Backend.unpin (phys d id)
+
 (* Order-sensitive polymorphic checksum, seeded with the length so torn
    writes (prefix truncation) always change it. *)
 let checksum payload =
@@ -123,31 +133,21 @@ let verify_payload d id payload =
   | None -> true  (* nothing recorded: nothing to verify against *)
   | Some expected -> checksum payload = expected
 
-(* Allocation. *)
+(* Allocation.
 
-let ensure_capacity d id =
-  let n = Array.length d.store in
-  if id >= n then begin
-    let grown = Array.make (max (2 * n) (id + 1)) None in
-    Array.blit d.store 0 grown 0 n;
-    d.store <- grown
-  end
+   Slot recycling lives in the backend's allocator (same LIFO discipline the
+   in-device free list used); the device keeps only the [next_id] watermark
+   for id validation and the [freed] table for double-free detection. *)
 
 (* Grab a storage slot without touching the liveness accounting (shared by
    [alloc] and remapping, which replaces a slot rather than adding a block).
-   Quarantined slots are never pushed onto the free list, so anything popped
-   here is healthy. *)
+   Quarantined slots are never handed back to the backend, so anything the
+   allocator returns is healthy. *)
 let fresh_slot d =
-  match d.free_list with
-  | id :: rest ->
-      d.free_list <- rest;
-      Hashtbl.remove d.freed id;
-      id
-  | [] ->
-      let id = d.next_id in
-      d.next_id <- id + 1;
-      ensure_capacity d id;
-      id
+  let p = d.backend.Backend.alloc () in
+  if p >= d.next_id then d.next_id <- p + 1;
+  Hashtbl.remove d.freed p;
+  p
 
 let alloc d =
   d.live <- d.live + 1;
@@ -158,7 +158,6 @@ let free d id =
   if id < 0 || id >= d.next_id then raise (Em_error.Bad_block_id { op = "free"; id });
   if Hashtbl.mem d.freed id then raise (Em_error.Double_free { id });
   let p = phys d id in
-  d.store.(p) <- None;
   (match d.recovery with
   | None -> ()
   | Some r ->
@@ -167,7 +166,7 @@ let free d id =
   (* Recycle the physical slot; remember the logical id as freed.  When the
      block was remapped the logical id is retired for good (only the healthy
      physical slot goes back into circulation). *)
-  d.free_list <- p :: d.free_list;
+  d.backend.Backend.free p;
   Hashtbl.replace d.freed p ();
   if p <> id then Hashtbl.replace d.freed id ();
   d.live <- d.live - 1;
@@ -210,12 +209,12 @@ let unmetered_write d id payload =
   check_id "write" d id;
   check_payload d payload;
   let p = phys d id in
-  d.store.(p) <- Some (Array.copy payload);
+  d.backend.Backend.store p payload;
   record_checksum d p payload
 
 let unmetered_read d id =
   check_id "read" d id;
-  match d.store.(phys d id) with
+  match d.backend.Backend.load (phys d id) with
   | None -> raise (Em_error.Never_written { id })
   | Some payload -> Array.copy payload
 
@@ -230,15 +229,22 @@ let trace_kind fault attempt =
   | Some k -> Trace.Faulted k
   | None -> if attempt > 1 then Trace.Retry else Trace.Io
 
-let charge d (op : Trace.op) ~block ~fault ~attempt =
+let charge ?cache d (op : Trace.op) ~block ~fault ~attempt =
   (match op with
   | Trace.Read -> d.stats.Stats.reads <- d.stats.Stats.reads + 1
   | Trace.Write -> d.stats.Stats.writes <- d.stats.Stats.writes + 1);
   if attempt > 1 then d.stats.Stats.retries <- d.stats.Stats.retries + 1;
   if fault <> None then d.stats.Stats.faults <- d.stats.Stats.faults + 1;
+  (* Hit/miss accounting covers exactly the metered reads, so the invariant
+     [reads = cache_hits + cache_misses] holds on cached backends (Oracle
+     accesses are invisible here, as everywhere). *)
+  (match cache with
+  | Some Trace.Hit -> d.stats.Stats.cache_hits <- d.stats.Stats.cache_hits + 1
+  | Some Trace.Miss -> d.stats.Stats.cache_misses <- d.stats.Stats.cache_misses + 1
+  | None -> ());
   Stats.record_phase_io d.stats;
-  Trace.emit ~kind:(trace_kind fault attempt) d.trace op ~block
-    ~phase:d.stats.Stats.phase_stack
+  Trace.emit ~kind:(trace_kind fault attempt) ~backend:d.backend.Backend.name ?cache d.trace
+    op ~block ~phase:d.stats.Stats.phase_stack
 
 (* A sticky fault fires before the injector is even consulted; permanent
    faults injected by the plan become sticky on their physical slot. *)
@@ -278,7 +284,7 @@ let write ?(attempt = 1) d id payload =
   charge d Trace.Write ~block:p ~fault ~attempt;
   match fault with
   | None ->
-      d.store.(p) <- Some (Array.copy payload);
+      d.backend.Backend.store p payload;
       record_checksum d p payload
   | Some Fault.Crash -> crash d
   | Some (Fault.Transient_write as kind) | Some (Fault.Permanent_write as kind) ->
@@ -287,10 +293,10 @@ let write ?(attempt = 1) d id payload =
       (* The I/O "succeeds" but only a prefix reaches the platter.  The
          checksum records what *should* be there, so verification catches
          the tear on the next read. *)
-      d.store.(p) <- Some (Array.sub payload 0 (Array.length payload / 2));
+      d.backend.Backend.store p (Array.sub payload 0 (Array.length payload / 2));
       record_checksum d p payload
   | Some Fault.Bit_corruption ->
-      d.store.(p) <- Some (corrupt_payload payload);
+      d.backend.Backend.store p (corrupt_payload payload);
       record_checksum d p payload
   | Some (Fault.Transient_read | Fault.Permanent_read) ->
       (* Filtered by [applies]; unreachable. *)
@@ -299,13 +305,16 @@ let write ?(attempt = 1) d id payload =
 let read ?(attempt = 1) d id =
   check_id "read" d id;
   let p = phys d id in
+  (* Residency must be probed before [load]: loading through a cached
+     backend admits the page, which would turn every miss into a hit. *)
+  let cache = d.backend.Backend.probe p in
   let stored =
-    match d.store.(p) with
+    match d.backend.Backend.load p with
     | None -> raise (Em_error.Never_written { id })
     | Some payload -> payload
   in
   let fault = decide_fault d `Read p in
-  charge d Trace.Read ~block:p ~fault ~attempt;
+  charge ?cache d Trace.Read ~block:p ~fault ~attempt;
   match fault with
   | None -> Array.copy stored
   | Some Fault.Crash -> crash d

@@ -1,10 +1,18 @@
-(** A simulated block device with fault injection.
+(** A metered block device with fault injection over a pluggable backend.
 
     The device stores blocks of at most [B] elements each, addressed by
     integer block ids.  Every metered {!read} and {!write} costs exactly one
     I/O, which is recorded in the device's {!Stats.t} and emitted as a typed
-    {!Trace.event}.  Freed blocks are recycled through a free list so that
-    long experiments do not grow without bound.
+    {!Trace.event}.  Freed blocks are recycled so that long experiments do
+    not grow without bound.
+
+    {b Backends.}  Physical storage is delegated to an {!Backend.t}
+    (in-memory simulation by default; real file-backed slots or a
+    buffer-pool cache via {!Ctx.create}).  Metering happens here, {e above}
+    the backend, so the counted I/O numbers are identical whatever backend
+    serves the bytes — a buffer-pool hit still costs one counted I/O, it is
+    merely also recorded as a hit ({!Stats} cache counters, {!Trace.cache}
+    annotation).
 
     {b Faults.}  An optional {!Fault.plan} ({!inject}) is consulted once per
     metered attempt and can make that attempt fail ({!Em_error.Error}),
@@ -61,15 +69,35 @@ type recovery = {
 
 type 'a t
 
-val create : ?trace:Trace.t -> Params.t -> Stats.t -> 'a t
-(** [create ?trace params stats] makes a device whose metered operations are
-    counted in [stats] and emitted to [trace] (a fresh default tracer if
-    omitted).  Devices created through {!Ctx.linked} share one tracer.  The
-    device starts with no injector and unarmed. *)
+val create : ?trace:Trace.t -> ?backend:'a Backend.t -> Params.t -> Stats.t -> 'a t
+(** [create ?trace ?backend params stats] makes a device whose metered
+    operations are counted in [stats] and emitted to [trace] (a fresh
+    default tracer if omitted), storing bytes in [backend] (a fresh
+    {!Backend.sim} sized by {!Backend.default_slots} if omitted).  Devices
+    created through {!Ctx.linked} share one tracer.  The device starts with
+    no injector and unarmed. *)
 
 val params : 'a t -> Params.t
 val stats : 'a t -> Stats.t
 val trace : 'a t -> Trace.t
+
+val backend_name : 'a t -> string
+(** e.g. ["sim"], ["file"], ["cached"]; stamped on every trace event. *)
+
+val flush : 'a t -> unit
+(** Push pending state to stable storage: write back dirty buffer-pool
+    pages, [fsync] file backends.  Costs no counted I/O (durability is
+    outside the Aggarwal–Vitter cost model). *)
+
+val close : 'a t -> unit
+(** Release backend OS resources (fds, buffer-pool pages).  Idempotent.
+    Using the device afterwards is a programming error. *)
+
+val pin : 'a t -> int -> unit
+(** Pin block [id]'s buffer-pool page so eviction skips it.  No-op on
+    uncached backends or when the block is not resident. *)
+
+val unpin : 'a t -> int -> unit
 
 (** {2 Fault injection and recovery configuration} *)
 

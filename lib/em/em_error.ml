@@ -14,6 +14,10 @@ exception Double_free of { id : int }
 exception Negative_words of { op : string; n : int }
 exception Over_release of { releasing : int; in_use : int }
 
+exception Slot_overflow of { bytes : int; capacity : int; slot : int }
+(* A marshalled payload exceeded a file backend's fixed slot size; see
+   [Backend.file]. *)
+
 let op_name = function `Read -> "read" | `Write -> "write"
 
 let to_string = function
@@ -43,4 +47,8 @@ let () =
     | Negative_words { op; n } -> Some (Printf.sprintf "Em_error.Negative_words(%s, %d)" op n)
     | Over_release { releasing; in_use } ->
         Some (Printf.sprintf "Em_error.Over_release(%d > %d in use)" releasing in_use)
+    | Slot_overflow { bytes; capacity; slot } ->
+        Some
+          (Printf.sprintf "Em_error.Slot_overflow(%d bytes > %d-byte slot %d)" bytes capacity
+             slot)
     | _ -> None)

@@ -3,12 +3,20 @@
     Every in-memory buffer an algorithm holds must be charged here.  The
     ledger raises {!Memory_exceeded} as soon as the total exceeds the machine
     parameter [M], which turns memory-budget violations into immediate test
-    failures rather than silent modelling errors. *)
+    failures rather than silent modelling errors.
+
+    Resident buffer-pool pages (see {!Backend.Pool}) occupy the same [M]
+    words but are ledgered separately in {!Stats.t.pool_words}: the capacity
+    check and [mem_peak] cover [mem_in_use + pool_words], while the
+    drained-ledger invariant ([mem_in_use = 0] after an algorithm returns)
+    stays meaningful with a warm cache. *)
 
 exception Memory_exceeded of { requested : int; in_use : int; capacity : int }
 
 val charge : Params.t -> Stats.t -> int -> unit
-(** [charge p s n] records [n] more words in use.
+(** [charge p s n] records [n] more words in use.  Under pressure, the
+    {!Stats.set_reclaim} hook is given one chance to evict cache pages
+    before the verdict.
     @raise Memory_exceeded if the budget [p.mem] would be exceeded. *)
 
 val release : Params.t -> Stats.t -> int -> unit
@@ -19,3 +27,9 @@ val release : Params.t -> Stats.t -> int -> unit
 val with_words : Params.t -> Stats.t -> int -> (unit -> 'a) -> 'a
 (** [with_words p s n f] charges [n] words around the call to [f], releasing
     them even if [f] raises. *)
+
+val charge_pool : Params.t -> Stats.t -> int -> unit
+(** Like {!charge} but against {!Stats.t.pool_words}.  Only {!Backend.Pool}
+    calls this. *)
+
+val release_pool : Params.t -> Stats.t -> int -> unit

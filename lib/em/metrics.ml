@@ -304,6 +304,20 @@ let publish_stats t (s : Stats.t) =
   set
     (gauge t ~help:"Peak memory words in use" "mem_peak_words")
     (float_of_int s.Stats.mem_peak);
+  (* Buffer-pool gauges appear only once a cached backend has been active,
+     so uncached runs (and the pinned exporter goldens) keep their shape. *)
+  if s.Stats.cache_hits > 0 || s.Stats.cache_misses > 0 || s.Stats.cache_evictions > 0
+  then begin
+    set
+      (gauge t ~help:"Buffer-pool hits on metered reads" "cache_hits_total")
+      (float_of_int s.Stats.cache_hits);
+    set
+      (gauge t ~help:"Buffer-pool misses on metered reads" "cache_misses_total")
+      (float_of_int s.Stats.cache_misses);
+    set
+      (gauge t ~help:"Buffer-pool page evictions" "cache_evictions_total")
+      (float_of_int s.Stats.cache_evictions)
+  end;
   List.iter
     (fun (path, ios) ->
       set

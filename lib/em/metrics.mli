@@ -78,4 +78,6 @@ val publish_stats : t -> Stats.t -> unit
 (** Publish the machine's native counters ({!Stats.t}) into the registry:
     [reads_total], [writes_total], [ios_total], [comparisons_total],
     [faults_total], [retries_total], [mem_peak_words], and one
-    [phase_ios{path=...}] gauge per phase path. *)
+    [phase_ios{path=...}] gauge per phase path.  When a cached backend has
+    been active (any nonzero cache counter), additionally
+    [cache_hits_total], [cache_misses_total] and [cache_evictions_total]. *)

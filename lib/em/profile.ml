@@ -13,6 +13,8 @@ type span = {
   mutable comparisons : int;
   mutable faults : int;
   mutable retries : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
   mutable wall_ns : float;
   mutable mem_peak : int;
 }
@@ -53,6 +55,8 @@ let find_span t path =
           comparisons = 0;
           faults = 0;
           retries = 0;
+          cache_hits = 0;
+          cache_misses = 0;
           wall_ns = 0.;
           mem_peak = 0;
         }
@@ -90,6 +94,8 @@ let on_pop t stats _stack =
         s.comparisons <- s.comparisons + d.Stats.d_comparisons;
         s.faults <- s.faults + d.Stats.d_faults;
         s.retries <- s.retries + d.Stats.d_retries;
+        s.cache_hits <- s.cache_hits + d.Stats.d_cache_hits;
+        s.cache_misses <- s.cache_misses + d.Stats.d_cache_misses;
         s.wall_ns <- s.wall_ns +. ((now () -. frame.start) *. 1e9);
         if frame.peak > s.mem_peak then s.mem_peak <- frame.peak
       end;
@@ -160,6 +166,8 @@ let zero_like path =
     comparisons = 0;
     faults = 0;
     retries = 0;
+    cache_hits = 0;
+    cache_misses = 0;
     wall_ns = 0.;
     mem_peak = 0;
   }
@@ -175,6 +183,8 @@ let rec pp_node ppf ~depth node =
       node.label (span_ios s) s.reads s.writes s.comparisons (s.wall_ns /. 1e6) s.calls;
     if s.faults > 0 || s.retries > 0 then
       Format.fprintf ppf "  [faulted %d / retried %d]" s.faults s.retries;
+    if s.cache_hits > 0 || s.cache_misses > 0 then
+      Format.fprintf ppf "  [hit %d / miss %d]" s.cache_hits s.cache_misses;
     Format.fprintf ppf "@."
   end;
   List.iter
@@ -198,6 +208,11 @@ let publish reg t =
       g "span_comparisons" "Comparisons inside the span" (float_of_int s.comparisons);
       g "span_faults" "Faulted attempts inside the span" (float_of_int s.faults);
       g "span_retries" "Recovery re-attempts inside the span" (float_of_int s.retries);
+      if s.cache_hits > 0 || s.cache_misses > 0 then begin
+        g "span_cache_hits" "Buffer-pool hits inside the span" (float_of_int s.cache_hits);
+        g "span_cache_misses" "Buffer-pool misses inside the span"
+          (float_of_int s.cache_misses)
+      end;
       g "span_mem_peak_words" "Peak memory words while the span was open"
         (float_of_int s.mem_peak);
       g "span_wall_ns" "Host wall-clock nanoseconds inside the span" s.wall_ns;

@@ -18,6 +18,8 @@ type span = {
   mutable comparisons : int;
   mutable faults : int;
   mutable retries : int;
+  mutable cache_hits : int;  (** buffer-pool hits (cached backends only) *)
+  mutable cache_misses : int;
   mutable wall_ns : float;  (** host wall-clock nanoseconds, inclusive *)
   mutable mem_peak : int;  (** max words in use while the span was open *)
 }

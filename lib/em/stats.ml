@@ -10,13 +10,18 @@ type t = {
   mutable comparisons : int;
   mutable faults : int;
   mutable retries : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
   mutable allocated_blocks : int;
   mutable freed_blocks : int;
   mutable mem_in_use : int;
+  mutable pool_words : int;
   mutable mem_peak : int;
   mutable phase_stack : string list;
   phase_ios : (string, int) Hashtbl.t;
   mutable hooks : span_hooks option;
+  mutable reclaim : (int -> unit) option;
 }
 
 let create () =
@@ -26,13 +31,18 @@ let create () =
     comparisons = 0;
     faults = 0;
     retries = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_evictions = 0;
     allocated_blocks = 0;
     freed_blocks = 0;
     mem_in_use = 0;
+    pool_words = 0;
     mem_peak = 0;
     phase_stack = [];
     phase_ios = Hashtbl.create 16;
     hooks = None;
+    reclaim = None;
   }
 
 let reset s =
@@ -41,15 +51,20 @@ let reset s =
   s.comparisons <- 0;
   s.faults <- 0;
   s.retries <- 0;
+  s.cache_hits <- 0;
+  s.cache_misses <- 0;
+  s.cache_evictions <- 0;
   s.allocated_blocks <- 0;
   s.freed_blocks <- 0;
   s.mem_in_use <- 0;
+  s.pool_words <- 0;
   s.mem_peak <- 0;
   s.phase_stack <- [];
   Hashtbl.reset s.phase_ios
 
 let set_hooks s hooks = s.hooks <- hooks
 let hooks s = s.hooks
+let set_reclaim s f = s.reclaim <- f
 
 let push_phase s label =
   s.phase_stack <- label :: s.phase_stack;
@@ -101,6 +116,8 @@ type snapshot = {
   at_comparisons : int;
   at_faults : int;
   at_retries : int;
+  at_cache_hits : int;
+  at_cache_misses : int;
 }
 
 let snapshot s =
@@ -110,6 +127,8 @@ let snapshot s =
     at_comparisons = s.comparisons;
     at_faults = s.faults;
     at_retries = s.retries;
+    at_cache_hits = s.cache_hits;
+    at_cache_misses = s.cache_misses;
   }
 
 let ios_since s snap = s.reads + s.writes - snap.at_reads - snap.at_writes
@@ -121,6 +140,8 @@ type delta = {
   d_comparisons : int;
   d_faults : int;
   d_retries : int;
+  d_cache_hits : int;
+  d_cache_misses : int;
 }
 
 let delta s snap =
@@ -130,6 +151,8 @@ let delta s snap =
     d_comparisons = s.comparisons - snap.at_comparisons;
     d_faults = s.faults - snap.at_faults;
     d_retries = s.retries - snap.at_retries;
+    d_cache_hits = s.cache_hits - snap.at_cache_hits;
+    d_cache_misses = s.cache_misses - snap.at_cache_misses;
   }
 
 let delta_ios d = d.d_reads + d.d_writes
@@ -138,11 +161,15 @@ let pp_delta ppf d =
   Format.fprintf ppf "{ reads = %d; writes = %d; ios = %d; comparisons = %d }" d.d_reads
     d.d_writes (delta_ios d) d.d_comparisons;
   if d.d_faults > 0 || d.d_retries > 0 then
-    Format.fprintf ppf " [faults = %d; retries = %d]" d.d_faults d.d_retries
+    Format.fprintf ppf " [faults = %d; retries = %d]" d.d_faults d.d_retries;
+  if d.d_cache_hits > 0 || d.d_cache_misses > 0 then
+    Format.fprintf ppf " [cache hits = %d; misses = %d]" d.d_cache_hits d.d_cache_misses
 
 let pp ppf s =
   Format.fprintf ppf
     "{ reads = %d; writes = %d; ios = %d; comparisons = %d; mem_peak = %d }"
     s.reads s.writes (ios s) s.comparisons s.mem_peak;
   if s.faults > 0 || s.retries > 0 then
-    Format.fprintf ppf " [faults = %d; retries = %d]" s.faults s.retries
+    Format.fprintf ppf " [faults = %d; retries = %d]" s.faults s.retries;
+  if s.cache_hits > 0 || s.cache_misses > 0 then
+    Format.fprintf ppf " [cache hits = %d; misses = %d]" s.cache_hits s.cache_misses

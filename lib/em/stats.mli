@@ -25,23 +25,41 @@ type t = {
   mutable comparisons : int;
   mutable faults : int;  (** metered attempts on which a fault was injected *)
   mutable retries : int;  (** recovery re-attempts charged by {!Resilient} *)
+  mutable cache_hits : int;
+      (** metered reads served from a resident buffer-pool page *)
+  mutable cache_misses : int;
+      (** metered reads that had to go to the underlying backend *)
+  mutable cache_evictions : int;
+      (** buffer-pool pages evicted (capacity or memory pressure) *)
   mutable allocated_blocks : int;
   mutable freed_blocks : int;
-  mutable mem_in_use : int;  (** words currently charged to memory *)
-  mutable mem_peak : int;  (** high-water mark of [mem_in_use] *)
+  mutable mem_in_use : int;  (** words currently charged by algorithms *)
+  mutable pool_words : int;
+      (** words held by buffer-pool pages (see {!Backend.Pool}); counted
+          against the [M] capacity and in [mem_peak], but kept out of
+          [mem_in_use] so "ledger drained" means what it says *)
+  mutable mem_peak : int;  (** high-water mark of [mem_in_use + pool_words] *)
   mutable phase_stack : string list;  (** innermost phase label first *)
   phase_ios : (string, int) Hashtbl.t;
       (** I/Os attributed per full phase path (see {!current_path}) *)
   mutable hooks : span_hooks option;  (** attached profiler, if any *)
+  mutable reclaim : (int -> unit) option;
+      (** memory-pressure hook: called by {!Mem.charge} with the word
+          deficit before raising [Memory_exceeded], so caches can evict
+          resident pages and release ledger words (see {!Backend.Pool}) *)
 }
 
 val create : unit -> t
 val reset : t -> unit
+(** Zero every counter.  Configuration ([hooks], [reclaim]) survives. *)
 
 val set_hooks : t -> span_hooks option -> unit
 (** Attach (or detach, with [None]) span observer hooks. *)
 
 val hooks : t -> span_hooks option
+
+val set_reclaim : t -> (int -> unit) option -> unit
+(** Install (or clear) the memory-pressure reclaim hook. *)
 
 val push_phase : t -> string -> unit
 (** Push a phase label and fire [on_push].  Use {!Phase.with_label} unless
@@ -68,6 +86,8 @@ type snapshot = {
   at_comparisons : int;
   at_faults : int;
   at_retries : int;
+  at_cache_hits : int;
+  at_cache_misses : int;
 }
 
 val snapshot : t -> snapshot
@@ -83,10 +103,14 @@ type delta = {
   d_comparisons : int;
   d_faults : int;
   d_retries : int;
+  d_cache_hits : int;
+  d_cache_misses : int;
 }
 (** Cost of a bracketed computation, as reported by {!Ctx.measured}.
     [d_reads]/[d_writes] already include retry I/Os; [d_faults]/[d_retries]
-    break out how many of the attempts faulted or were re-attempts. *)
+    break out how many of the attempts faulted or were re-attempts;
+    [d_cache_hits]/[d_cache_misses] how many of the reads were served by a
+    {!Backend.Cached} buffer pool. *)
 
 val delta : t -> snapshot -> delta
 val delta_ios : delta -> int

@@ -1,6 +1,7 @@
 type op = Read | Write
 type locality = Sequential | Random
 type kind = Io | Retry | Faulted of Fault.kind
+type cache = Hit | Miss
 
 type event = {
   seq : int;
@@ -9,6 +10,8 @@ type event = {
   block : int;
   phase : string list;
   locality : locality;
+  backend : string;
+  cache : cache option;
 }
 
 type ring = {
@@ -57,6 +60,7 @@ let counter pred =
 
 let op_name = function Read -> "read" | Write -> "write"
 let locality_name = function Sequential -> "sequential" | Random -> "random"
+let cache_name = function Hit -> "hit" | Miss -> "miss"
 
 let kind_name = function
   | Io -> "io"
@@ -64,12 +68,18 @@ let kind_name = function
   | Faulted k -> "fault:" ^ Fault.kind_name k
 
 (* Phase labels are plain ASCII identifiers, for which OCaml's %S escaping
-   coincides with JSON string escaping. *)
+   coincides with JSON string escaping.  Backend annotations are only
+   emitted when they carry information ([sim] with no cache outcome is the
+   counted-model default), so sim-backed traces keep the historical shape. *)
 let event_to_json e =
-  Printf.sprintf "{\"seq\":%d,\"op\":%S,\"kind\":%S,\"block\":%d,\"phase\":[%s],\"locality\":%S}"
+  Printf.sprintf "{\"seq\":%d,\"op\":%S,\"kind\":%S,\"block\":%d,\"phase\":[%s],\"locality\":%S%s%s}"
     e.seq (op_name e.op) (kind_name e.kind) e.block
     (String.concat "," (List.map (Printf.sprintf "%S") e.phase))
     (locality_name e.locality)
+    (if e.backend = "sim" then "" else Printf.sprintf ",\"backend\":%S" e.backend)
+    (match e.cache with
+    | None -> ""
+    | Some c -> Printf.sprintf ",\"cache\":%S" (cache_name c))
 
 let ring_push r e =
   if Array.length r.buf = 0 then r.buf <- Array.make r.capacity e;
@@ -90,8 +100,11 @@ let classify t block =
   else if block = t.last_block || block = t.last_block + 1 then Sequential
   else Random
 
-let emit ?(kind = Io) t op ~block ~phase =
-  let e = { seq = t.next_seq; op; kind; block; phase; locality = classify t block } in
+let emit ?(kind = Io) ?(backend = "sim") ?cache t op ~block ~phase =
+  let e =
+    { seq = t.next_seq; op; kind; block; phase; locality = classify t block;
+      backend; cache }
+  in
   t.next_seq <- t.next_seq + 1;
   t.last_block <- block;
   List.iter

@@ -21,6 +21,10 @@ type kind =
   | Retry  (** a recovery re-attempt charged by {!Resilient} *)
   | Faulted of Fault.kind  (** an attempt on which a fault was injected *)
 
+type cache =
+  | Hit  (** served from a resident buffer-pool page *)
+  | Miss  (** had to go to the underlying backend *)
+
 type event = {
   seq : int;  (** 0-based sequence number of the I/O on this tracer *)
   op : op;
@@ -28,6 +32,8 @@ type event = {
   block : int;
   phase : string list;  (** phase path, innermost label first *)
   locality : locality;
+  backend : string;  (** storage backend that served the I/O; ["sim"] default *)
+  cache : cache option;  (** buffer-pool outcome, for cached reads only *)
 }
 
 type sink
@@ -60,10 +66,12 @@ val counter : (event -> bool) -> sink * (unit -> int)
 
 val add_sink : t -> sink -> unit
 
-val emit : ?kind:kind -> t -> op -> block:int -> phase:string list -> unit
-(** Record one I/O (called by {!Device}; [kind] defaults to {!Io}).  The
-    first event on a tracer is classified {!Random} (the head must seek to
-    the first block). *)
+val emit :
+  ?kind:kind -> ?backend:string -> ?cache:cache -> t -> op -> block:int ->
+  phase:string list -> unit
+(** Record one I/O (called by {!Device}; [kind] defaults to {!Io}, [backend]
+    to ["sim"], [cache] to [None]).  The first event on a tracer is
+    classified {!Random} (the head must seek to the first block). *)
 
 val events : t -> event list
 (** Retained events of the first ring sink, oldest first. *)
@@ -86,4 +94,9 @@ val reset : t -> unit
 val op_name : op -> string
 val locality_name : locality -> string
 val kind_name : kind -> string
+val cache_name : cache -> string
+
 val event_to_json : event -> string
+(** One JSON object.  The [backend] and [cache] fields are omitted when they
+    carry no information (backend ["sim"], cache [None]), so traces from the
+    default simulated backend keep their historical shape. *)

@@ -5,9 +5,21 @@ type counts = {
   random : int;
   faults : int;
   retries : int;
+  cache_hits : int;
+  cache_misses : int;
 }
 
-let zero = { reads = 0; writes = 0; sequential = 0; random = 0; faults = 0; retries = 0 }
+let zero =
+  {
+    reads = 0;
+    writes = 0;
+    sequential = 0;
+    random = 0;
+    faults = 0;
+    retries = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+  }
 
 let add c (e : Trace.event) =
   {
@@ -18,6 +30,8 @@ let add c (e : Trace.event) =
     random = (c.random + match e.locality with Trace.Random -> 1 | Trace.Sequential -> 0);
     faults = (c.faults + match e.kind with Trace.Faulted _ -> 1 | Trace.Io | Trace.Retry -> 0);
     retries = (c.retries + match e.kind with Trace.Retry -> 1 | Trace.Io | Trace.Faulted _ -> 0);
+    cache_hits = (c.cache_hits + match e.cache with Some Trace.Hit -> 1 | _ -> 0);
+    cache_misses = (c.cache_misses + match e.cache with Some Trace.Miss -> 1 | _ -> 0);
   }
 
 let merge a b =
@@ -28,6 +42,8 @@ let merge a b =
     random = a.random + b.random;
     faults = a.faults + b.faults;
     retries = a.retries + b.retries;
+    cache_hits = a.cache_hits + b.cache_hits;
+    cache_misses = a.cache_misses + b.cache_misses;
   }
 
 let ios c = c.reads + c.writes
@@ -102,11 +118,16 @@ let random_seeks events =
 
 let overhead c = c.faults + c.retries
 
+let cached_reads c = c.cache_hits + c.cache_misses
+
 let pp_counts ppf c =
   Format.fprintf ppf "%d I/O (r %d / w %d; seq %d / rand %d)" (ios c) c.reads c.writes
     c.sequential c.random;
-  (* Fault overhead only when present, so fault-free reports stay stable. *)
-  if overhead c > 0 then Format.fprintf ppf " [faulted %d / retried %d]" c.faults c.retries
+  (* Fault overhead only when present, so fault-free reports stay stable;
+     likewise the cache mix appears only for cached-backend traces. *)
+  if overhead c > 0 then Format.fprintf ppf " [faulted %d / retried %d]" c.faults c.retries;
+  if cached_reads c > 0 then
+    Format.fprintf ppf " [hit %d / miss %d]" c.cache_hits c.cache_misses
 
 let rec pp_node ppf ~depth node =
   let total = subtotal node in

@@ -12,6 +12,8 @@ type counts = {
   random : int;
   faults : int;  (** attempts on which a fault was injected *)
   retries : int;  (** recovery re-attempts *)
+  cache_hits : int;  (** reads served from a buffer-pool page *)
+  cache_misses : int;  (** reads that went to the underlying backend *)
 }
 
 val zero : counts
@@ -21,6 +23,10 @@ val ios : counts -> int
 val overhead : counts -> int
 (** [faults + retries]: the extra I/Os a phase paid because of faults.  Zero
     on a fault-free run. *)
+
+val cached_reads : counts -> int
+(** [cache_hits + cache_misses]: reads that carried a cache annotation.
+    Zero on uncached backends; equals [reads] under {!Backend.cached}. *)
 
 type node = {
   label : string;

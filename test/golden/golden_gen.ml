@@ -18,7 +18,11 @@ let measure ~mem ~block kind ~n f =
     Em.Trace.counter (fun e -> e.Em.Trace.locality = Em.Trace.Random)
   in
   Em.Trace.add_sink trace seek_sink;
-  let ctx : int Em.Ctx.t = Em.Ctx.create ~trace (Em.Params.create ~mem ~block) in
+  (* Pinned to the sim backend: golden costs document the counted model and
+     must be immune to EM_BACKEND (mem_peak would include pool pages). *)
+  let ctx : int Em.Ctx.t =
+    Em.Ctx.create ~trace ~backend:Em.Backend.Sim (Em.Params.create ~mem ~block)
+  in
   let v = Core.Workload.vec ctx kind ~seed ~n in
   let (), d = Em.Ctx.measured ctx (fun () -> f ctx v) in
   { d; mem_peak = ctx.Em.Ctx.stats.Em.Stats.mem_peak; seeks = seeks () }

@@ -10,7 +10,12 @@
 
 let () =
   let reg = Em.Metrics.create () in
-  let ctx : int Em.Ctx.t = Em.Ctx.create (Em.Params.create ~mem:256 ~block:16) in
+  (* Pinned to the sim backend: the goldens document the counted-cost model,
+     which EM_BACKEND must not be able to perturb (a cached backend would
+     shift mem_peak by its resident pages). *)
+  let ctx : int Em.Ctx.t =
+    Em.Ctx.create ~backend:Em.Backend.Sim (Em.Params.create ~mem:256 ~block:16)
+  in
   let v = Em.Vec.of_array ctx (Array.init 160 (fun i -> i)) in
   Em.Phase.with_label ctx "scan" (fun () -> Emalg.Scan.iter (fun _ -> ()) v);
   Em.Phase.with_label ctx "copy" (fun () -> ignore (Emalg.Scan.copy v));

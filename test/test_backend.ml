@@ -1,0 +1,299 @@
+(* Storage backends: the same algorithms, byte-identical outputs and counted
+   I/Os whether blocks live in the sim array, on a real file, or behind the
+   buffer pool — plus the pool/file mechanics themselves (LRU residency,
+   ledger accounting, temp-file hygiene, slot overflow). *)
+
+let all_specs =
+  [
+    Em.Backend.Sim;
+    Em.Backend.File;
+    Em.Backend.Cached Em.Backend.Sim;
+    Em.Backend.Cached Em.Backend.File;
+  ]
+
+let ctx_on ?pool_pages spec : int Em.Ctx.t =
+  Em.Ctx.create ~backend:spec ?pool_pages (Tu.params ~mem:256 ~block:16 ())
+
+(* ---- backend record mechanics ---- *)
+
+let roundtrip_backend name (b : int Em.Backend.t) =
+  let s = b.Em.Backend.alloc () in
+  Tu.check_bool (name ^ ": unwritten slot loads None") true (b.Em.Backend.load s = None);
+  b.Em.Backend.store s [| 7; 8; 9 |];
+  (match b.Em.Backend.load s with
+  | Some a -> Tu.check_int_array (name ^ ": roundtrip") [| 7; 8; 9 |] a
+  | None -> Alcotest.failf "%s: stored slot loads None" name);
+  b.Em.Backend.store s [| 1 |];
+  (match b.Em.Backend.load s with
+  | Some a -> Tu.check_int_array (name ^ ": overwrite") [| 1 |] a
+  | None -> Alcotest.failf "%s: overwritten slot loads None" name);
+  b.Em.Backend.free s;
+  Tu.check_bool (name ^ ": freed slot loads None") true (b.Em.Backend.load s = None);
+  (* Recycling is LIFO: the historical Device free-list discipline that the
+     golden I/O counts were recorded under. *)
+  let a1 = b.Em.Backend.alloc () and a2 = b.Em.Backend.alloc () in
+  b.Em.Backend.free a1;
+  b.Em.Backend.free a2;
+  Tu.check_int (name ^ ": LIFO recycling") a2 (b.Em.Backend.alloc ());
+  b.Em.Backend.flush ();
+  b.Em.Backend.close ();
+  b.Em.Backend.close () (* idempotent *)
+
+let test_sim_roundtrip () = roundtrip_backend "sim" (Em.Backend.sim ())
+
+let test_file_roundtrip () =
+  roundtrip_backend "file" (Em.Backend.file ~slot_bytes:4096 ())
+
+let test_cached_roundtrip () =
+  let p = Tu.params () in
+  let stats = Em.Stats.create () in
+  let pool = Em.Backend.Pool.create p stats in
+  roundtrip_backend "cached" (Em.Backend.cached ~pool (Em.Backend.sim ()))
+
+let test_store_owns_copy () =
+  List.iter
+    (fun spec ->
+      let ctx = ctx_on spec in
+      let b = Em.Backend.make ctx.Em.Ctx.backend in
+      let s = b.Em.Backend.alloc () in
+      let payload = [| 1; 2; 3 |] in
+      b.Em.Backend.store s payload;
+      payload.(0) <- 99;
+      (match b.Em.Backend.load s with
+      | Some a ->
+          Tu.check_int
+            (Em.Backend.spec_name spec ^ ": stored copy is insulated from the caller")
+            1 a.(0)
+      | None -> Alcotest.fail "stored slot loads None");
+      Em.Ctx.close ctx;
+      b.Em.Backend.close ())
+    all_specs
+
+let test_file_slot_overflow () =
+  let b : int Em.Backend.t = Em.Backend.file ~slot_bytes:64 () in
+  let s = b.Em.Backend.alloc () in
+  (try
+     b.Em.Backend.store s (Array.init 4096 Fun.id);
+     Alcotest.fail "expected Slot_overflow"
+   with Em.Em_error.Slot_overflow { bytes; capacity; slot } ->
+     Tu.check_int "overflowing slot id" s slot;
+     Tu.check_int "slot capacity reported" 64 capacity;
+     Tu.check_bool "oversize payload reported" true (bytes > 64));
+  b.Em.Backend.close ()
+
+let test_default_slots_scale () =
+  (* Satellite fix: the initial slot table is sized from the machine's
+     fanout instead of the historical hardcoded 64. *)
+  Tu.check_int "small fanout keeps the historical floor" 64
+    (Em.Backend.default_slots (Em.Params.create ~mem:64 ~block:16));
+  Tu.check_int "large fanout scales the table" 2048
+    (Em.Backend.default_slots (Em.Params.create ~mem:4096 ~block:16))
+
+(* ---- spec parsing ---- *)
+
+let test_spec_parsing () =
+  let ok s spec =
+    match Em.Backend.spec_of_string s with
+    | Ok got -> Tu.check_bool (Printf.sprintf "parse %S" s) true (got = spec)
+    | Error e -> Alcotest.failf "parse %S failed: %s" s e
+  in
+  ok "sim" Em.Backend.Sim;
+  ok "FILE" Em.Backend.File;
+  ok " cached " (Em.Backend.Cached Em.Backend.Sim);
+  ok "cached:file" (Em.Backend.Cached Em.Backend.File);
+  ok "cached:cached:file" (Em.Backend.Cached (Em.Backend.Cached Em.Backend.File));
+  (match Em.Backend.spec_of_string "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parse \"bogus\" should fail");
+  List.iter
+    (fun spec ->
+      match Em.Backend.spec_of_string (Em.Backend.spec_name spec) with
+      | Ok got -> Tu.check_bool ("name roundtrip " ^ Em.Backend.spec_name spec) true (got = spec)
+      | Error e -> Alcotest.failf "name roundtrip failed: %s" e)
+    all_specs
+
+(* ---- the algorithm matrix: identical outputs, identical counted I/Os ---- *)
+
+type outcome = { label : string; output : int array; d : Em.Stats.delta; peak : int }
+
+let run_algo spec (label, algo) =
+  let ctx = ctx_on spec in
+  let v = Core.Workload.vec ctx Core.Workload.Random_perm ~seed:11 ~n:1500 in
+  let cmp = Em.Ctx.counted ctx Tu.icmp in
+  let output, d = Em.Ctx.measured ctx (fun () -> algo cmp v) in
+  let peak = ctx.Em.Ctx.stats.Em.Stats.mem_peak in
+  Em.Ctx.close ctx;
+  { label; output; d; peak }
+
+let algos =
+  let spec = { Core.Problem.n = 1500; k = 8; a = 40; b = 400 } in
+  let ranks = [| 1; 17; 750; 1499 |] in
+  [
+    ("sort", fun cmp v -> Em.Vec.Oracle.to_array (Emalg.External_sort.sort cmp v));
+    ("multiselect", fun cmp v -> Core.Multi_select.select cmp v ~ranks);
+    ("splitters", fun cmp v -> Em.Vec.Oracle.to_array (Core.Splitters.solve cmp v spec));
+    ( "partitioning",
+      fun cmp v ->
+        (* Flatten the partition family: sizes prefix + concatenated data
+           makes block-level divergence between backends visible. *)
+        let parts = Core.Partitioning.solve cmp v spec in
+        Array.concat
+          (Array.to_list (Array.map (fun p -> [| Em.Vec.length p |]) parts)
+          @ Array.to_list (Array.map Em.Vec.Oracle.to_array parts)) );
+  ]
+
+let test_matrix () =
+  List.iter
+    (fun algo ->
+      let reference = run_algo Em.Backend.Sim algo in
+      List.iter
+        (fun spec ->
+          let got = run_algo spec algo in
+          let on = Printf.sprintf "%s on %s" got.label (Em.Backend.spec_name spec) in
+          Tu.check_int_array (on ^ ": output identical to sim") reference.output got.output;
+          Tu.check_int (on ^ ": counted reads identical") reference.d.Em.Stats.d_reads
+            got.d.Em.Stats.d_reads;
+          Tu.check_int (on ^ ": counted writes identical") reference.d.Em.Stats.d_writes
+            got.d.Em.Stats.d_writes;
+          Tu.check_int (on ^ ": comparisons identical") reference.d.Em.Stats.d_comparisons
+            got.d.Em.Stats.d_comparisons;
+          Tu.check_bool (on ^ ": mem_peak within M") true (got.peak <= 256))
+        (List.tl all_specs))
+    algos
+
+(* ---- linked families inherit the backend ---- *)
+
+let test_linked_inherits_backend () =
+  List.iter
+    (fun spec ->
+      let parent = ctx_on spec in
+      let child : string Em.Ctx.t = Em.Ctx.linked parent in
+      Tu.check_bool
+        (Em.Backend.spec_name spec ^ ": linked device inherits the backend")
+        true
+        (Em.Ctx.backend_name child = Em.Ctx.backend_name parent);
+      Em.Ctx.close child;
+      Em.Ctx.close parent)
+    all_specs
+
+let test_linked_shares_pool () =
+  let parent = ctx_on (Em.Backend.Cached Em.Backend.Sim) in
+  let child : int Em.Ctx.t = Em.Ctx.linked parent in
+  let pool =
+    match (Em.Ctx.backend_pool parent, Em.Ctx.backend_pool child) with
+    | Some p, Some c ->
+        Tu.check_bool "parent and child share one pool object" true (p == c);
+        p
+    | _ -> Alcotest.fail "cached family without a pool"
+  in
+  (* Blocks written through either member land in the same pool. *)
+  let v1 = Tu.int_vec parent (Array.init 64 Fun.id) in
+  let before = Em.Backend.Pool.resident pool in
+  let v2 = Tu.int_vec child (Array.init 64 (fun i -> -i)) in
+  Tu.check_bool "child I/O populates the shared pool" true
+    (Em.Backend.Pool.resident pool > before);
+  Tu.check_bool "residency bounded by capacity" true
+    (Em.Backend.Pool.resident pool <= Em.Backend.Pool.capacity pool);
+  Em.Vec.free v1;
+  Em.Vec.free v2;
+  Em.Ctx.close child;
+  Em.Ctx.close parent;
+  Tu.check_int "closing the family empties the pool" 0 (Em.Backend.Pool.resident pool);
+  Tu.check_int "pool words returned to the ledger" 0
+    parent.Em.Ctx.stats.Em.Stats.pool_words
+
+let test_uncached_has_no_pool () =
+  List.iter
+    (fun spec ->
+      let ctx = ctx_on spec in
+      Tu.check_bool
+        (Em.Backend.spec_name spec ^ ": no pool on uncached backends")
+        true
+        (Em.Ctx.backend_pool ctx = None);
+      Em.Ctx.close ctx)
+    [ Em.Backend.Sim; Em.Backend.File ]
+
+(* ---- file hygiene: no backing files outlive (or are even visible to)
+        a sweep ---- *)
+
+let test_file_hygiene () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "em-backend-hygiene-%d" (Unix.getpid ()))
+  in
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () -> Unix.rmdir dir)
+    (fun () ->
+      for seed = 0 to 4 do
+        let ctx : int Em.Ctx.t =
+          Em.Ctx.create ~backend:Em.Backend.File ~backend_dir:dir
+            (Tu.params ~mem:256 ~block:16 ())
+        in
+        let v = Core.Workload.vec ctx Core.Workload.Random_perm ~seed ~n:600 in
+        let sorted = Emalg.External_sort.sort Tu.icmp v in
+        Tu.check_int "sorted on disk" 600 (Em.Vec.length sorted);
+        Em.Vec.free sorted;
+        (* Unlink-after-open: the backing file is invisible even while the
+           device is live, so a crash can't leak it either. *)
+        Tu.check_int "no visible backing file mid-run" 0 (Array.length (Sys.readdir dir));
+        Em.Ctx.close ctx
+      done;
+      Tu.check_int "no backing files leaked across the sweep" 0
+        (Array.length (Sys.readdir dir)))
+
+(* ---- cache accounting properties ---- *)
+
+let prop_reads_hits_misses =
+  Tu.qcheck_case ~count:30 "cached: reads = hits + misses; resident <= capacity"
+    QCheck2.Gen.(
+      triple (int_range 64 900) (int_range 0 1000) (int_range 2 12))
+    (fun (n, seed, pages) ->
+      let ctx = ctx_on ~pool_pages:pages (Em.Backend.Cached Em.Backend.Sim) in
+      let v = Core.Workload.vec ctx Core.Workload.Random_perm ~seed ~n in
+      let ranks = [| 1; (n / 2) + 1; n |] in
+      ignore (Core.Multi_select.select (Em.Ctx.counted ctx Tu.icmp) v ~ranks);
+      let s = ctx.Em.Ctx.stats in
+      let pool = Option.get (Em.Ctx.backend_pool ctx) in
+      let ok =
+        s.Em.Stats.reads = s.Em.Stats.cache_hits + s.Em.Stats.cache_misses
+        && Em.Backend.Pool.resident pool <= Em.Backend.Pool.capacity pool
+        && Em.Backend.Pool.capacity pool = pages
+        && s.Em.Stats.mem_peak <= 256
+      in
+      Em.Ctx.close ctx;
+      ok)
+
+let prop_file_matches_sim =
+  Tu.qcheck_case ~count:15 "file backend: sort output and I/Os match sim"
+    QCheck2.Gen.(pair (int_range 32 800) (int_range 0 1000))
+    (fun (n, seed) ->
+      let run spec =
+        let ctx = ctx_on spec in
+        let v = Core.Workload.vec ctx Core.Workload.Random_perm ~seed ~n in
+        let out, d =
+          Em.Ctx.measured ctx (fun () ->
+              Em.Vec.Oracle.to_array (Emalg.External_sort.sort Tu.icmp v))
+        in
+        Em.Ctx.close ctx;
+        (out, Em.Stats.delta_ios d)
+      in
+      run Em.Backend.Sim = run Em.Backend.File)
+
+let suite =
+  [
+    Alcotest.test_case "sim roundtrip" `Quick test_sim_roundtrip;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "cached roundtrip" `Quick test_cached_roundtrip;
+    Alcotest.test_case "store owns the copy" `Quick test_store_owns_copy;
+    Alcotest.test_case "file slot overflow is typed" `Quick test_file_slot_overflow;
+    Alcotest.test_case "initial slots scale with fanout" `Quick test_default_slots_scale;
+    Alcotest.test_case "spec parsing" `Quick test_spec_parsing;
+    Alcotest.test_case "algorithm matrix across backends" `Slow test_matrix;
+    Alcotest.test_case "linked inherits backend" `Quick test_linked_inherits_backend;
+    Alcotest.test_case "linked shares the buffer pool" `Quick test_linked_shares_pool;
+    Alcotest.test_case "no pool on uncached backends" `Quick test_uncached_has_no_pool;
+    Alcotest.test_case "file temp hygiene across a sweep" `Quick test_file_hygiene;
+    prop_reads_hits_misses;
+    prop_file_matches_sim;
+  ]

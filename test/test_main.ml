@@ -2,6 +2,7 @@ let () =
   Alcotest.run "repro"
     [
       ("em", Test_em.suite);
+      ("backend", Test_backend.suite);
       ("trace", Test_trace.suite);
       ("emalg", Test_emalg.suite);
       ("phase", Test_phase.suite);

@@ -36,7 +36,9 @@ let check_err what = function
   | Error _ -> ()
 
 (* Assert that the memory ledger is back to zero and no vector blocks leaked
-   except those of the listed live vectors. *)
+   except those of the listed live vectors.  (Buffer-pool pages of a cached
+   backend live in the separate [pool_words] ledger, so a warm cache is not
+   a leak.) *)
 let check_no_leaks ?(live = 0) (c : int Em.Ctx.t) =
   check_int "memory ledger drained" 0 c.Em.Ctx.stats.Em.Stats.mem_in_use;
   if live >= 0 then
