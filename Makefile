@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test fmt goldens bench bench-json bench-file test-backends faults clean
+.PHONY: all build test fmt goldens bench bench-json bench-file test-backends test-disks faults clean
 
 all: build
 
@@ -41,6 +41,13 @@ bench-json:
 bench-file:
 	EM_BACKEND=file dune exec bench/main.exe -- --small --json \
 	  --check-ratios test/golden/ratios.expected
+
+# Tier-1 suite re-run on multi-disk machines (the disks matrix).  Work must
+# be D-invariant — identical outputs, I/Os and comparisons — so every gate,
+# golden costs included, passes unchanged; only round counts compress.
+test-disks:
+	EM_DISKS=4 dune runtest --force
+	EM_DISKS=8 dune runtest --force
 
 # Tier-1 suite re-run on each non-default backend (the backend matrix).
 test-backends:

@@ -30,6 +30,7 @@ type measurement = {
   ios : int;
   reads : int;
   writes : int;
+  rounds : int;  (* parallel I/O rounds (= ios on a single-disk machine) *)
   comparisons : int;
   peak_mem : int;
   random_ios : int;  (* I/Os the tracer classified as seeks *)
@@ -38,14 +39,16 @@ type measurement = {
 
 (* Run [f] on a fresh machine loaded with a workload; measure only [f].
    A constant-space counting sink rides on the tracer so the seek profile is
-   exact even for runs far longer than the default ring buffer. *)
-let measure ?(machine = default_machine) ?(kind = Core.Workload.Pi_hard) ~seed ~n f =
+   exact even for runs far longer than the default ring buffer.  [disks]
+   puts D parallel disks under the machine (default 1, or EM_DISKS). *)
+let measure ?(machine = default_machine) ?(kind = Core.Workload.Pi_hard) ?disks
+    ~seed ~n f =
   let trace = Em.Trace.create () in
   let seeks, read_seeks =
     Em.Trace.counter (fun e -> e.Em.Trace.locality = Em.Trace.Random)
   in
   Em.Trace.add_sink trace seeks;
-  let ctx : int Em.Ctx.t = Em.Ctx.create ~trace (params machine) in
+  let ctx : int Em.Ctx.t = Em.Ctx.create ~trace ?disks (params machine) in
   let v = Core.Workload.vec ctx kind ~seed ~n in
   let t0 = Unix.gettimeofday () in
   let (), d = Em.Ctx.measured ctx (fun () -> f ctx v) in
@@ -54,6 +57,7 @@ let measure ?(machine = default_machine) ?(kind = Core.Workload.Pi_hard) ~seed ~
     ios = Em.Stats.delta_ios d;
     reads = d.Em.Stats.d_reads;
     writes = d.Em.Stats.d_writes;
+    rounds = d.Em.Stats.d_rounds;
     comparisons = d.Em.Stats.d_comparisons;
     peak_mem = ctx.Em.Ctx.stats.Em.Stats.mem_peak;
     random_ios = read_seeks ();
@@ -193,13 +197,18 @@ let artifact_row ~row ~label ~machine ~n ?(extra_geometry = []) ?(predicted = na
           @ List.map (fun (k, v) -> (k, Int v)) extra_geometry) );
       ( "measured",
         Obj
-          [
-            ("ios", Int m.ios);
-            ("reads", Int m.reads);
-            ("writes", Int m.writes);
-            ("comparisons", Int m.comparisons);
-            ("mem_peak", Int m.peak_mem);
-          ] );
+          ([
+             ("ios", Int m.ios);
+             ("reads", Int m.reads);
+             ("writes", Int m.writes);
+           ]
+          (* Rounds only when they diverge from I/Os (multi-disk runs):
+             single-disk artifacts keep their exact historical shape. *)
+          @ (if m.rounds < m.ios then [ ("rounds", Int m.rounds) ] else [])
+          @ [
+              ("comparisons", Int m.comparisons);
+              ("mem_peak", Int m.peak_mem);
+            ]) );
       ("predicted", Float predicted);
       ( "ratio",
         Float (if Float.is_nan predicted then nan else float_of_int m.ios /. predicted) );

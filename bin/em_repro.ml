@@ -22,6 +22,17 @@ let block_t =
 
 let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload PRNG seed.")
 
+let disks_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "disks"; "D" ] ~docv:"D"
+        ~doc:
+          "Number of parallel disks (round-based I/O accounting; block placement is striped \
+           round-robin).  Counted reads/writes are identical at any D; only the round count \
+           and prefetch/write-behind batching change.  When omitted, honours the EM_DISKS \
+           environment variable (default 1).")
+
 let workload_conv =
   let parse s =
     match String.split_on_char ':' s with
@@ -90,14 +101,17 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
 
-let make_ctx ?backend ~mem ~block () : int Em.Ctx.t =
-  Em.Ctx.create ?backend (Em.Params.create ~mem ~block)
+let make_ctx ?backend ?disks ~mem ~block () : int Em.Ctx.t =
+  Em.Ctx.create ?backend ?disks (Em.Params.create ~mem ~block)
 
 (* Cost of the measured computation only, as reported by [Ctx.measured]
    (workload placement is free and outside the bracket either way). *)
 let report_cost ctx (d : Em.Stats.delta) =
   Printf.printf "I/O:          %d (reads %d, writes %d)\n" (Em.Stats.delta_ios d)
     d.Em.Stats.d_reads d.Em.Stats.d_writes;
+  if d.Em.Stats.d_rounds < Em.Stats.delta_ios d then
+    Printf.printf "rounds:       %d (parallel disks, %.2fx compression)\n" d.Em.Stats.d_rounds
+      (float_of_int (Em.Stats.delta_ios d) /. float_of_int (max 1 d.Em.Stats.d_rounds));
   (if d.Em.Stats.d_cache_hits > 0 || d.Em.Stats.d_cache_misses > 0 then
      let s = ctx.Em.Ctx.stats in
      Printf.printf "cache:        %d hits, %d misses (%d evictions)\n" d.Em.Stats.d_cache_hits
@@ -122,19 +136,20 @@ let spec_of ~n ~k ~a ~b =
       exit 1);
   spec
 
-let describe_machine ~mem ~block =
-  Printf.printf "machine:      M=%d, B=%d (fanout M/B = %d)\n" mem block (mem / block)
+let describe_machine ?(disks = 1) ~mem ~block () =
+  Printf.printf "machine:      M=%d, B=%d (fanout M/B = %d)%s\n" mem block (mem / block)
+    (if disks > 1 then Printf.sprintf ", D=%d disks" disks else "")
 
 let describe_backend ctx = Printf.printf "backend:      %s\n" (Em.Ctx.backend_name ctx)
 
 (* ---- splitters ---- *)
 
-let run_splitters verbose backend mem block seed workload n k a b baseline =
+let run_splitters verbose backend mem block disks seed workload n k a b baseline =
   setup_logs verbose;
   let spec = spec_of ~n ~k ~a ~b in
-  let ctx = make_ctx ?backend ~mem ~block () in
+  let ctx = make_ctx ?backend ?disks ~mem ~block () in
   let v = Core.Workload.vec ctx workload ~seed ~n in
-  describe_machine ~mem ~block;
+  describe_machine ~disks:(Em.Ctx.disks ctx) ~mem ~block ();
   describe_backend ctx;
   Printf.printf "problem:      %s K-splitters, %s\n"
     (Core.Problem.variant_name (Core.Problem.classify spec))
@@ -157,17 +172,17 @@ let splitters_cmd =
   Cmd.v
     (Cmd.info "splitters" ~doc)
     Term.(
-      const run_splitters $ verbose_t $ backend_t $ mem_t $ block_t $ seed_t $ workload_t $ n_t
+      const run_splitters $ verbose_t $ backend_t $ mem_t $ block_t $ disks_t $ seed_t $ workload_t $ n_t
       $ k_t $ a_t $ b_opt_t $ baseline_t)
 
 (* ---- partitioning ---- *)
 
-let run_partition verbose backend mem block seed workload n k a b baseline =
+let run_partition verbose backend mem block disks seed workload n k a b baseline =
   setup_logs verbose;
   let spec = spec_of ~n ~k ~a ~b in
-  let ctx = make_ctx ?backend ~mem ~block () in
+  let ctx = make_ctx ?backend ?disks ~mem ~block () in
   let v = Core.Workload.vec ctx workload ~seed ~n in
-  describe_machine ~mem ~block;
+  describe_machine ~disks:(Em.Ctx.disks ctx) ~mem ~block ();
   describe_backend ctx;
   Printf.printf "problem:      %s K-partitioning, %s\n"
     (Core.Problem.variant_name (Core.Problem.classify spec))
@@ -194,7 +209,7 @@ let partition_cmd =
   Cmd.v
     (Cmd.info "partition" ~doc)
     Term.(
-      const run_partition $ verbose_t $ backend_t $ mem_t $ block_t $ seed_t $ workload_t $ n_t
+      const run_partition $ verbose_t $ backend_t $ mem_t $ block_t $ disks_t $ seed_t $ workload_t $ n_t
       $ k_t $ a_t $ b_opt_t $ baseline_t)
 
 (* ---- multi-selection ---- *)
@@ -205,12 +220,12 @@ let ranks_t =
     & opt (some (list int)) None
     & info [ "ranks" ] ~docv:"R1,R2,..." ~doc:"Strictly increasing 1-based ranks.")
 
-let run_multiselect verbose backend mem block seed workload n ranks baseline =
+let run_multiselect verbose backend mem block disks seed workload n ranks baseline =
   setup_logs verbose;
   let ranks = Array.of_list ranks in
-  let ctx = make_ctx ?backend ~mem ~block () in
+  let ctx = make_ctx ?backend ?disks ~mem ~block () in
   let v = Core.Workload.vec ctx workload ~seed ~n in
-  describe_machine ~mem ~block;
+  describe_machine ~disks:(Em.Ctx.disks ctx) ~mem ~block ();
   describe_backend ctx;
   Printf.printf "problem:      multi-selection of %d ranks from %d elements\n"
     (Array.length ranks) n;
@@ -231,7 +246,7 @@ let multiselect_cmd =
   Cmd.v
     (Cmd.info "multiselect" ~doc)
     Term.(
-      const run_multiselect $ verbose_t $ backend_t $ mem_t $ block_t $ seed_t $ workload_t
+      const run_multiselect $ verbose_t $ backend_t $ mem_t $ block_t $ disks_t $ seed_t $ workload_t
       $ n_t $ ranks_t $ baseline_t)
 
 (* ---- multi-partition ---- *)
@@ -242,12 +257,12 @@ let sizes_t =
     & opt (some (list int)) None
     & info [ "sizes" ] ~docv:"S1,S2,..." ~doc:"Positive partition sizes summing to n.")
 
-let run_multipartition verbose backend mem block seed workload n sizes baseline =
+let run_multipartition verbose backend mem block disks seed workload n sizes baseline =
   setup_logs verbose;
   let sizes = Array.of_list sizes in
-  let ctx = make_ctx ?backend ~mem ~block () in
+  let ctx = make_ctx ?backend ?disks ~mem ~block () in
   let v = Core.Workload.vec ctx workload ~seed ~n in
-  describe_machine ~mem ~block;
+  describe_machine ~disks:(Em.Ctx.disks ctx) ~mem ~block ();
   describe_backend ctx;
   Printf.printf "problem:      multi-partition into %d prescribed sizes\n" (Array.length sizes);
   let cmp = Em.Ctx.counted ctx icmp in
@@ -268,16 +283,16 @@ let multipartition_cmd =
   Cmd.v
     (Cmd.info "multipartition" ~doc)
     Term.(
-      const run_multipartition $ verbose_t $ backend_t $ mem_t $ block_t $ seed_t $ workload_t
+      const run_multipartition $ verbose_t $ backend_t $ mem_t $ block_t $ disks_t $ seed_t $ workload_t
       $ n_t $ sizes_t $ baseline_t)
 
 (* ---- quantiles ---- *)
 
-let run_quantiles verbose backend mem block seed workload n k =
+let run_quantiles verbose backend mem block disks seed workload n k =
   setup_logs verbose;
-  let ctx = make_ctx ?backend ~mem ~block () in
+  let ctx = make_ctx ?backend ?disks ~mem ~block () in
   let v = Core.Workload.vec ctx workload ~seed ~n in
-  describe_machine ~mem ~block;
+  describe_machine ~disks:(Em.Ctx.disks ctx) ~mem ~block ();
   describe_backend ctx;
   Printf.printf "problem:      exact (1/%d)-quantiles of %d elements
 " k n;
@@ -295,7 +310,7 @@ let quantiles_cmd =
   Cmd.v
     (Cmd.info "quantiles" ~doc)
     Term.(
-      const run_quantiles $ verbose_t $ backend_t $ mem_t $ block_t $ seed_t $ workload_t $ n_t
+      const run_quantiles $ verbose_t $ backend_t $ mem_t $ block_t $ disks_t $ seed_t $ workload_t $ n_t
       $ k_t)
 
 (* ---- reduce (Section 3) ---- *)
@@ -306,11 +321,11 @@ let chunk_t =
     & opt (some int) None
     & info [ "chunk" ] ~docv:"SIZE" ~doc:"Exact partition size for the precise reduction.")
 
-let run_reduce verbose backend mem block seed workload n chunk =
+let run_reduce verbose backend mem block disks seed workload n chunk =
   setup_logs verbose;
-  let ctx = make_ctx ?backend ~mem ~block () in
+  let ctx = make_ctx ?backend ?disks ~mem ~block () in
   let v = Core.Workload.vec ctx workload ~seed ~n in
-  describe_machine ~mem ~block;
+  describe_machine ~disks:(Em.Ctx.disks ctx) ~mem ~block ();
   describe_backend ctx;
   Printf.printf "problem:      precise partitioning into chunks of %d (Section 3 reduction)
 " chunk;
@@ -333,7 +348,7 @@ let reduce_cmd =
   Cmd.v
     (Cmd.info "reduce" ~doc)
     Term.(
-      const run_reduce $ verbose_t $ backend_t $ mem_t $ block_t $ seed_t $ workload_t $ n_t
+      const run_reduce $ verbose_t $ backend_t $ mem_t $ block_t $ disks_t $ seed_t $ workload_t $ n_t
       $ chunk_t)
 
 (* ---- trace ---- *)
@@ -369,16 +384,18 @@ let jsonl_t =
     & opt (some string) None
     & info [ "jsonl" ] ~docv:"FILE" ~doc:"Also stream every I/O event to FILE as JSON lines.")
 
-let run_trace verbose backend mem block seed workload algo n k a b ranks jsonl =
+let run_trace verbose backend mem block disks seed workload algo n k a b ranks jsonl =
   setup_logs verbose;
   let trace = Em.Trace.create () in
   let collect, collected = Em.Trace.collector () in
   Em.Trace.add_sink trace collect;
   let jsonl_oc = Option.map open_out jsonl in
   Option.iter (fun oc -> Em.Trace.add_sink trace (Em.Trace.jsonl_sink oc)) jsonl_oc;
-  let ctx : int Em.Ctx.t = Em.Ctx.create ~trace ?backend (Em.Params.create ~mem ~block) in
+  let ctx : int Em.Ctx.t =
+    Em.Ctx.create ~trace ?backend ?disks (Em.Params.create ~mem ~block)
+  in
   let v = Core.Workload.vec ctx workload ~seed ~n in
-  describe_machine ~mem ~block;
+  describe_machine ~disks:(Em.Ctx.disks ctx) ~mem ~block ();
   describe_backend ctx;
   let cmp = Em.Ctx.counted ctx icmp in
   let name, ((), cost) =
@@ -430,7 +447,7 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace" ~doc)
     Term.(
-      const run_trace $ verbose_t $ backend_t $ mem_t $ block_t $ seed_t $ workload_t
+      const run_trace $ verbose_t $ backend_t $ mem_t $ block_t $ disks_t $ seed_t $ workload_t
       $ trace_algo_t $ n_t $ k_opt_t $ a_t $ b_opt_t $ ranks_opt_t $ jsonl_t)
 
 (* ---- faults ---- *)
@@ -522,17 +539,19 @@ let print_restarts (o : _ Emalg.Restart.outcome) =
     o.Emalg.Restart.restarts o.Emalg.Restart.saves o.Emalg.Restart.save_ios
     o.Emalg.Restart.loads o.Emalg.Restart.load_ios
 
-let run_faults verbose backend mem block seed workload algo n k ranks fault_seed p kinds
+let run_faults verbose backend mem block disks seed workload algo n k ranks fault_seed p kinds
     crash_every max_retries verify_writes restartable =
   setup_logs verbose;
   let trace = Em.Trace.create () in
   let collect, collected = Em.Trace.collector () in
   Em.Trace.add_sink trace collect;
-  let ctx : int Em.Ctx.t = Em.Ctx.create ~trace ?backend (Em.Params.create ~mem ~block) in
+  let ctx : int Em.Ctx.t =
+    Em.Ctx.create ~trace ?backend ?disks (Em.Params.create ~mem ~block)
+  in
   Em.Ctx.arm ~policy:{ Em.Device.default_policy with Em.Device.max_retries; verify_writes } ctx;
   let v = Core.Workload.vec ctx workload ~seed ~n in
   let input = Em.Vec.Oracle.to_array v in
-  describe_machine ~mem ~block;
+  describe_machine ~disks:(Em.Ctx.disks ctx) ~mem ~block ();
   describe_backend ctx;
   let plan = Em.Fault.seeded ~seed:fault_seed ~p kinds in
   let plan =
@@ -597,7 +616,7 @@ let faults_cmd =
   Cmd.v
     (Cmd.info "faults" ~doc)
     Term.(
-      const run_faults $ verbose_t $ backend_t $ mem_t $ block_t $ seed_t $ workload_t
+      const run_faults $ verbose_t $ backend_t $ mem_t $ block_t $ disks_t $ seed_t $ workload_t
       $ fault_algo_t $ n_t $ k_opt_t $ ranks_opt_t $ fault_seed_t $ fault_p_t $ fault_kinds_t
       $ crash_every_t $ max_retries_t $ verify_writes_t $ restartable_t)
 
@@ -623,13 +642,15 @@ let observed_algo_t =
 (* Run [algo] with a span profiler and a seek-counting trace sink attached.
    Returns the machine, the profiler, the measured cost delta, the seek
    count and — when the algorithm has a Table 1 row — its (row, spec). *)
-let run_observed ?backend ~mem ~block ~seed ~workload ~algo ~n ~k ~a ~b ~ranks () =
+let run_observed ?backend ?disks ~mem ~block ~seed ~workload ~algo ~n ~k ~a ~b ~ranks () =
   let trace = Em.Trace.create () in
   let seek_sink, seeks =
     Em.Trace.counter (fun e -> e.Em.Trace.locality = Em.Trace.Random)
   in
   Em.Trace.add_sink trace seek_sink;
-  let ctx : int Em.Ctx.t = Em.Ctx.create ~trace ?backend (Em.Params.create ~mem ~block) in
+  let ctx : int Em.Ctx.t =
+    Em.Ctx.create ~trace ?backend ?disks (Em.Params.create ~mem ~block)
+  in
   let profiler = Em.Profile.create () in
   Em.Profile.attach profiler ctx.Em.Ctx.stats;
   let v = Core.Workload.vec ctx workload ~seed ~n in
@@ -688,10 +709,10 @@ let format_t =
     & info [ "format" ] ~docv:"FMT"
         ~doc:"Registry dump format: prom (Prometheus text exposition) or json (canonical).")
 
-let run_metrics verbose backend mem block seed workload algo n k a b ranks format =
+let run_metrics verbose backend mem block disks seed workload algo n k a b ranks format =
   setup_logs verbose;
   let ctx, profiler, cost, seeks, table1_row, _name =
-    run_observed ?backend ~mem ~block ~seed ~workload ~algo ~n ~k ~a ~b ~ranks ()
+    run_observed ?backend ?disks ~mem ~block ~seed ~workload ~algo ~n ~k ~a ~b ~ranks ()
   in
   let reg = Em.Metrics.create () in
   Em.Metrics.publish_stats reg ctx.Em.Ctx.stats;
@@ -703,6 +724,7 @@ let run_metrics verbose backend mem block seed workload algo n k a b ranks forma
   | Some (row, spec) ->
       ignore
         (Core.Bound_track.publish_values reg ctx.Em.Ctx.params row spec
+           ~measured_rounds:cost.Em.Stats.d_rounds
            ~measured_ios:(Em.Stats.delta_ios cost))
   | None -> ());
   print_string
@@ -719,15 +741,15 @@ let metrics_cmd =
   Cmd.v
     (Cmd.info "metrics" ~doc)
     Term.(
-      const run_metrics $ verbose_t $ backend_t $ mem_t $ block_t $ seed_t $ workload_t
+      const run_metrics $ verbose_t $ backend_t $ mem_t $ block_t $ disks_t $ seed_t $ workload_t
       $ observed_algo_t $ n_t $ k_opt_t $ a_t $ b_opt_t $ ranks_opt_t $ format_t)
 
-let run_profile verbose backend mem block seed workload algo n k a b ranks =
+let run_profile verbose backend mem block disks seed workload algo n k a b ranks =
   setup_logs verbose;
   let ctx, profiler, cost, seeks, table1_row, name =
-    run_observed ?backend ~mem ~block ~seed ~workload ~algo ~n ~k ~a ~b ~ranks ()
+    run_observed ?backend ?disks ~mem ~block ~seed ~workload ~algo ~n ~k ~a ~b ~ranks ()
   in
-  describe_machine ~mem ~block;
+  describe_machine ~disks:(Em.Ctx.disks ctx) ~mem ~block ();
   describe_backend ctx;
   report_cost ctx cost;
   Printf.printf "random seeks: %d\n" seeks;
@@ -758,7 +780,7 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile" ~doc)
     Term.(
-      const run_profile $ verbose_t $ backend_t $ mem_t $ block_t $ seed_t $ workload_t
+      const run_profile $ verbose_t $ backend_t $ mem_t $ block_t $ disks_t $ seed_t $ workload_t
       $ observed_algo_t $ n_t $ k_opt_t $ a_t $ b_opt_t $ ranks_opt_t)
 
 (* ---- bounds ---- *)
@@ -766,10 +788,11 @@ let profile_cmd =
 (* [bounds] is pure bound arithmetic — no device is ever created — but it
    accepts [--backend] like every other subcommand so sweep scripts can pass
    a uniform flag set. *)
-let run_bounds _backend mem block n k a b =
+let run_bounds _backend mem block disks n k a b =
   let spec = spec_of ~n ~k ~a ~b in
   let p = Em.Params.create ~mem ~block in
-  describe_machine ~mem ~block;
+  let p = match disks with Some d -> Em.Params.with_disks p d | None -> p in
+  describe_machine ~disks:p.Em.Params.disks ~mem ~block ();
   Printf.printf "spec:         %s (%s)\n"
     (Format.asprintf "%a" Core.Problem.pp_spec spec)
     (Core.Problem.variant_name (Core.Problem.classify spec));
@@ -783,18 +806,23 @@ let run_bounds _backend mem block n k a b =
   Printf.printf "  one scan:      %.1f\n" (Core.Bounds.scan p ~n);
   Printf.printf "  full sort:     %.1f\n" (Core.Bounds.sort p ~n);
   Printf.printf "  multi-select (K ranks):    %.1f\n" (Core.Bounds.multi_select p ~n ~k);
-  Printf.printf "  multi-partition (K parts): %.1f\n" (Core.Bounds.multi_partition p ~n ~k)
+  Printf.printf "  multi-partition (K parts): %.1f\n" (Core.Bounds.multi_partition p ~n ~k);
+  if p.Em.Params.disks > 1 then begin
+    Printf.printf "D-disk round forms (I/Os / D):\n";
+    Printf.printf "  one scan:      %.1f rounds\n" (Core.Bounds.scan_rounds p ~n);
+    Printf.printf "  full sort:     %.1f rounds\n" (Core.Bounds.sort_rounds p ~n)
+  end
 
 let bounds_cmd =
   let doc = "Evaluate the paper's Table 1 bound formulas for a spec." in
   Cmd.v (Cmd.info "bounds" ~doc)
-    Term.(const run_bounds $ backend_t $ mem_t $ block_t $ n_t $ k_t $ a_t $ b_opt_t)
+    Term.(const run_bounds $ backend_t $ mem_t $ block_t $ disks_t $ n_t $ k_t $ a_t $ b_opt_t)
 
 (* ---- info ---- *)
 
-let run_info backend mem block =
-  let ctx = make_ctx ?backend ~mem ~block () in
-  describe_machine ~mem ~block;
+let run_info backend mem block disks =
+  let ctx = make_ctx ?backend ?disks ~mem ~block () in
+  describe_machine ~disks:(Em.Ctx.disks ctx) ~mem ~block ();
   describe_backend ctx;
   Printf.printf "merge fanout:            %d runs\n" (Emalg.Merge.max_fanout ctx);
   Printf.printf "distribution fanout:     %d buckets\n" (Emalg.Distribute.max_fanout ctx);
@@ -805,7 +833,8 @@ let run_info backend mem block =
 
 let info_cmd =
   let doc = "Print the derived parameters of a machine geometry." in
-  Cmd.v (Cmd.info "info" ~doc) Term.(const run_info $ backend_t $ mem_t $ block_t)
+  Cmd.v (Cmd.info "info" ~doc)
+    Term.(const run_info $ backend_t $ mem_t $ block_t $ disks_t)
 
 let () =
   let doc =

@@ -70,6 +70,7 @@ type sample = {
   s_spec : Problem.spec;
   s_params : Em.Params.t;
   measured_ios : int;
+  measured_rounds : int;
   seeks : int;
   comparisons : int;
   mem_peak : int;
@@ -98,6 +99,7 @@ let run ?(kind = Workload.Pi_hard) ?(seed = 2014) p row spec =
     s_spec = spec;
     s_params = p;
     measured_ios;
+    measured_rounds = d.Em.Stats.d_rounds;
     seeks = seeks ();
     comparisons = d.Em.Stats.d_comparisons;
     mem_peak = ctx.Em.Ctx.stats.Em.Stats.mem_peak;
@@ -116,7 +118,7 @@ let geometry_labels p (spec : Problem.spec) =
     ("block", string_of_int p.Em.Params.block);
   ]
 
-let publish_values reg p row spec ~measured_ios =
+let publish_values ?measured_rounds reg p row spec ~measured_ios =
   let pred = predicted row p spec in
   let ratio = float_of_int measured_ios /. pred in
   let labels = ("row", name row) :: geometry_labels p spec in
@@ -124,7 +126,19 @@ let publish_values reg p row spec ~measured_ios =
   g "bound_measured_ios" "Measured I/Os of the Table 1 row" (float_of_int measured_ios);
   g "bound_predicted_ios" "Table 1 upper-bound formula at this geometry" pred;
   g "bound_ratio" "measured / predicted (flat iff the bound holds)" ratio;
+  (* Round gauges only on multi-disk machines, where rounds diverge from
+     I/Os; the single-disk exporter goldens keep their shape. *)
+  (match measured_rounds with
+  | Some rounds when p.Em.Params.disks > 1 ->
+      let pred_rounds = Bounds.rounds_of p pred in
+      g "bound_measured_rounds" "Measured parallel I/O rounds of the row"
+        (float_of_int rounds);
+      g "bound_predicted_rounds" "Upper bound / D: the D-disk round bound" pred_rounds;
+      g "bound_round_ratio" "measured rounds / predicted rounds"
+        (float_of_int rounds /. pred_rounds)
+  | _ -> ());
   ratio
 
 let publish reg s =
-  publish_values reg s.s_params s.s_row s.s_spec ~measured_ios:s.measured_ios
+  publish_values ~measured_rounds:s.measured_rounds reg s.s_params s.s_row s.s_spec
+    ~measured_ios:s.measured_ios

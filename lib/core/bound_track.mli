@@ -40,6 +40,7 @@ type sample = {
   s_spec : Problem.spec;
   s_params : Em.Params.t;
   measured_ios : int;
+  measured_rounds : int;  (** parallel I/O rounds ([= measured_ios] at D = 1) *)
   seeks : int;  (** I/Os the tracer classified as random *)
   comparisons : int;
   mem_peak : int;
@@ -53,9 +54,12 @@ val run : ?kind:Workload.kind -> ?seed:int -> Em.Params.t -> row -> Problem.spec
     (default: the adversarial [Pi_hard] layout, seed 2014). *)
 
 val publish_values :
+  ?measured_rounds:int ->
   Em.Metrics.t -> Em.Params.t -> row -> Problem.spec -> measured_ios:int -> float
 (** Publish the three gauges from an externally measured I/O count; returns
-    the ratio. *)
+    the ratio.  When [measured_rounds] is given and the machine has more
+    than one disk, also publishes [bound_measured_rounds],
+    [bound_predicted_rounds] (upper bound / D) and [bound_round_ratio]. *)
 
 val publish : Em.Metrics.t -> sample -> float
 (** Publish a {!run} result; returns the ratio. *)

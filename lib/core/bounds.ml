@@ -9,6 +9,14 @@ let fdiv a b = fi a /. fi b
 let scan p ~n = fdiv n p.Em.Params.block
 let sort p ~n = scan p ~n *. lg p (fdiv n p.Em.Params.block)
 
+(* D-disk round forms: every Table-1 formula counts block transfers, and a
+   D-disk machine retires up to D of them per parallel round, so the
+   predicted round count is the I/O prediction over D (Vitter-Shriver style
+   [N/(DB) lg_{M/B}] bounds).  At D = 1 these coincide with the I/O forms. *)
+let rounds_of p ios = ios /. fi p.Em.Params.disks
+let scan_rounds p ~n = rounds_of p (scan p ~n)
+let sort_rounds p ~n = rounds_of p (sort p ~n)
+
 let splitters_right_lower p { Problem.k; a; _ } =
   let b = p.Em.Params.block in
   (1. +. fdiv (a * k) b) *. lg p (fdiv k b)

@@ -15,6 +15,18 @@ val scan : Em.Params.t -> n:int -> float
 val sort : Em.Params.t -> n:int -> float
 (** [(N/B) lg_{M/B} (N/B)] — the sorting bound and hence the baselines'. *)
 
+val rounds_of : Em.Params.t -> float -> float
+(** [rounds_of p ios] is [ios / D]: every formula above counts block
+    transfers, and a D-disk machine retires up to [D] per parallel round, so
+    dividing an I/O prediction by [D] yields its round prediction
+    (Vitter–Shriver style [N/(DB) lg_{M/B}] bounds).  Identity at [D = 1]. *)
+
+val scan_rounds : Em.Params.t -> n:int -> float
+(** [N/(DB)], the round cost of one pass. *)
+
+val sort_rounds : Em.Params.t -> n:int -> float
+(** [(N/(DB)) lg_{M/B} (N/B)] — the D-disk sorting bound. *)
+
 (** Table 1, row by row. *)
 
 val splitters_right_lower : Em.Params.t -> Problem.spec -> float

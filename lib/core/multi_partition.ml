@@ -24,7 +24,11 @@ type 'a out_state = {
   mode : 'a mode;
 }
 
-let out_create ctx = { out_ctx = ctx; writer = Em.Writer.create ctx; mode = Separate { finished = [] } }
+(* Output writers queue up to D - 1 filled blocks so leaf emission drains in
+   parallel windows on a multi-disk machine (a no-op queue at D = 1). *)
+let out_writer ctx = Em.Writer.create ~write_behind:(Em.Ctx.disks ctx - 1) ctx
+
+let out_create ctx = { out_ctx = ctx; writer = out_writer ctx; mode = Separate { finished = [] } }
 let out_create_packed ctx writer = { out_ctx = ctx; writer; mode = Packed }
 let out_push st key = Em.Writer.push st.writer key
 
@@ -32,7 +36,7 @@ let out_cut st =
   match st.mode with
   | Separate m ->
       m.finished <- Em.Writer.finish st.writer :: m.finished;
-      st.writer <- Em.Writer.create st.out_ctx
+      st.writer <- out_writer st.out_ctx
   | Packed -> ()
 
 let out_finish st =

@@ -32,30 +32,51 @@ let default_slots p = max 64 (8 * Params.fanout p)
 
 (* Dense physical-slot allocator with LIFO recycling — the same discipline the
    historical in-device free list used, so allocation traces (and therefore
-   golden I/O counts, which mention block ids) are byte-identical. *)
-type allocator = { mutable next_slot : int; mutable recycled : int list }
+   golden I/O counts, which mention block ids) are byte-identical.
 
-let allocator () = { next_slot = 0; recycled = [] }
+   With D > 1 disks the slot space is striped: slot [s] lives on disk
+   [s mod D], the k-th fresh slot of disk [d] is [k * D + d], and each disk
+   keeps its own LIFO free list.  Allocation round-robins across the disks,
+   so any run of consecutively allocated slots (e.g. one [Vec]) is balanced
+   to within one block per disk.  At D = 1 all of this degenerates to the
+   historical single free list: same slots, same order. *)
+type allocator = {
+  disks : int;
+  next_slot : int array;  (* per-disk fresh watermark *)
+  recycled : int list array;  (* per-disk LIFO free lists *)
+  mutable next_disk : int;  (* round-robin cursor *)
+}
+
+let allocator ?(disks = 1) () =
+  if disks < 1 then invalid_arg "Backend.allocator: disks must be >= 1";
+  {
+    disks;
+    next_slot = Array.make disks 0;
+    recycled = Array.make disks [];
+    next_disk = 0;
+  }
 
 let alloc_slot a =
-  match a.recycled with
+  let d = a.next_disk in
+  a.next_disk <- (d + 1) mod a.disks;
+  match a.recycled.(d) with
   | s :: rest ->
-      a.recycled <- rest;
+      a.recycled.(d) <- rest;
       s
   | [] ->
-      let s = a.next_slot in
-      a.next_slot <- s + 1;
-      s
+      let k = a.next_slot.(d) in
+      a.next_slot.(d) <- k + 1;
+      (k * a.disks) + d
 
-let free_slot a s = a.recycled <- s :: a.recycled
+let free_slot a s = a.recycled.(s mod a.disks) <- s :: a.recycled.(s mod a.disks)
 
 (* ------------------------------------------------------------------ *)
 (* Sim: the in-memory store, extracted verbatim from Device.          *)
 (* ------------------------------------------------------------------ *)
 
-let sim ?(slots = 64) () =
+let sim ?(slots = 64) ?disks () =
   let store = ref (Array.make (max 1 slots) None) in
-  let a = allocator () in
+  let a = allocator ?disks () in
   let ensure_capacity s =
     let n = Array.length !store in
     if s >= n then begin
@@ -120,33 +141,44 @@ let backing_dir dir =
       | Some d when d <> "" -> d
       | _ -> Filename.get_temp_dir_name ())
 
-let file (type elt) ?dir ~slot_bytes () : elt t =
+let file (type elt) ?dir ?(disks = 1) ~slot_bytes () : elt t =
   if slot_bytes < slot_header + 8 then
     invalid_arg "Backend.file: slot_bytes is too small to hold any payload";
+  if disks < 1 then invalid_arg "Backend.file: disks must be >= 1";
   let temp_dir = backing_dir dir in
-  let path = Filename.temp_file ~temp_dir "em-blocks-" ".dat" in
-  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
-  (* Unlink immediately: the kernel keeps the inode alive while the fd is
-     open and reclaims the space on close, so block files can never leak —
-     not across a bench sweep, not even on a crash. *)
-  (try Sys.remove path with Sys_error _ -> ());
+  (* One backing file per disk: slot [s] lives on disk [s mod D] at offset
+     [(s / D) * slot_bytes], so each "spindle" is its own dense file. *)
+  let fds =
+    Array.init disks (fun _ ->
+        let path = Filename.temp_file ~temp_dir "em-blocks-" ".dat" in
+        let fd = Unix.openfile path [ Unix.O_RDWR ] 0o600 in
+        (* Unlink immediately: the kernel keeps the inode alive while the fd
+           is open and reclaims the space on close, so block files can never
+           leak — not across a bench sweep, not even on a crash. *)
+        (try Sys.remove path with Sys_error _ -> ());
+        fd)
+  in
   let closed = ref false in
   let close () =
     if not !closed then begin
       closed := true;
-      try Unix.close fd with Unix.Unix_error _ -> ()
+      Array.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) fds
     end
   in
   let check_open () = if !closed then invalid_arg "Backend.file: backend is closed" in
-  let a = allocator () in
+  let a = allocator ~disks () in
   let written : (int, unit) Hashtbl.t = Hashtbl.create 64 in
   (* Backstop for backends dropped without an explicit close (tests, bench
-     iterations): release the fd once the backend is unreachable.  The
+     iterations): release the fds once the backend is unreachable.  The
      finaliser hangs off [written] — captured by the closures below, so it
      stays alive as long as *any* copy of the record does (the record itself
      may be functionally updated, e.g. renamed by [make]). *)
   Gc.finalise (fun (_ : (int, unit) Hashtbl.t) -> close ()) written;
-  let seek s = ignore (Unix.lseek fd (s * slot_bytes) Unix.SEEK_SET) in
+  let seek s =
+    let fd = fds.(s mod disks) in
+    ignore (Unix.lseek fd (s / disks * slot_bytes) Unix.SEEK_SET);
+    fd
+  in
   let write_slot s (payload : elt array) =
     let data = Marshal.to_bytes payload [] in
     let len = Bytes.length data in
@@ -155,12 +187,12 @@ let file (type elt) ?dir ~slot_bytes () : elt t =
     let buf = Bytes.create (len + slot_header) in
     Bytes.set_int64_le buf 0 (Int64.of_int len);
     Bytes.blit data 0 buf slot_header len;
-    seek s;
+    let fd = seek s in
     really_write fd buf;
     Hashtbl.replace written s ()
   in
   let read_slot s : elt array =
-    seek s;
+    let fd = seek s in
     let len = Int64.to_int (Bytes.get_int64_le (really_read fd slot_header) 0) in
     Marshal.from_bytes (really_read fd len) 0
   in
@@ -185,7 +217,7 @@ let file (type elt) ?dir ~slot_bytes () : elt t =
     flush =
       (fun () ->
         check_open ();
-        Unix.fsync fd);
+        Array.iter Unix.fsync fds);
     close;
   }
 
@@ -466,9 +498,10 @@ let pool i = i.pool
    the instance — and therefore the buffer pool — while each device gets its
    own slot space (its own file, its own page table). *)
 let make i =
+  let disks = i.params.Params.disks in
   let rec build = function
-    | Sim -> sim ~slots:(default_slots i.params) ()
-    | File -> file ?dir:i.dir ~slot_bytes:i.slot_bytes ()
+    | Sim -> sim ~slots:(default_slots i.params) ~disks ()
+    | File -> file ?dir:i.dir ~disks ~slot_bytes:i.slot_bytes ()
     | Cached inner ->
         let pool =
           match i.pool with

@@ -42,17 +42,23 @@ val default_slots : Params.t -> int
     [M/B] fanout (never below the historical 64) so large sweeps don't pay
     repeated store regrowth. *)
 
-val sim : ?slots:int -> unit -> 'a t
+val sim : ?slots:int -> ?disks:int -> unit -> 'a t
 (** In-memory store seeded with [slots] (default 64) and doubling on
-    demand — behaviourally identical to the store {!Device} used to embed. *)
+    demand — behaviourally identical to the store {!Device} used to embed.
+    With [disks = D] (default 1) slot placement is striped: slot [s] lives
+    on disk [s mod D], allocation round-robins across disks, and each disk
+    recycles its own slots LIFO; at D = 1 the allocator is the historical
+    single free list. *)
 
-val file : ?dir:string -> slot_bytes:int -> unit -> 'a t
-(** Marshalled blocks in fixed [slot_bytes]-sized slots of a temp file.
+val file : ?dir:string -> ?disks:int -> slot_bytes:int -> unit -> 'a t
+(** Marshalled blocks in fixed [slot_bytes]-sized slots of temp files — one
+    backing file per disk ([disks], default 1), with slot [s] stored on disk
+    [s mod D] at offset [(s / D) * slot_bytes].
 
-    The file is created under [dir] (default: [$EM_BACKEND_DIR], falling
+    The files are created under [dir] (default: [$EM_BACKEND_DIR], falling
     back to the system temp dir) and unlinked immediately after opening, so
     no block file can outlive its fd — not across a bench sweep, not even on
-    a crash.  The fd is released by {!field-close} (idempotent) or, as a
+    a crash.  The fds are released by {!field-close} (idempotent) or, as a
     backstop, by a GC finaliser.
 
     A payload whose marshalled form exceeds the slot raises
@@ -142,4 +148,5 @@ val instance :
 val name : instance -> string
 val pool : instance -> Pool.t option
 val make : instance -> 'a t
-(** A fresh typed backend for one device of the family. *)
+(** A fresh typed backend for one device of the family, striped across the
+    machine's [Params.disks]. *)

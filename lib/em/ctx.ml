@@ -6,7 +6,8 @@ type 'a t = {
   dev : 'a Device.t;
 }
 
-let create ?trace ?backend ?backend_dir ?pool_pages params =
+let create ?trace ?backend ?backend_dir ?pool_pages ?disks params =
+  let params = match disks with None -> params | Some d -> Params.with_disks params d in
   let stats = Stats.create () in
   let trace = match trace with Some t -> t | None -> Trace.create () in
   let spec = match backend with Some s -> s | None -> Backend.default_spec () in
@@ -49,4 +50,6 @@ let measured ctx f =
 let mem_capacity ctx = ctx.params.Params.mem
 let block_size ctx = ctx.params.Params.block
 let fanout ctx = Params.fanout ctx.params
+let disks ctx = ctx.params.Params.disks
 let with_words ctx n f = Mem.with_words ctx.params ctx.stats n f
+let io_window ctx f = Stats.with_window ctx.stats f

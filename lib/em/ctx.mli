@@ -15,7 +15,7 @@ type 'a t = {
 
 val create :
   ?trace:Trace.t -> ?backend:Backend.spec -> ?backend_dir:string -> ?pool_pages:int ->
-  Params.t -> 'a t
+  ?disks:int -> Params.t -> 'a t
 (** Fresh machine with zeroed counters.  Pass [~trace] to route I/O events
     into a tracer you configured (extra sinks, larger ring); otherwise a
     default ring-buffered tracer is attached.
@@ -24,7 +24,11 @@ val create :
     [$EM_BACKEND] environment variable, falling back to {!Backend.Sim});
     [backend_dir] places file-backed storage, and [pool_pages] sizes the
     buffer pool of cached backends.  The choice is invisible to counted
-    I/Os — see {!Backend}. *)
+    I/Os — see {!Backend}.
+
+    [disks] overrides the parameter record's disk count (itself defaulted
+    from [$EM_DISKS]); it changes round accounting and slot striping, never
+    per-block [reads]/[writes] or algorithm results. *)
 
 val linked : 'a t -> 'b t
 (** A context over a fresh device for elements of another type, sharing the
@@ -77,5 +81,13 @@ val mem_capacity : 'a t -> int
 val block_size : 'a t -> int
 val fanout : 'a t -> int
 
+val disks : 'a t -> int
+(** D: the machine's parallel disk count (see {!Params}). *)
+
 val with_words : 'a t -> int -> (unit -> 'b) -> 'b
 (** Charge the memory ledger around a computation; see {!Mem.with_words}. *)
+
+val io_window : 'a t -> (unit -> 'b) -> 'b
+(** Bracket [f] in one parallel scheduling window: the metered I/Os it
+    issues are billed [max] per-disk I/Os rounds instead of one round each
+    (see {!Stats.with_window}).  Nested windows merge into the outermost. *)

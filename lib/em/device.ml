@@ -229,6 +229,9 @@ let trace_kind fault attempt =
   | Some k -> Trace.Faulted k
   | None -> if attempt > 1 then Trace.Retry else Trace.Io
 
+let disk_of_slot d p = p mod d.params.Params.disks
+let disk_of_block d id = disk_of_slot d (phys d id)
+
 let charge ?cache d (op : Trace.op) ~block ~fault ~attempt =
   (match op with
   | Trace.Read -> d.stats.Stats.reads <- d.stats.Stats.reads + 1
@@ -242,9 +245,18 @@ let charge ?cache d (op : Trace.op) ~block ~fault ~attempt =
   | Some Trace.Hit -> d.stats.Stats.cache_hits <- d.stats.Stats.cache_hits + 1
   | Some Trace.Miss -> d.stats.Stats.cache_misses <- d.stats.Stats.cache_misses + 1
   | None -> ());
+  let disk = disk_of_slot d block in
+  (* The round id is read before [record_io]: an unbatched I/O becomes round
+     [rounds], and every I/O inside one scheduling window shares the round
+     counter as it stood when the window opened. *)
+  let round = d.stats.Stats.rounds in
+  Stats.record_io d.stats ~disk;
   Stats.record_phase_io d.stats;
-  Trace.emit ~kind:(trace_kind fault attempt) ~backend:d.backend.Backend.name ?cache d.trace
-    op ~block ~phase:d.stats.Stats.phase_stack
+  let multi = d.params.Params.disks > 1 in
+  Trace.emit ~kind:(trace_kind fault attempt) ~backend:d.backend.Backend.name ?cache
+    ?disk:(if multi then Some disk else None)
+    ?round:(if multi then Some round else None)
+    d.trace op ~block ~phase:d.stats.Stats.phase_stack
 
 (* A sticky fault fires before the injector is even consulted; permanent
    faults injected by the plan become sticky on their physical slot. *)

@@ -165,6 +165,10 @@ val read : ?attempt:int -> 'a t -> int -> 'a array
 val live_blocks : 'a t -> int
 (** Number of blocks currently allocated and not freed. *)
 
+val disk_of_block : 'a t -> int -> int
+(** Disk that (the physical slot behind) logical block [id] is striped onto:
+    [phys id mod D].  Always [0] on a single-disk machine. *)
+
 (** Unmetered block access for the parts of an experiment that are outside
     the measured computation: placing the input on disk, and reading results
     back for oracle verification.  Calls here cost no simulated I/O, are not

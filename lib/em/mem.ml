@@ -13,9 +13,12 @@ let bump_peak s =
 let charge_resident ~op ~pool p s n =
   if n < 0 then raise (Em_error.Negative_words { op; n });
   let capacity = p.Params.mem in
-  (* Under memory pressure, give the machine's caches one chance to evict
-     resident pages and release ledger words before declaring overflow.
-     The hook only ever releases, so one pass suffices. *)
+  (* Under memory pressure, ask holders of opportunistic charges (write-
+     behind queues) to give words back, then give the machine's caches one
+     chance to evict resident pages, before declaring overflow.  Both only
+     ever release, so one pass each suffices. *)
+  (if resident s + n > capacity then
+     ignore (Stats.run_reclaimers s (resident s + n - capacity)));
   (if resident s + n > capacity then
      match s.Stats.reclaim with
      | Some reclaim -> reclaim (resident s + n - capacity)
@@ -25,6 +28,7 @@ let charge_resident ~op ~pool p s n =
   if pool then s.Stats.pool_words <- s.Stats.pool_words + n
   else s.Stats.mem_in_use <- s.Stats.mem_in_use + n;
   bump_peak s
+
 
 let charge p s n = charge_resident ~op:"charge" ~pool:false p s n
 

@@ -304,6 +304,23 @@ let publish_stats t (s : Stats.t) =
   set
     (gauge t ~help:"Peak memory words in use" "mem_peak_words")
     (float_of_int s.Stats.mem_peak);
+  (* Round gauges appear only when parallel disks actually compressed the
+     schedule (rounds < ios), so single-disk runs — and the pinned exporter
+     goldens — keep their shape. *)
+  if s.Stats.rounds < Stats.ios s then begin
+    set
+      (gauge t ~help:"Parallel I/O rounds (one block per disk per round)"
+         "rounds_total")
+      (float_of_int s.Stats.rounds);
+    List.iter
+      (fun (disk, ios) ->
+        set
+          (gauge t ~help:"I/Os landing per disk"
+             ~labels:[ ("disk", string_of_int disk) ]
+             "disk_ios")
+          (float_of_int ios))
+      (Stats.disk_report s)
+  end;
   (* Buffer-pool gauges appear only once a cached backend has been active,
      so uncached runs (and the pinned exporter goldens) keep their shape. *)
   if s.Stats.cache_hits > 0 || s.Stats.cache_misses > 0 || s.Stats.cache_evictions > 0

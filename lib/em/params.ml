@@ -1,15 +1,33 @@
-type t = { mem : int; block : int }
+type t = { mem : int; block : int; disks : int }
 
-let create ~mem ~block =
+let disks_env_var = "EM_DISKS"
+
+let default_disks () =
+  match Sys.getenv_opt disks_env_var with
+  | None | Some "" -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> d
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "Params: %s must be a positive integer (got %S)"
+               disks_env_var s))
+
+let make ~mem ~block ~disks =
   if block < 1 then invalid_arg "Params.create: block size must be >= 1";
   if mem < 2 * block then
     invalid_arg "Params.create: memory must hold at least two blocks (M >= 2B)";
-  { mem; block }
+  if disks < 1 then invalid_arg "Params.create: disks must be >= 1";
+  { mem; block; disks }
 
+let create ~mem ~block = make ~mem ~block ~disks:(default_disks ())
+let with_disks p disks = make ~mem:p.mem ~block:p.block ~disks
 let fanout p = p.mem / p.block
 
 let blocks_of_elems p n =
   if n < 0 then invalid_arg "Params.blocks_of_elems: negative element count";
   (n + p.block - 1) / p.block
 
-let pp ppf p = Format.fprintf ppf "{ M = %d; B = %d }" p.mem p.block
+let pp ppf p =
+  if p.disks = 1 then Format.fprintf ppf "{ M = %d; B = %d }" p.mem p.block
+  else Format.fprintf ppf "{ M = %d; B = %d; D = %d }" p.mem p.block p.disks

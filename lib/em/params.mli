@@ -3,16 +3,35 @@
     The machine of Aggarwal and Vitter has a memory of [mem] words and a disk
     formatted into blocks of [block] words.  One element occupies one word, so
     a block holds [block] elements and the memory holds [mem] elements.  The
-    model requires [mem >= 2 * block]. *)
+    model requires [mem >= 2 * block].
+
+    The D-disk generalization ([disks], default 1) lets one parallel I/O
+    {e round} move up to one block per disk; [reads]/[writes] stay per-block
+    while {!Stats} rounds compress by up to D. *)
 
 type t = private {
   mem : int;  (** M: memory capacity in words *)
   block : int;  (** B: block size in words *)
+  disks : int;  (** D: independent parallel disks (default 1) *)
 }
 
+val disks_env_var : string
+(** Name of the environment variable ("EM_DISKS") consulted when [?disks] is
+    omitted from {!create}. *)
+
+val default_disks : unit -> int
+(** Disk count implied by the environment: [$EM_DISKS] when set and a positive
+    integer, else [1].
+    @raise Invalid_argument when [$EM_DISKS] is set but not a positive int. *)
+
 val create : mem:int -> block:int -> t
-(** [create ~mem ~block] validates [block >= 1] and [mem >= 2 * block].
+(** [create ~mem ~block] validates [block >= 1] and [mem >= 2 * block]; the
+    disk count comes from {!default_disks} [()] (i.e. [$EM_DISKS], else 1) —
+    override it with {!with_disks} or [Ctx.create ?disks].
     @raise Invalid_argument otherwise. *)
+
+val with_disks : t -> int -> t
+(** [with_disks p d] is [p] with the disk count replaced by [d] (validated). *)
 
 val fanout : t -> int
 (** [fanout p] is [M / B], the number of blocks that fit in memory. *)

@@ -10,6 +10,7 @@ type span = {
   mutable calls : int;
   mutable reads : int;
   mutable writes : int;
+  mutable rounds : int;
   mutable comparisons : int;
   mutable faults : int;
   mutable retries : int;
@@ -52,6 +53,7 @@ let find_span t path =
           calls = 0;
           reads = 0;
           writes = 0;
+          rounds = 0;
           comparisons = 0;
           faults = 0;
           retries = 0;
@@ -91,6 +93,7 @@ let on_pop t stats _stack =
         let d = Stats.delta stats frame.snap in
         s.reads <- s.reads + d.Stats.d_reads;
         s.writes <- s.writes + d.Stats.d_writes;
+        s.rounds <- s.rounds + d.Stats.d_rounds;
         s.comparisons <- s.comparisons + d.Stats.d_comparisons;
         s.faults <- s.faults + d.Stats.d_faults;
         s.retries <- s.retries + d.Stats.d_retries;
@@ -163,6 +166,7 @@ let zero_like path =
     calls = 0;
     reads = 0;
     writes = 0;
+    rounds = 0;
     comparisons = 0;
     faults = 0;
     retries = 0;
@@ -181,6 +185,9 @@ let rec pp_node ppf ~depth node =
       (String.make (2 * (depth - 1)) ' ')
       (max 1 (28 - (2 * (depth - 1))))
       node.label (span_ios s) s.reads s.writes s.comparisons (s.wall_ns /. 1e6) s.calls;
+    (* Round compression only when parallel disks actually shortened the
+       schedule, so single-disk profiles keep their exact shape. *)
+    if s.rounds < span_ios s then Format.fprintf ppf "  [rounds %d]" s.rounds;
     if s.faults > 0 || s.retries > 0 then
       Format.fprintf ppf "  [faulted %d / retried %d]" s.faults s.retries;
     if s.cache_hits > 0 || s.cache_misses > 0 then
@@ -205,6 +212,8 @@ let publish reg t =
       g "span_ios" "I/Os inside the span (inclusive)" (float_of_int (span_ios s));
       g "span_reads" "Reads inside the span" (float_of_int s.reads);
       g "span_writes" "Writes inside the span" (float_of_int s.writes);
+      if s.rounds < span_ios s then
+        g "span_rounds" "Parallel I/O rounds inside the span" (float_of_int s.rounds);
       g "span_comparisons" "Comparisons inside the span" (float_of_int s.comparisons);
       g "span_faults" "Faulted attempts inside the span" (float_of_int s.faults);
       g "span_retries" "Recovery re-attempts inside the span" (float_of_int s.retries);

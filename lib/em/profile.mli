@@ -15,6 +15,7 @@ type span = {
   mutable calls : int;  (** times the span was entered *)
   mutable reads : int;
   mutable writes : int;
+  mutable rounds : int;  (** parallel I/O rounds ([= reads + writes] at D = 1) *)
   mutable comparisons : int;
   mutable faults : int;
   mutable retries : int;

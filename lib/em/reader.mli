@@ -3,11 +3,22 @@
     A reader holds one block buffer, charged as [B] words against the memory
     budget for its whole lifetime; each block of the vector is read exactly
     once (one I/O per block).  Always [close] a reader (or use {!with_reader})
-    to release its buffer. *)
+    to release its buffer.
+
+    With [?prefetch = k] the reader additionally reads up to [k] blocks ahead
+    of the cursor, issuing each batch as one {!Stats} scheduling window so a
+    D-disk machine overlaps the reads into few parallel rounds.  Every
+    read-ahead buffer is charged [B] words while held and released as soon as
+    the cursor passes it; when the budget has no room the batch shrinks (down
+    to one block), so [mem_peak <= M] is preserved and the blocks read — and
+    the elements delivered — are identical to the unbuffered reader's. *)
 
 type 'a t
 
-val open_vec : 'a Vec.t -> 'a t
+val open_vec : ?prefetch:int -> 'a Vec.t -> 'a t
+(** [prefetch] (default 0) = max blocks read ahead of the cursor.  Pass
+    [Ctx.disks ctx - 1] to give every disk of a batch work to do. *)
+
 val has_next : 'a t -> bool
 val peek : 'a t -> 'a
 (** @raise Invalid_argument at end of input. *)
@@ -17,11 +28,48 @@ val next : 'a t -> 'a
     @raise Invalid_argument at end of input. *)
 
 val take : 'a t -> int -> 'a array
-(** [take r n] returns the next [min n remaining] elements.  The caller is
-    responsible for charging memory for the result. *)
+(** [take r n] returns the next [min n remaining] elements, blitting directly
+    from the buffered blocks (each block is still read exactly once, even
+    when the take spans block boundaries).  The caller is responsible for
+    charging memory for the result. *)
 
 val remaining : 'a t -> int
+
+(** {2 Forecasting support}
+
+    A K-way merge on a D-disk machine batches refills across its runs: the
+    run whose {e last buffered} element is smallest is the one the merge
+    drains first, so its next block can be read in the same scheduling
+    window as another run's mandatory refill (the classical forecasting
+    rule).  These accessors expose exactly the state that rule needs. *)
+
+val last_buffered : 'a t -> 'a option
+(** Last element currently buffered ahead of the cursor ([None] when the
+    next access would fault to the device). *)
+
+val buffered_blocks : 'a t -> int
+(** Unconsumed buffered blocks ahead of the cursor.  A comparison-free
+    proxy for the forecasting need-order: under roughly uniform consumption
+    the run with the shallowest queue faults soonest.  Ordering by this
+    keeps a scheduler's element-comparison count independent of D. *)
+
+val next_disk : 'a t -> int option
+(** Disk holding the first unread, unbuffered block ([None] when every
+    block is consumed or buffered).  Lets a scheduler pick one block per
+    disk for a window. *)
+
+val pending_io : 'a t -> bool
+(** The next {!peek}/{!next} would read from the device. *)
+
+val prefetch_next : 'a t -> bool
+(** Read the first unread block into the buffer queue now (one I/O), so a
+    later access finds it free of charge.  Returns [false] — reading
+    nothing — when the vector is exhausted or the memory budget has no room
+    for another buffer; an empty queue refills onto the base charge and
+    always succeeds.  Call inside {!Ctx.io_window} to overlap several
+    readers' refills into one parallel round. *)
+
 val close : 'a t -> unit
 
-val with_reader : 'a Vec.t -> ('a t -> 'b) -> 'b
+val with_reader : ?prefetch:int -> 'a Vec.t -> ('a t -> 'b) -> 'b
 (** Open, run, and close (also on exception). *)

@@ -15,6 +15,10 @@ type t = {
   mutable cache_evictions : int;
   mutable allocated_blocks : int;
   mutable freed_blocks : int;
+  mutable rounds : int;
+  disk_ios : (int, int) Hashtbl.t;
+  mutable window_depth : int;
+  window_counts : (int, int) Hashtbl.t;
   mutable mem_in_use : int;
   mutable pool_words : int;
   mutable mem_peak : int;
@@ -22,6 +26,7 @@ type t = {
   phase_ios : (string, int) Hashtbl.t;
   mutable hooks : span_hooks option;
   mutable reclaim : (int -> unit) option;
+  mutable reclaimers : (int -> int) option ref list;
 }
 
 let create () =
@@ -36,6 +41,10 @@ let create () =
     cache_evictions = 0;
     allocated_blocks = 0;
     freed_blocks = 0;
+    rounds = 0;
+    disk_ios = Hashtbl.create 8;
+    window_depth = 0;
+    window_counts = Hashtbl.create 8;
     mem_in_use = 0;
     pool_words = 0;
     mem_peak = 0;
@@ -43,6 +52,7 @@ let create () =
     phase_ios = Hashtbl.create 16;
     hooks = None;
     reclaim = None;
+    reclaimers = [];
   }
 
 let reset s =
@@ -56,6 +66,10 @@ let reset s =
   s.cache_evictions <- 0;
   s.allocated_blocks <- 0;
   s.freed_blocks <- 0;
+  s.rounds <- 0;
+  Hashtbl.reset s.disk_ios;
+  s.window_depth <- 0;
+  Hashtbl.reset s.window_counts;
   s.mem_in_use <- 0;
   s.pool_words <- 0;
   s.mem_peak <- 0;
@@ -65,6 +79,31 @@ let reset s =
 let set_hooks s hooks = s.hooks <- hooks
 let hooks s = s.hooks
 let set_reclaim s f = s.reclaim <- f
+
+(* Voluntary-release registry, consulted by [Mem] before declaring overflow:
+   holders of opportunistic charges (write-behind queues) register a callback
+   that gives words back under pressure.  Handles deregister by nulling the
+   ref — cheap, order-independent — and dead handles are pruned on add. *)
+let live_reclaimer h = match !h with Some _ -> true | None -> false
+
+let add_reclaimer s f =
+  let h = ref (Some f) in
+  s.reclaimers <- h :: List.filter live_reclaimer s.reclaimers;
+  h
+
+let remove_reclaimer _s h = h := None
+
+let run_reclaimers s deficit =
+  let rec go freed = function
+    | [] -> freed
+    | h :: rest -> (
+        match !h with
+        | None -> go freed rest
+        | Some f ->
+            let freed = freed + f (deficit - freed) in
+            if freed >= deficit then freed else go freed rest)
+  in
+  go 0 s.reclaimers
 
 let push_phase s label =
   s.phase_stack <- label :: s.phase_stack;
@@ -110,6 +149,39 @@ let phase_report s =
 
 let ios s = s.reads + s.writes
 
+(* Round accounting.  Outside a scheduling window every metered I/O is its
+   own round.  Inside a window, I/Os pile up per disk and the window costs
+   the maximum over the per-disk counts — the disks operate in parallel but
+   each moves one block per round.  With a single disk the maximum equals
+   the sum, so [rounds = ios] exactly at D = 1 regardless of windowing. *)
+let tbl_incr tbl key =
+  Hashtbl.replace tbl key (1 + Option.value (Hashtbl.find_opt tbl key) ~default:0)
+
+let record_io s ~disk =
+  tbl_incr s.disk_ios disk;
+  if s.window_depth > 0 then tbl_incr s.window_counts disk
+  else s.rounds <- s.rounds + 1
+
+let begin_window s = s.window_depth <- s.window_depth + 1
+
+let end_window s =
+  if s.window_depth > 0 then begin
+    s.window_depth <- s.window_depth - 1;
+    if s.window_depth = 0 then begin
+      let cost = Hashtbl.fold (fun _ c acc -> max c acc) s.window_counts 0 in
+      s.rounds <- s.rounds + cost;
+      Hashtbl.reset s.window_counts
+    end
+  end
+
+let with_window s f =
+  begin_window s;
+  Fun.protect ~finally:(fun () -> end_window s) f
+
+let disk_report s =
+  Hashtbl.fold (fun disk n acc -> (disk, n) :: acc) s.disk_ios []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
 type snapshot = {
   at_reads : int;
   at_writes : int;
@@ -118,6 +190,7 @@ type snapshot = {
   at_retries : int;
   at_cache_hits : int;
   at_cache_misses : int;
+  at_rounds : int;
 }
 
 let snapshot s =
@@ -129,6 +202,7 @@ let snapshot s =
     at_retries = s.retries;
     at_cache_hits = s.cache_hits;
     at_cache_misses = s.cache_misses;
+    at_rounds = s.rounds;
   }
 
 let ios_since s snap = s.reads + s.writes - snap.at_reads - snap.at_writes
@@ -142,6 +216,7 @@ type delta = {
   d_retries : int;
   d_cache_hits : int;
   d_cache_misses : int;
+  d_rounds : int;
 }
 
 let delta s snap =
@@ -153,6 +228,7 @@ let delta s snap =
     d_retries = s.retries - snap.at_retries;
     d_cache_hits = s.cache_hits - snap.at_cache_hits;
     d_cache_misses = s.cache_misses - snap.at_cache_misses;
+    d_rounds = s.rounds - snap.at_rounds;
   }
 
 let delta_ios d = d.d_reads + d.d_writes
@@ -163,7 +239,9 @@ let pp_delta ppf d =
   if d.d_faults > 0 || d.d_retries > 0 then
     Format.fprintf ppf " [faults = %d; retries = %d]" d.d_faults d.d_retries;
   if d.d_cache_hits > 0 || d.d_cache_misses > 0 then
-    Format.fprintf ppf " [cache hits = %d; misses = %d]" d.d_cache_hits d.d_cache_misses
+    Format.fprintf ppf " [cache hits = %d; misses = %d]" d.d_cache_hits d.d_cache_misses;
+  if d.d_rounds <> delta_ios d then
+    Format.fprintf ppf " [rounds = %d]" d.d_rounds
 
 let pp ppf s =
   Format.fprintf ppf
@@ -172,4 +250,5 @@ let pp ppf s =
   if s.faults > 0 || s.retries > 0 then
     Format.fprintf ppf " [faults = %d; retries = %d]" s.faults s.retries;
   if s.cache_hits > 0 || s.cache_misses > 0 then
-    Format.fprintf ppf " [cache hits = %d; misses = %d]" s.cache_hits s.cache_misses
+    Format.fprintf ppf " [cache hits = %d; misses = %d]" s.cache_hits s.cache_misses;
+  if s.rounds <> ios s then Format.fprintf ppf " [rounds = %d]" s.rounds

@@ -33,6 +33,15 @@ type t = {
       (** buffer-pool pages evicted (capacity or memory pressure) *)
   mutable allocated_blocks : int;
   mutable freed_blocks : int;
+  mutable rounds : int;
+      (** parallel I/O rounds: a scheduling window of I/Os spread over D
+          disks costs the {e maximum} per-disk count, so rounds compress by
+          up to D while [reads]/[writes] stay per block.  At D = 1,
+          [rounds = ios] always. *)
+  disk_ios : (int, int) Hashtbl.t;  (** metered I/Os per disk id *)
+  mutable window_depth : int;  (** open {!begin_window} nesting depth *)
+  window_counts : (int, int) Hashtbl.t;
+      (** per-disk I/O counts of the currently open outermost window *)
   mutable mem_in_use : int;  (** words currently charged by algorithms *)
   mutable pool_words : int;
       (** words held by buffer-pool pages (see {!Backend.Pool}); counted
@@ -47,6 +56,9 @@ type t = {
       (** memory-pressure hook: called by {!Mem.charge} with the word
           deficit before raising [Memory_exceeded], so caches can evict
           resident pages and release ledger words (see {!Backend.Pool}) *)
+  mutable reclaimers : (int -> int) option ref list;
+      (** voluntary-release registry: holders of opportunistic charges
+          (write-behind queues) give words back under memory pressure *)
 }
 
 val create : unit -> t
@@ -60,6 +72,18 @@ val hooks : t -> span_hooks option
 
 val set_reclaim : t -> (int -> unit) option -> unit
 (** Install (or clear) the memory-pressure reclaim hook. *)
+
+val add_reclaimer : t -> (int -> int) -> (int -> int) option ref
+(** Register a voluntary-release callback: under memory pressure it is
+    called with the outstanding word deficit and returns how many words it
+    released.  Returns the deregistration handle for {!remove_reclaimer}. *)
+
+val remove_reclaimer : t -> (int -> int) option ref -> unit
+(** Deregister a callback obtained from {!add_reclaimer}.  Idempotent. *)
+
+val run_reclaimers : t -> int -> int
+(** Ask registered reclaimers to release up to [deficit] words; returns the
+    total released.  Called by {!Mem.charge} before the [reclaim] hook. *)
 
 val push_phase : t -> string -> unit
 (** Push a phase label and fire [on_push].  Use {!Phase.with_label} unless
@@ -80,6 +104,27 @@ val wipe_memory : t -> unit
 val ios : t -> int
 (** [ios s] is [s.reads + s.writes], the total I/O cost. *)
 
+val record_io : t -> disk:int -> unit
+(** Attribute one metered I/O to [disk] (called by {!Device}).  Outside a
+    window the I/O is its own round; inside, it joins the open window's
+    per-disk tally.  Invariants per window: [ceil (sum / D) <= cost <= sum],
+    with [cost = sum] when all I/Os hit one disk (in particular at D = 1). *)
+
+val begin_window : t -> unit
+(** Open a parallel scheduling window.  Nested windows merge into the
+    outermost one. *)
+
+val end_window : t -> unit
+(** Close one window level.  Closing the outermost level charges
+    [max] over the window's per-disk I/O counts to [rounds]. *)
+
+val with_window : t -> (unit -> 'a) -> 'a
+(** [with_window s f] brackets [f] with {!begin_window}/{!end_window}
+    (exception-safe). *)
+
+val disk_report : t -> (int * int) list
+(** Metered I/Os per disk id, sorted by disk.  Empty before any I/O. *)
+
 type snapshot = {
   at_reads : int;
   at_writes : int;
@@ -88,6 +133,7 @@ type snapshot = {
   at_retries : int;
   at_cache_hits : int;
   at_cache_misses : int;
+  at_rounds : int;
 }
 
 val snapshot : t -> snapshot
@@ -105,6 +151,7 @@ type delta = {
   d_retries : int;
   d_cache_hits : int;
   d_cache_misses : int;
+  d_rounds : int;
 }
 (** Cost of a bracketed computation, as reported by {!Ctx.measured}.
     [d_reads]/[d_writes] already include retry I/Os; [d_faults]/[d_retries]

@@ -12,6 +12,8 @@ type event = {
   locality : locality;
   backend : string;
   cache : cache option;
+  disk : int option;
+  round : int option;
 }
 
 type ring = {
@@ -77,9 +79,16 @@ let event_to_json e =
     (String.concat "," (List.map (Printf.sprintf "%S") e.phase))
     (locality_name e.locality)
     (if e.backend = "sim" then "" else Printf.sprintf ",\"backend\":%S" e.backend)
-    (match e.cache with
-    | None -> ""
-    | Some c -> Printf.sprintf ",\"cache\":%S" (cache_name c))
+    ((match e.cache with
+     | None -> ""
+     | Some c -> Printf.sprintf ",\"cache\":%S" (cache_name c))
+    ^ (match e.disk with
+      | None -> ""
+      | Some d ->
+          Printf.sprintf ",\"disk\":%d%s" d
+            (match e.round with
+            | None -> ""
+            | Some r -> Printf.sprintf ",\"round\":%d" r)))
 
 let ring_push r e =
   if Array.length r.buf = 0 then r.buf <- Array.make r.capacity e;
@@ -100,10 +109,10 @@ let classify t block =
   else if block = t.last_block || block = t.last_block + 1 then Sequential
   else Random
 
-let emit ?(kind = Io) ?(backend = "sim") ?cache t op ~block ~phase =
+let emit ?(kind = Io) ?(backend = "sim") ?cache ?disk ?round t op ~block ~phase =
   let e =
     { seq = t.next_seq; op; kind; block; phase; locality = classify t block;
-      backend; cache }
+      backend; cache; disk; round }
   in
   t.next_seq <- t.next_seq + 1;
   t.last_block <- block;

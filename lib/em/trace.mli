@@ -34,6 +34,10 @@ type event = {
   locality : locality;
   backend : string;  (** storage backend that served the I/O; ["sim"] default *)
   cache : cache option;  (** buffer-pool outcome, for cached reads only *)
+  disk : int option;
+      (** disk the block is striped onto; [None] on a single-disk machine *)
+  round : int option;
+      (** parallel round id; I/Os batched in one scheduling window share it *)
 }
 
 type sink
@@ -67,11 +71,11 @@ val counter : (event -> bool) -> sink * (unit -> int)
 val add_sink : t -> sink -> unit
 
 val emit :
-  ?kind:kind -> ?backend:string -> ?cache:cache -> t -> op -> block:int ->
-  phase:string list -> unit
+  ?kind:kind -> ?backend:string -> ?cache:cache -> ?disk:int -> ?round:int ->
+  t -> op -> block:int -> phase:string list -> unit
 (** Record one I/O (called by {!Device}; [kind] defaults to {!Io}, [backend]
-    to ["sim"], [cache] to [None]).  The first event on a tracer is
-    classified {!Random} (the head must seek to the first block). *)
+    to ["sim"], [cache]/[disk]/[round] to [None]).  The first event on a
+    tracer is classified {!Random} (the head must seek to the first block). *)
 
 val events : t -> event list
 (** Retained events of the first ring sink, oldest first. *)
@@ -97,6 +101,7 @@ val kind_name : kind -> string
 val cache_name : cache -> string
 
 val event_to_json : event -> string
-(** One JSON object.  The [backend] and [cache] fields are omitted when they
-    carry no information (backend ["sim"], cache [None]), so traces from the
-    default simulated backend keep their historical shape. *)
+(** One JSON object.  The [backend], [cache] and [disk]/[round] fields are
+    omitted when they carry no information (backend ["sim"], cache [None],
+    disk [None] — i.e. a single-disk machine), so traces from the default
+    simulated backend keep their historical shape. *)

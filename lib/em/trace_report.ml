@@ -110,6 +110,31 @@ let summarize events =
     rewrite_histogram = access_histogram events Trace.Write;
   }
 
+(* Per-disk I/O counts, from events carrying a disk id (emitted only on
+   multi-disk machines — single-disk traces yield an empty report). *)
+let disk_balance events =
+  let per_disk = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.disk with
+      | Some d ->
+          Hashtbl.replace per_disk d
+            (1 + Option.value (Hashtbl.find_opt per_disk d) ~default:0)
+      | None -> ())
+    events;
+  Hashtbl.fold (fun d n acc -> (d, n) :: acc) per_disk []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+(* Distinct round ids: I/Os sharing one id were issued in the same
+   scheduling window and overlap on a parallel-disk machine. *)
+let scheduling_windows events =
+  let rounds = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.round with Some r -> Hashtbl.replace rounds r () | None -> ())
+    events;
+  Hashtbl.length rounds
+
 let random_seeks events =
   List.fold_left
     (fun acc (e : Trace.event) ->
@@ -152,9 +177,25 @@ let pp_histogram ppf hist =
       (fun (times, blocks) -> Format.fprintf ppf "  %4dx : %d blocks@." times blocks)
       hist
 
+(* Printed only for multi-disk traces, so single-disk reports — and their
+   goldens — keep their exact shape. *)
+let pp_disk_balance ppf events =
+  match disk_balance events with
+  | [] -> ()
+  | per_disk ->
+      let counts = List.map snd per_disk in
+      let mx = List.fold_left max 0 counts
+      and mn = List.fold_left min max_int counts in
+      Format.fprintf ppf "disk balance:     %s (max/min = %d/%d)@."
+        (String.concat ", "
+           (List.map (fun (d, n) -> Printf.sprintf "d%d:%d" d n) per_disk))
+        mx mn;
+      Format.fprintf ppf "sched windows:    %d@." (scheduling_windows events)
+
 let pp_summary ppf events =
   let s = summarize events in
   Format.fprintf ppf "totals:           %a@." pp_counts s.totals;
+  pp_disk_balance ppf events;
   Format.fprintf ppf "random seeks:     %d@." s.totals.random;
   Format.fprintf ppf "distinct blocks:  %d@." s.distinct_blocks;
   Format.fprintf ppf "block re-reads (times read -> blocks):@.";

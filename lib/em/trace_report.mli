@@ -53,6 +53,16 @@ val summarize : Trace.event list -> summary
 val random_seeks : Trace.event list -> int
 (** Number of events classified {!Trace.Random}. *)
 
+val disk_balance : Trace.event list -> (int * int) list
+(** Per-disk I/O counts [(disk, ios)], ascending by disk, from events
+    carrying a disk id.  Empty for single-disk traces (the id is emitted
+    only when [D > 1]). *)
+
+val scheduling_windows : Trace.event list -> int
+(** Number of distinct round ids among events carrying one: I/Os sharing an
+    id were issued in the same scheduling window and overlap on a
+    parallel-disk machine.  Zero for single-disk traces. *)
+
 val pp_counts : Format.formatter -> counts -> unit
 val pp_tree : Format.formatter -> Trace.event list -> unit
 val pp_summary : Format.formatter -> Trace.event list -> unit

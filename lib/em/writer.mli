@@ -2,21 +2,34 @@
 
     A writer holds one block buffer ([B] words charged for its lifetime) and
     pays one write I/O per block it fills, plus one for a final partial block.
-    [finish] returns the vector and releases the buffer. *)
+    [finish] returns the vector and releases the buffer.
+
+    With [?write_behind = k] up to [k] filled blocks queue up before being
+    written, and each drain issues its queue (up to [k + 1] blocks) as one
+    {!Stats} scheduling window so a D-disk machine overlaps the writes into
+    few parallel rounds.  Block ids are still allocated eagerly at fill time
+    (placement and golden block ids are independent of the queue depth), each
+    queued payload is charged [B] words while pending, and queueing degrades
+    to synchronous writes under memory pressure — so results, per-block write
+    counts and [mem_peak <= M] are all identical to the unbuffered writer. *)
 
 type 'a t
 
-val create : 'a Ctx.t -> 'a t
+val create : ?write_behind:int -> 'a Ctx.t -> 'a t
+(** [write_behind] (default 0) = max filled blocks queued before a batched
+    drain.  Pass [Ctx.disks ctx - 1] to give every disk of a batch work. *)
+
 val push : 'a t -> 'a -> unit
 val push_array : 'a t -> 'a array -> unit
 val length : 'a t -> int
 (** Elements pushed so far. *)
 
 val finish : 'a t -> 'a Vec.t
-(** Flush the last partial block, release the buffer and return the vector.
-    The writer must not be used afterwards. *)
+(** Flush the last partial block, drain any queued writes, release the buffer
+    and return the vector.  The writer must not be used afterwards. *)
 
 val abandon : 'a t -> unit
-(** Release the buffer and free all blocks written so far. *)
+(** Release the buffer (and any queued payload charges) and free all blocks
+    allocated so far, written or queued. *)
 
-val with_writer : 'a Ctx.t -> ('a t -> unit) -> 'a Vec.t
+val with_writer : ?write_behind:int -> 'a Ctx.t -> ('a t -> unit) -> 'a Vec.t

@@ -26,7 +26,16 @@ let rec merge_passes cmp runs =
       let rec one_pass acc = function
         | [] -> List.rev acc
         | runs ->
-            let group, rest = split_at fanout [] runs in
+            (* Balance group sizes across the pass (ceil(n/groups) runs per
+               merge rather than greedy fanout-sized groups).  The group
+               {e count} — hence the pass count and the I/O count — is
+               unchanged, but no merge sits at the exact fanout limit, so
+               block buffers stay spare for the parallel-disk pipeline
+               (forecast read-ahead and write-behind) inside each merge. *)
+            let remaining = List.length runs in
+            let groups = (remaining + fanout - 1) / fanout in
+            let size = (remaining + groups - 1) / groups in
+            let group, rest = split_at size [] runs in
             let merged = Em.Phase.with_label ctx "merge" (fun () -> Merge.merge cmp group) in
             List.iter Em.Vec.free group;
             one_pass (merged :: acc) rest

@@ -18,18 +18,22 @@ let measure ~mem ~block kind ~n f =
     Em.Trace.counter (fun e -> e.Em.Trace.locality = Em.Trace.Random)
   in
   Em.Trace.add_sink trace seek_sink;
-  (* Pinned to the sim backend: golden costs document the counted model and
-     must be immune to EM_BACKEND (mem_peak would include pool pages). *)
+  (* Pinned to the sim backend and a single disk: golden costs document the
+     counted model and must be immune to EM_BACKEND (mem_peak would include
+     pool pages) and EM_DISKS (rounds would compress and prefetch would move
+     mem_peak).  At D = 1 rounds provably equals reads + writes. *)
   let ctx : int Em.Ctx.t =
-    Em.Ctx.create ~trace ~backend:Em.Backend.Sim (Em.Params.create ~mem ~block)
+    Em.Ctx.create ~trace ~backend:Em.Backend.Sim ~disks:1
+      (Em.Params.create ~mem ~block)
   in
   let v = Core.Workload.vec ctx kind ~seed ~n in
   let (), d = Em.Ctx.measured ctx (fun () -> f ctx v) in
   { d; mem_peak = ctx.Em.Ctx.stats.Em.Stats.mem_peak; seeks = seeks () }
 
 let print_run label r =
-  Printf.printf "%s -> reads=%d writes=%d comps=%d mem_peak=%d seeks=%d\n" label
+  Printf.printf "%s -> reads=%d writes=%d comps=%d mem_peak=%d seeks=%d rounds=%d\n" label
     r.d.Em.Stats.d_reads r.d.Em.Stats.d_writes r.d.Em.Stats.d_comparisons r.mem_peak r.seeks
+    r.d.Em.Stats.d_rounds
 
 let machines = [ (256, 16); (1024, 32) ]
 let kinds = [ Core.Workload.Pi_hard; Core.Workload.Random_perm ]

@@ -10,11 +10,13 @@
 
 let () =
   let reg = Em.Metrics.create () in
-  (* Pinned to the sim backend: the goldens document the counted-cost model,
-     which EM_BACKEND must not be able to perturb (a cached backend would
-     shift mem_peak by its resident pages). *)
+  (* Pinned to the sim backend and a single disk: the goldens document the
+     counted-cost model, which neither EM_BACKEND (a cached backend would
+     shift mem_peak by its resident pages) nor EM_DISKS (rounds gauges would
+     appear) may perturb. *)
   let ctx : int Em.Ctx.t =
-    Em.Ctx.create ~backend:Em.Backend.Sim (Em.Params.create ~mem:256 ~block:16)
+    Em.Ctx.create ~backend:Em.Backend.Sim ~disks:1
+      (Em.Params.create ~mem:256 ~block:16)
   in
   let v = Em.Vec.of_array ctx (Array.init 160 (fun i -> i)) in
   Em.Phase.with_label ctx "scan" (fun () -> Emalg.Scan.iter (fun _ -> ()) v);

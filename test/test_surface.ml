@@ -73,8 +73,10 @@ let test_writer_push_array () =
   Tu.check_int_array "concatenated" [| 1; 2; 3 |] (Em.Vec.Oracle.to_array v)
 
 let test_pretty_printers () =
-  let p = Tu.params ~mem:64 ~block:8 () in
+  let p = Em.Params.with_disks (Tu.params ~mem:64 ~block:8 ()) 1 in
   Alcotest.(check string) "params" "{ M = 64; B = 8 }" (Format.asprintf "%a" Em.Params.pp p);
+  Alcotest.(check string) "params (multi-disk)" "{ M = 64; B = 8; D = 4 }"
+    (Format.asprintf "%a" Em.Params.pp (Em.Params.with_disks p 4));
   let s = Em.Stats.create () in
   s.Em.Stats.reads <- 3;
   s.Em.Stats.writes <- 2;
