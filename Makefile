@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test fmt goldens bench bench-json bench-file test-backends test-disks faults clean
+.PHONY: all build test fmt goldens bench bench-json bench-file test-backends test-disks faults serve-smoke clean
 
 all: build
 
@@ -64,6 +64,20 @@ faults:
 	dune exec bin/em_repro.exe -- faults multiselect -n 20000 -k 12 --fault-p 0.02
 	dune exec bin/em_repro.exe -- faults splitters -n 20000 -k 16 --fault-seed 7
 	dune exec bin/em_repro.exe -- faults sort -n 20000 --restartable --crash-every 800
+
+# Serve-mode smoke: pipe the fixed query script through `em_repro serve` on
+# a pinned machine (sim backend, D = 1, fixed seed) and diff the NDJSON
+# transcript against the golden.  Every emitted number is a simulated cost,
+# so the transcript is byte-deterministic.  Regenerate after an intentional
+# cost change with:
+#   dune exec bin/em_repro.exe -- serve -n 20000 --mem 4096 --block 64 \
+#     --backend sim --disks 1 --seed 42 \
+#     < test/golden/serve.script > test/golden/serve.expected
+serve-smoke:
+	dune exec bin/em_repro.exe -- serve -n 20000 --mem 4096 --block 64 \
+	  --backend sim --disks 1 --seed 42 \
+	  < test/golden/serve.script | diff test/golden/serve.expected -
+	@echo "serve-smoke: transcript matches the golden."
 
 clean:
 	dune clean

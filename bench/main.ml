@@ -13,6 +13,7 @@
 let sections =
   [
     ("table1", fun () -> Table1.all ());
+    ("online", fun () -> Online.all ());
     ("figures", fun () -> Figures.all (); []);
     ("ablations", fun () -> Ablations.all (); []);
     ("timing", fun () -> Timing.all (); []);

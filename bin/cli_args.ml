@@ -1,0 +1,153 @@
+(* Shared flag plumbing for the em_repro subcommands.
+
+   Every subcommand takes the same machine/backend/workload flags; they are
+   bundled here as one [common] record built by one [common_t] term, so the
+   per-subcommand definitions only declare what is specific to them.  The
+   helpers below (context construction, cost reporting, spec validation)
+   are the shared halves of every [run_*] function. *)
+
+open Cmdliner
+
+type common = {
+  verbose : bool;
+  backend : Em.Backend.spec option;
+  mem : int;
+  block : int;
+  disks : int option;
+  seed : int;
+  workload : Core.Workload.kind;
+}
+
+let mem_t =
+  Arg.(value & opt int 4096 & info [ "mem"; "M" ] ~docv:"WORDS" ~doc:"Memory size M in words.")
+
+let block_t =
+  Arg.(value & opt int 64 & info [ "block"; "B" ] ~docv:"WORDS" ~doc:"Block size B in words.")
+
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload PRNG seed.")
+
+let disks_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "disks"; "D" ] ~docv:"D"
+        ~doc:
+          "Number of parallel disks (round-based I/O accounting; block placement is striped \
+           round-robin).  Counted reads/writes are identical at any D; only the round count \
+           and prefetch/write-behind batching change.  When omitted, honours the EM_DISKS \
+           environment variable (default 1).")
+
+let workload_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "random" ] | [ "random-perm" ] -> Ok Core.Workload.Random_perm
+    | [ "sorted" ] -> Ok Core.Workload.Sorted
+    | [ "reverse" ] | [ "reverse-sorted" ] -> Ok Core.Workload.Reverse_sorted
+    | [ "pi-hard" ] -> Ok Core.Workload.Pi_hard
+    | [ "organ-pipe" ] -> Ok Core.Workload.Organ_pipe
+    | [ "few-distinct"; d ] -> (
+        match int_of_string_opt d with
+        | Some d when d > 0 -> Ok (Core.Workload.Few_distinct d)
+        | _ -> Error (`Msg "few-distinct:<count> needs a positive count"))
+    | [ "runs"; r ] -> (
+        match int_of_string_opt r with
+        | Some r when r > 0 -> Ok (Core.Workload.Runs r)
+        | _ -> Error (`Msg "runs:<count> needs a positive count"))
+    | [ "zipf"; sk ] -> (
+        match float_of_string_opt sk with
+        | Some sk when sk > 1. -> Ok (Core.Workload.Zipf sk)
+        | _ -> Error (`Msg "zipf:<skew> needs a skew > 1"))
+    | _ ->
+        Error
+          (`Msg
+            "expected one of: random, sorted, reverse, pi-hard, organ-pipe, \
+             few-distinct:<d>, runs:<r>, zipf:<skew>")
+  in
+  let print ppf k = Format.pp_print_string ppf (Core.Workload.kind_name k) in
+  Arg.conv (parse, print)
+
+let workload_t =
+  Arg.(
+    value
+    & opt workload_conv Core.Workload.Random_perm
+    & info [ "workload"; "w" ] ~docv:"KIND" ~doc:"Input layout (see --help).")
+
+let backend_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Em.Backend.spec_of_string s) in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Em.Backend.spec_name s))
+
+let backend_t =
+  Arg.(
+    value
+    & opt (some backend_conv) None
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Storage backend: $(b,sim) (in-memory simulation, the default), $(b,file) (real \
+           disk blocks, fsynced on flush), $(b,cached) or $(b,cached:file) (buffer-pool LRU \
+           over sim/file).  Counted I/Os are identical on all of them.  When omitted, \
+           honours the EM_BACKEND environment variable.")
+
+let verbose_t =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print debug logs of the recursions.")
+
+let common_t =
+  let make verbose backend mem block disks seed workload =
+    { verbose; backend; mem; block; disks; seed; workload }
+  in
+  Term.(
+    const make $ verbose_t $ backend_t $ mem_t $ block_t $ disks_t $ seed_t $ workload_t)
+
+(* ---- shared run-function halves ---- *)
+
+let setup_logs c =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if c.verbose then Some Logs.Debug else Some Logs.Warning)
+
+let make_ctx ?trace c : int Em.Ctx.t =
+  Em.Ctx.create ?trace ?backend:c.backend ?disks:c.disks
+    (Em.Params.create ~mem:c.mem ~block:c.block)
+
+let workload_vec c ctx ~n = Core.Workload.vec ctx c.workload ~seed:c.seed ~n
+
+let describe_machine ?(disks = 1) ~mem ~block () =
+  Printf.printf "machine:      M=%d, B=%d (fanout M/B = %d)%s\n" mem block (mem / block)
+    (if disks > 1 then Printf.sprintf ", D=%d disks" disks else "")
+
+let describe_backend ctx = Printf.printf "backend:      %s\n" (Em.Ctx.backend_name ctx)
+
+let describe c ctx =
+  describe_machine ~disks:(Em.Ctx.disks ctx) ~mem:c.mem ~block:c.block ();
+  describe_backend ctx
+
+(* Cost of the measured computation only, as reported by [Ctx.measured]
+   (workload placement is free and outside the bracket either way). *)
+let report_cost ctx (d : Em.Stats.delta) =
+  Printf.printf "I/O:          %d (reads %d, writes %d)\n" (Em.Stats.delta_ios d)
+    d.Em.Stats.d_reads d.Em.Stats.d_writes;
+  if d.Em.Stats.d_rounds < Em.Stats.delta_ios d then
+    Printf.printf "rounds:       %d (parallel disks, %.2fx compression)\n" d.Em.Stats.d_rounds
+      (float_of_int (Em.Stats.delta_ios d) /. float_of_int (max 1 d.Em.Stats.d_rounds));
+  (if d.Em.Stats.d_cache_hits > 0 || d.Em.Stats.d_cache_misses > 0 then
+     let s = ctx.Em.Ctx.stats in
+     Printf.printf "cache:        %d hits, %d misses (%d evictions)\n" d.Em.Stats.d_cache_hits
+       d.Em.Stats.d_cache_misses s.Em.Stats.cache_evictions);
+  Printf.printf "comparisons:  %d\n" d.Em.Stats.d_comparisons;
+  Printf.printf "peak memory:  %d / %d words\n" ctx.Em.Ctx.stats.Em.Stats.mem_peak
+    ctx.Em.Ctx.params.Em.Params.mem
+
+let print_verified = function
+  | Ok () -> Printf.printf "verification: OK\n"
+  | Error msg ->
+      Printf.printf "verification: FAILED (%s)\n" msg;
+      exit 2
+
+let spec_of ~n ~k ~a ~b =
+  let b = Option.value b ~default:n in
+  let spec = { Core.Problem.n; k; a; b } in
+  (match Core.Problem.validate spec with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "invalid spec: %s\n" msg;
+      exit 1);
+  spec

@@ -6,67 +6,18 @@
      em_repro partition -n 100000 -k 10 -a 0 -b 20000 --workload sorted
      em_repro multiselect -n 65536 --ranks 1,1000,32768
      em_repro bounds -n 1048576 -k 64 -a 256 -b 65536
-*)
+     em_repro serve -n 65536 < queries.txt
+
+   The machine/backend/workload flags shared by every subcommand live in
+   {!Cli_args} (one [common_t] term); only subcommand-specific flags are
+   declared here. *)
 
 open Cmdliner
+open Cli_args
 
 let icmp = Int.compare
 
-(* ---- common options ---- *)
-
-let mem_t =
-  Arg.(value & opt int 4096 & info [ "mem"; "M" ] ~docv:"WORDS" ~doc:"Memory size M in words.")
-
-let block_t =
-  Arg.(value & opt int 64 & info [ "block"; "B" ] ~docv:"WORDS" ~doc:"Block size B in words.")
-
-let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload PRNG seed.")
-
-let disks_t =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "disks"; "D" ] ~docv:"D"
-        ~doc:
-          "Number of parallel disks (round-based I/O accounting; block placement is striped \
-           round-robin).  Counted reads/writes are identical at any D; only the round count \
-           and prefetch/write-behind batching change.  When omitted, honours the EM_DISKS \
-           environment variable (default 1).")
-
-let workload_conv =
-  let parse s =
-    match String.split_on_char ':' s with
-    | [ "random" ] | [ "random-perm" ] -> Ok Core.Workload.Random_perm
-    | [ "sorted" ] -> Ok Core.Workload.Sorted
-    | [ "reverse" ] | [ "reverse-sorted" ] -> Ok Core.Workload.Reverse_sorted
-    | [ "pi-hard" ] -> Ok Core.Workload.Pi_hard
-    | [ "organ-pipe" ] -> Ok Core.Workload.Organ_pipe
-    | [ "few-distinct"; d ] -> (
-        match int_of_string_opt d with
-        | Some d when d > 0 -> Ok (Core.Workload.Few_distinct d)
-        | _ -> Error (`Msg "few-distinct:<count> needs a positive count"))
-    | [ "runs"; r ] -> (
-        match int_of_string_opt r with
-        | Some r when r > 0 -> Ok (Core.Workload.Runs r)
-        | _ -> Error (`Msg "runs:<count> needs a positive count"))
-    | [ "zipf"; sk ] -> (
-        match float_of_string_opt sk with
-        | Some sk when sk > 1. -> Ok (Core.Workload.Zipf sk)
-        | _ -> Error (`Msg "zipf:<skew> needs a skew > 1"))
-    | _ ->
-        Error
-          (`Msg
-            "expected one of: random, sorted, reverse, pi-hard, organ-pipe, \
-             few-distinct:<d>, runs:<r>, zipf:<skew>")
-  in
-  let print ppf k = Format.pp_print_string ppf (Core.Workload.kind_name k) in
-  Arg.conv (parse, print)
-
-let workload_t =
-  Arg.(
-    value
-    & opt workload_conv Core.Workload.Random_perm
-    & info [ "workload"; "w" ] ~docv:"KIND" ~doc:"Input layout (see --help).")
+(* ---- subcommand-specific options ---- *)
 
 let n_t = Arg.(required & opt (some int) None & info [ "n" ] ~docv:"N" ~doc:"Input size.")
 let k_t = Arg.(required & opt (some int) None & info [ "k" ] ~docv:"K" ~doc:"Partition count.")
@@ -78,79 +29,14 @@ let b_opt_t =
 let baseline_t =
   Arg.(value & flag & info [ "baseline" ] ~doc:"Run the sort-based baseline instead.")
 
-let backend_conv =
-  let parse s = Result.map_error (fun m -> `Msg m) (Em.Backend.spec_of_string s) in
-  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Em.Backend.spec_name s))
-
-let backend_t =
-  Arg.(
-    value
-    & opt (some backend_conv) None
-    & info [ "backend" ] ~docv:"BACKEND"
-        ~doc:
-          "Storage backend: $(b,sim) (in-memory simulation, the default), $(b,file) (real \
-           disk blocks, fsynced on flush), $(b,cached) or $(b,cached:file) (buffer-pool LRU \
-           over sim/file).  Counted I/Os are identical on all of them.  When omitted, \
-           honours the EM_BACKEND environment variable.")
-
-let verbose_t =
-  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print debug logs of the recursions.")
-
-let setup_logs verbose =
-  Fmt_tty.setup_std_outputs ();
-  Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
-
-let make_ctx ?backend ?disks ~mem ~block () : int Em.Ctx.t =
-  Em.Ctx.create ?backend ?disks (Em.Params.create ~mem ~block)
-
-(* Cost of the measured computation only, as reported by [Ctx.measured]
-   (workload placement is free and outside the bracket either way). *)
-let report_cost ctx (d : Em.Stats.delta) =
-  Printf.printf "I/O:          %d (reads %d, writes %d)\n" (Em.Stats.delta_ios d)
-    d.Em.Stats.d_reads d.Em.Stats.d_writes;
-  if d.Em.Stats.d_rounds < Em.Stats.delta_ios d then
-    Printf.printf "rounds:       %d (parallel disks, %.2fx compression)\n" d.Em.Stats.d_rounds
-      (float_of_int (Em.Stats.delta_ios d) /. float_of_int (max 1 d.Em.Stats.d_rounds));
-  (if d.Em.Stats.d_cache_hits > 0 || d.Em.Stats.d_cache_misses > 0 then
-     let s = ctx.Em.Ctx.stats in
-     Printf.printf "cache:        %d hits, %d misses (%d evictions)\n" d.Em.Stats.d_cache_hits
-       d.Em.Stats.d_cache_misses s.Em.Stats.cache_evictions);
-  Printf.printf "comparisons:  %d\n" d.Em.Stats.d_comparisons;
-  Printf.printf "peak memory:  %d / %d words\n" ctx.Em.Ctx.stats.Em.Stats.mem_peak
-    ctx.Em.Ctx.params.Em.Params.mem
-
-let print_verified = function
-  | Ok () -> Printf.printf "verification: OK\n"
-  | Error msg ->
-      Printf.printf "verification: FAILED (%s)\n" msg;
-      exit 2
-
-let spec_of ~n ~k ~a ~b =
-  let b = Option.value b ~default:n in
-  let spec = { Core.Problem.n; k; a; b } in
-  (match Core.Problem.validate spec with
-  | Ok () -> ()
-  | Error msg ->
-      Printf.eprintf "invalid spec: %s\n" msg;
-      exit 1);
-  spec
-
-let describe_machine ?(disks = 1) ~mem ~block () =
-  Printf.printf "machine:      M=%d, B=%d (fanout M/B = %d)%s\n" mem block (mem / block)
-    (if disks > 1 then Printf.sprintf ", D=%d disks" disks else "")
-
-let describe_backend ctx = Printf.printf "backend:      %s\n" (Em.Ctx.backend_name ctx)
-
 (* ---- splitters ---- *)
 
-let run_splitters verbose backend mem block disks seed workload n k a b baseline =
-  setup_logs verbose;
+let run_splitters c n k a b baseline =
+  setup_logs c;
   let spec = spec_of ~n ~k ~a ~b in
-  let ctx = make_ctx ?backend ?disks ~mem ~block () in
-  let v = Core.Workload.vec ctx workload ~seed ~n in
-  describe_machine ~disks:(Em.Ctx.disks ctx) ~mem ~block ();
-  describe_backend ctx;
+  let ctx = make_ctx c in
+  let v = workload_vec c ctx ~n in
+  describe c ctx;
   Printf.printf "problem:      %s K-splitters, %s\n"
     (Core.Problem.variant_name (Core.Problem.classify spec))
     (Format.asprintf "%a" Core.Problem.pp_spec spec);
@@ -171,19 +57,16 @@ let splitters_cmd =
   let doc = "Solve the approximate K-splitters problem." in
   Cmd.v
     (Cmd.info "splitters" ~doc)
-    Term.(
-      const run_splitters $ verbose_t $ backend_t $ mem_t $ block_t $ disks_t $ seed_t $ workload_t $ n_t
-      $ k_t $ a_t $ b_opt_t $ baseline_t)
+    Term.(const run_splitters $ common_t $ n_t $ k_t $ a_t $ b_opt_t $ baseline_t)
 
 (* ---- partitioning ---- *)
 
-let run_partition verbose backend mem block disks seed workload n k a b baseline =
-  setup_logs verbose;
+let run_partition c n k a b baseline =
+  setup_logs c;
   let spec = spec_of ~n ~k ~a ~b in
-  let ctx = make_ctx ?backend ?disks ~mem ~block () in
-  let v = Core.Workload.vec ctx workload ~seed ~n in
-  describe_machine ~disks:(Em.Ctx.disks ctx) ~mem ~block ();
-  describe_backend ctx;
+  let ctx = make_ctx c in
+  let v = workload_vec c ctx ~n in
+  describe c ctx;
   Printf.printf "problem:      %s K-partitioning, %s\n"
     (Core.Problem.variant_name (Core.Problem.classify spec))
     (Format.asprintf "%a" Core.Problem.pp_spec spec);
@@ -208,9 +91,7 @@ let partition_cmd =
   let doc = "Solve the approximate K-partitioning problem." in
   Cmd.v
     (Cmd.info "partition" ~doc)
-    Term.(
-      const run_partition $ verbose_t $ backend_t $ mem_t $ block_t $ disks_t $ seed_t $ workload_t $ n_t
-      $ k_t $ a_t $ b_opt_t $ baseline_t)
+    Term.(const run_partition $ common_t $ n_t $ k_t $ a_t $ b_opt_t $ baseline_t)
 
 (* ---- multi-selection ---- *)
 
@@ -220,13 +101,12 @@ let ranks_t =
     & opt (some (list int)) None
     & info [ "ranks" ] ~docv:"R1,R2,..." ~doc:"Strictly increasing 1-based ranks.")
 
-let run_multiselect verbose backend mem block disks seed workload n ranks baseline =
-  setup_logs verbose;
+let run_multiselect c n ranks baseline =
+  setup_logs c;
   let ranks = Array.of_list ranks in
-  let ctx = make_ctx ?backend ?disks ~mem ~block () in
-  let v = Core.Workload.vec ctx workload ~seed ~n in
-  describe_machine ~disks:(Em.Ctx.disks ctx) ~mem ~block ();
-  describe_backend ctx;
+  let ctx = make_ctx c in
+  let v = workload_vec c ctx ~n in
+  describe c ctx;
   Printf.printf "problem:      multi-selection of %d ranks from %d elements\n"
     (Array.length ranks) n;
   let cmp = Em.Ctx.counted ctx icmp in
@@ -245,9 +125,7 @@ let multiselect_cmd =
   let doc = "Report the elements of the given ranks (Theorem 4)." in
   Cmd.v
     (Cmd.info "multiselect" ~doc)
-    Term.(
-      const run_multiselect $ verbose_t $ backend_t $ mem_t $ block_t $ disks_t $ seed_t $ workload_t
-      $ n_t $ ranks_t $ baseline_t)
+    Term.(const run_multiselect $ common_t $ n_t $ ranks_t $ baseline_t)
 
 (* ---- multi-partition ---- *)
 
@@ -257,13 +135,12 @@ let sizes_t =
     & opt (some (list int)) None
     & info [ "sizes" ] ~docv:"S1,S2,..." ~doc:"Positive partition sizes summing to n.")
 
-let run_multipartition verbose backend mem block disks seed workload n sizes baseline =
-  setup_logs verbose;
+let run_multipartition c n sizes baseline =
+  setup_logs c;
   let sizes = Array.of_list sizes in
-  let ctx = make_ctx ?backend ?disks ~mem ~block () in
-  let v = Core.Workload.vec ctx workload ~seed ~n in
-  describe_machine ~disks:(Em.Ctx.disks ctx) ~mem ~block ();
-  describe_backend ctx;
+  let ctx = make_ctx c in
+  let v = workload_vec c ctx ~n in
+  describe c ctx;
   Printf.printf "problem:      multi-partition into %d prescribed sizes\n" (Array.length sizes);
   let cmp = Em.Ctx.counted ctx icmp in
   let parts, cost =
@@ -282,36 +159,27 @@ let multipartition_cmd =
   let doc = "Physically partition into prescribed sizes." in
   Cmd.v
     (Cmd.info "multipartition" ~doc)
-    Term.(
-      const run_multipartition $ verbose_t $ backend_t $ mem_t $ block_t $ disks_t $ seed_t $ workload_t
-      $ n_t $ sizes_t $ baseline_t)
+    Term.(const run_multipartition $ common_t $ n_t $ sizes_t $ baseline_t)
 
 (* ---- quantiles ---- *)
 
-let run_quantiles verbose backend mem block disks seed workload n k =
-  setup_logs verbose;
-  let ctx = make_ctx ?backend ?disks ~mem ~block () in
-  let v = Core.Workload.vec ctx workload ~seed ~n in
-  describe_machine ~disks:(Em.Ctx.disks ctx) ~mem ~block ();
-  describe_backend ctx;
-  Printf.printf "problem:      exact (1/%d)-quantiles of %d elements
-" k n;
+let run_quantiles c n k =
+  setup_logs c;
+  let ctx = make_ctx c in
+  let v = workload_vec c ctx ~n in
+  describe c ctx;
+  Printf.printf "problem:      exact (1/%d)-quantiles of %d elements\n" k n;
   let cmp = Em.Ctx.counted ctx icmp in
-  let out, cost = Em.Ctx.measured ctx (fun () -> Core.Splitters.quantiles cmp v ~k) in
+  let out, cost = Em.Ctx.measured ctx (fun () -> Core.Splitters.exact_quantiles cmp v ~k) in
   report_cost ctx cost;
   let values = Em.Vec.Oracle.to_array out in
-  Array.iteri (fun i q -> Printf.printf "q%-3d -> %d
-" (i + 1) q) values;
+  Array.iteri (fun i q -> Printf.printf "q%-3d -> %d\n" (i + 1) q) values;
   let ranks = Core.Splitters.quantile_ranks ~n ~k in
   print_verified (Core.Verify.multi_select icmp ~input:(Em.Vec.Oracle.to_array v) ~ranks values)
 
 let quantiles_cmd =
   let doc = "Report the exact (1/K)-quantile elements (equi-depth boundaries)." in
-  Cmd.v
-    (Cmd.info "quantiles" ~doc)
-    Term.(
-      const run_quantiles $ verbose_t $ backend_t $ mem_t $ block_t $ disks_t $ seed_t $ workload_t $ n_t
-      $ k_t)
+  Cmd.v (Cmd.info "quantiles" ~doc) Term.(const run_quantiles $ common_t $ n_t $ k_t)
 
 (* ---- reduce (Section 3) ---- *)
 
@@ -321,21 +189,19 @@ let chunk_t =
     & opt (some int) None
     & info [ "chunk" ] ~docv:"SIZE" ~doc:"Exact partition size for the precise reduction.")
 
-let run_reduce verbose backend mem block disks seed workload n chunk =
-  setup_logs verbose;
-  let ctx = make_ctx ?backend ?disks ~mem ~block () in
-  let v = Core.Workload.vec ctx workload ~seed ~n in
-  describe_machine ~disks:(Em.Ctx.disks ctx) ~mem ~block ();
-  describe_backend ctx;
-  Printf.printf "problem:      precise partitioning into chunks of %d (Section 3 reduction)
-" chunk;
+let run_reduce c n chunk =
+  setup_logs c;
+  let ctx = make_ctx c in
+  let v = workload_vec c ctx ~n in
+  describe c ctx;
+  Printf.printf "problem:      precise partitioning into chunks of %d (Section 3 reduction)\n"
+    chunk;
   let cmp = Em.Ctx.counted ctx icmp in
   let parts, cost =
     Em.Ctx.measured ctx (fun () -> Core.Reduction.precise_by_approximate cmp v ~chunk)
   in
   report_cost ctx cost;
-  Printf.printf "partitions:   %s
-"
+  Printf.printf "partitions:   %s\n"
     (String.concat ", "
        (Array.to_list (Array.map (fun p -> string_of_int (Em.Vec.length p)) parts)));
   let sizes = Array.map Em.Vec.length parts in
@@ -345,11 +211,7 @@ let run_reduce verbose backend mem block disks seed workload n chunk =
 
 let reduce_cmd =
   let doc = "Precise partitioning via the Section 3 reduction." in
-  Cmd.v
-    (Cmd.info "reduce" ~doc)
-    Term.(
-      const run_reduce $ verbose_t $ backend_t $ mem_t $ block_t $ disks_t $ seed_t $ workload_t $ n_t
-      $ chunk_t)
+  Cmd.v (Cmd.info "reduce" ~doc) Term.(const run_reduce $ common_t $ n_t $ chunk_t)
 
 (* ---- trace ---- *)
 
@@ -384,19 +246,16 @@ let jsonl_t =
     & opt (some string) None
     & info [ "jsonl" ] ~docv:"FILE" ~doc:"Also stream every I/O event to FILE as JSON lines.")
 
-let run_trace verbose backend mem block disks seed workload algo n k a b ranks jsonl =
-  setup_logs verbose;
+let run_trace c algo n k a b ranks jsonl =
+  setup_logs c;
   let trace = Em.Trace.create () in
   let collect, collected = Em.Trace.collector () in
   Em.Trace.add_sink trace collect;
   let jsonl_oc = Option.map open_out jsonl in
   Option.iter (fun oc -> Em.Trace.add_sink trace (Em.Trace.jsonl_sink oc)) jsonl_oc;
-  let ctx : int Em.Ctx.t =
-    Em.Ctx.create ~trace ?backend ?disks (Em.Params.create ~mem ~block)
-  in
-  let v = Core.Workload.vec ctx workload ~seed ~n in
-  describe_machine ~disks:(Em.Ctx.disks ctx) ~mem ~block ();
-  describe_backend ctx;
+  let ctx = make_ctx ~trace c in
+  let v = workload_vec c ctx ~n in
+  describe c ctx;
   let cmp = Em.Ctx.counted ctx icmp in
   let name, ((), cost) =
     match algo with
@@ -425,7 +284,9 @@ let run_trace verbose backend mem block disks seed workload algo n k a b ranks j
           Em.Ctx.measured ctx (fun () -> ignore (Core.Multi_select.select cmp v ~ranks)) )
     | `Quantiles ->
         Printf.printf "problem:      exact (1/%d)-quantiles of %d elements\n" k n;
-        ("quantiles", Em.Ctx.measured ctx (fun () -> ignore (Core.Splitters.quantiles cmp v ~k)))
+        ( "quantiles",
+          Em.Ctx.measured ctx (fun () ->
+              ignore (Core.Splitters.exact_quantiles cmp v ~k)) )
   in
   report_cost ctx cost;
   let events = collected () in
@@ -447,8 +308,8 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace" ~doc)
     Term.(
-      const run_trace $ verbose_t $ backend_t $ mem_t $ block_t $ disks_t $ seed_t $ workload_t
-      $ trace_algo_t $ n_t $ k_opt_t $ a_t $ b_opt_t $ ranks_opt_t $ jsonl_t)
+      const run_trace $ common_t $ trace_algo_t $ n_t $ k_opt_t $ a_t $ b_opt_t $ ranks_opt_t
+      $ jsonl_t)
 
 (* ---- faults ---- *)
 
@@ -539,29 +400,26 @@ let print_restarts (o : _ Emalg.Restart.outcome) =
     o.Emalg.Restart.restarts o.Emalg.Restart.saves o.Emalg.Restart.save_ios
     o.Emalg.Restart.loads o.Emalg.Restart.load_ios
 
-let run_faults verbose backend mem block disks seed workload algo n k ranks fault_seed p kinds
-    crash_every max_retries verify_writes restartable =
-  setup_logs verbose;
+let run_faults c algo n k ranks fault_seed p kinds crash_every max_retries verify_writes
+    restartable =
+  setup_logs c;
   let trace = Em.Trace.create () in
   let collect, collected = Em.Trace.collector () in
   Em.Trace.add_sink trace collect;
-  let ctx : int Em.Ctx.t =
-    Em.Ctx.create ~trace ?backend ?disks (Em.Params.create ~mem ~block)
-  in
+  let ctx = make_ctx ~trace c in
   Em.Ctx.arm ~policy:{ Em.Device.default_policy with Em.Device.max_retries; verify_writes } ctx;
-  let v = Core.Workload.vec ctx workload ~seed ~n in
+  let v = workload_vec c ctx ~n in
   let input = Em.Vec.Oracle.to_array v in
-  describe_machine ~disks:(Em.Ctx.disks ctx) ~mem ~block ();
-  describe_backend ctx;
+  describe c ctx;
   let plan = Em.Fault.seeded ~seed:fault_seed ~p kinds in
   let plan =
     match crash_every with
-    | Some c -> Em.Fault.any [ Em.Fault.every_nth ~n:c Em.Fault.Crash; plan ]
+    | Some cr -> Em.Fault.any [ Em.Fault.every_nth ~n:cr Em.Fault.Crash; plan ]
     | None -> plan
   in
   Printf.printf "faults:       seeded p=%g seed=%d kinds=%s%s\n" p fault_seed
     (String.concat "," (List.map Em.Fault.kind_name kinds))
-    (match crash_every with Some c -> Printf.sprintf " + crash every %d I/Os" c | None -> "");
+    (match crash_every with Some cr -> Printf.sprintf " + crash every %d I/Os" cr | None -> "");
   Em.Ctx.inject ctx plan;
   let cmp = Em.Ctx.counted ctx icmp in
   let restartable_result o =
@@ -616,9 +474,9 @@ let faults_cmd =
   Cmd.v
     (Cmd.info "faults" ~doc)
     Term.(
-      const run_faults $ verbose_t $ backend_t $ mem_t $ block_t $ disks_t $ seed_t $ workload_t
-      $ fault_algo_t $ n_t $ k_opt_t $ ranks_opt_t $ fault_seed_t $ fault_p_t $ fault_kinds_t
-      $ crash_every_t $ max_retries_t $ verify_writes_t $ restartable_t)
+      const run_faults $ common_t $ fault_algo_t $ n_t $ k_opt_t $ ranks_opt_t $ fault_seed_t
+      $ fault_p_t $ fault_kinds_t $ crash_every_t $ max_retries_t $ verify_writes_t
+      $ restartable_t)
 
 (* ---- metrics & profile ---- *)
 
@@ -642,18 +500,16 @@ let observed_algo_t =
 (* Run [algo] with a span profiler and a seek-counting trace sink attached.
    Returns the machine, the profiler, the measured cost delta, the seek
    count and — when the algorithm has a Table 1 row — its (row, spec). *)
-let run_observed ?backend ?disks ~mem ~block ~seed ~workload ~algo ~n ~k ~a ~b ~ranks () =
+let run_observed c ~algo ~n ~k ~a ~b ~ranks () =
   let trace = Em.Trace.create () in
   let seek_sink, seeks =
     Em.Trace.counter (fun e -> e.Em.Trace.locality = Em.Trace.Random)
   in
   Em.Trace.add_sink trace seek_sink;
-  let ctx : int Em.Ctx.t =
-    Em.Ctx.create ~trace ?backend ?disks (Em.Params.create ~mem ~block)
-  in
+  let ctx = make_ctx ~trace c in
   let profiler = Em.Profile.create () in
   Em.Profile.attach profiler ctx.Em.Ctx.stats;
-  let v = Core.Workload.vec ctx workload ~seed ~n in
+  let v = workload_vec c ctx ~n in
   let cmp = Em.Ctx.counted ctx icmp in
   let table1_row, (name, ((), cost)) =
     match algo with
@@ -694,7 +550,8 @@ let run_observed ?backend ?disks ~mem ~block ~seed ~workload ~algo ~n ~k ~a ~b ~
     | `Quantiles ->
         ( None,
           ( "quantiles",
-            Em.Ctx.measured ctx (fun () -> Em.Vec.free (Core.Splitters.quantiles cmp v ~k)) ) )
+            Em.Ctx.measured ctx (fun () ->
+                Em.Vec.free (Core.Splitters.exact_quantiles cmp v ~k)) ) )
     | `Sort ->
         ( None,
           ( "sort",
@@ -709,10 +566,10 @@ let format_t =
     & info [ "format" ] ~docv:"FMT"
         ~doc:"Registry dump format: prom (Prometheus text exposition) or json (canonical).")
 
-let run_metrics verbose backend mem block disks seed workload algo n k a b ranks format =
-  setup_logs verbose;
+let run_metrics c algo n k a b ranks format =
+  setup_logs c;
   let ctx, profiler, cost, seeks, table1_row, _name =
-    run_observed ?backend ?disks ~mem ~block ~seed ~workload ~algo ~n ~k ~a ~b ~ranks ()
+    run_observed c ~algo ~n ~k ~a ~b ~ranks ()
   in
   let reg = Em.Metrics.create () in
   Em.Metrics.publish_stats reg ctx.Em.Ctx.stats;
@@ -741,16 +598,15 @@ let metrics_cmd =
   Cmd.v
     (Cmd.info "metrics" ~doc)
     Term.(
-      const run_metrics $ verbose_t $ backend_t $ mem_t $ block_t $ disks_t $ seed_t $ workload_t
-      $ observed_algo_t $ n_t $ k_opt_t $ a_t $ b_opt_t $ ranks_opt_t $ format_t)
+      const run_metrics $ common_t $ observed_algo_t $ n_t $ k_opt_t $ a_t $ b_opt_t
+      $ ranks_opt_t $ format_t)
 
-let run_profile verbose backend mem block disks seed workload algo n k a b ranks =
-  setup_logs verbose;
+let run_profile c algo n k a b ranks =
+  setup_logs c;
   let ctx, profiler, cost, seeks, table1_row, name =
-    run_observed ?backend ?disks ~mem ~block ~seed ~workload ~algo ~n ~k ~a ~b ~ranks ()
+    run_observed c ~algo ~n ~k ~a ~b ~ranks ()
   in
-  describe_machine ~disks:(Em.Ctx.disks ctx) ~mem ~block ();
-  describe_backend ctx;
+  describe c ctx;
   report_cost ctx cost;
   Printf.printf "random seeks: %d\n" seeks;
   (match table1_row with
@@ -780,19 +636,19 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile" ~doc)
     Term.(
-      const run_profile $ verbose_t $ backend_t $ mem_t $ block_t $ disks_t $ seed_t $ workload_t
-      $ observed_algo_t $ n_t $ k_opt_t $ a_t $ b_opt_t $ ranks_opt_t)
+      const run_profile $ common_t $ observed_algo_t $ n_t $ k_opt_t $ a_t $ b_opt_t
+      $ ranks_opt_t)
 
 (* ---- bounds ---- *)
 
 (* [bounds] is pure bound arithmetic — no device is ever created — but it
-   accepts [--backend] like every other subcommand so sweep scripts can pass
-   a uniform flag set. *)
-let run_bounds _backend mem block disks n k a b =
+   accepts the common flag set like every other subcommand so sweep scripts
+   can pass a uniform flag set. *)
+let run_bounds c n k a b =
   let spec = spec_of ~n ~k ~a ~b in
-  let p = Em.Params.create ~mem ~block in
-  let p = match disks with Some d -> Em.Params.with_disks p d | None -> p in
-  describe_machine ~disks:p.Em.Params.disks ~mem ~block ();
+  let p = Em.Params.create ~mem:c.mem ~block:c.block in
+  let p = match c.disks with Some d -> Em.Params.with_disks p d | None -> p in
+  describe_machine ~disks:p.Em.Params.disks ~mem:c.mem ~block:c.block ();
   Printf.printf "spec:         %s (%s)\n"
     (Format.asprintf "%a" Core.Problem.pp_spec spec)
     (Core.Problem.variant_name (Core.Problem.classify spec));
@@ -815,15 +671,13 @@ let run_bounds _backend mem block disks n k a b =
 
 let bounds_cmd =
   let doc = "Evaluate the paper's Table 1 bound formulas for a spec." in
-  Cmd.v (Cmd.info "bounds" ~doc)
-    Term.(const run_bounds $ backend_t $ mem_t $ block_t $ disks_t $ n_t $ k_t $ a_t $ b_opt_t)
+  Cmd.v (Cmd.info "bounds" ~doc) Term.(const run_bounds $ common_t $ n_t $ k_t $ a_t $ b_opt_t)
 
 (* ---- info ---- *)
 
-let run_info backend mem block disks =
-  let ctx = make_ctx ?backend ?disks ~mem ~block () in
-  describe_machine ~disks:(Em.Ctx.disks ctx) ~mem ~block ();
-  describe_backend ctx;
+let run_info c =
+  let ctx = make_ctx c in
+  describe c ctx;
   Printf.printf "merge fanout:            %d runs\n" (Emalg.Merge.max_fanout ctx);
   Printf.printf "distribution fanout:     %d buckets\n" (Emalg.Distribute.max_fanout ctx);
   Printf.printf "half-load (base cases):  %d words\n" (Emalg.Layout.half_load ctx);
@@ -833,8 +687,7 @@ let run_info backend mem block disks =
 
 let info_cmd =
   let doc = "Print the derived parameters of a machine geometry." in
-  Cmd.v (Cmd.info "info" ~doc)
-    Term.(const run_info $ backend_t $ mem_t $ block_t $ disks_t)
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run_info $ common_t)
 
 let () =
   let doc =
@@ -855,6 +708,7 @@ let () =
         faults_cmd;
         bounds_cmd;
         info_cmd;
+        Serve.cmd;
       ]
   in
   exit (Cmd.eval main)

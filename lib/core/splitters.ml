@@ -93,10 +93,10 @@ let left_grounded cmp v spec =
     end
   end
 
-let quantiles cmp v ~k =
-  if k < 1 then invalid_arg "Splitters.quantiles: k must be >= 1";
+let exact_quantiles cmp v ~k =
+  if k < 1 then invalid_arg "Splitters.exact_quantiles: k must be >= 1";
   if k > Em.Vec.length v then
-    invalid_arg "Splitters.quantiles: k exceeds the input length";
+    invalid_arg "Splitters.exact_quantiles: k exceeds the input length";
   let ctx = Em.Vec.ctx v in
   let n = Em.Vec.length v in
   let ictx : int Em.Ctx.t = Em.Ctx.linked ctx in
@@ -105,12 +105,14 @@ let quantiles cmp v ~k =
   Em.Vec.free ranks;
   out
 
+let quantiles = exact_quantiles
+
 let two_sided cmp v spec =
   check v spec;
   let { Problem.n; k; a; b } = spec in
   let ctx = Em.Vec.ctx v in
   if k = 1 then Em.Vec.empty ctx
-  else if 2 * a * k >= n || b * k <= 2 * n then quantiles cmp v ~k
+  else if 2 * a * k >= n || b * k <= 2 * n then exact_quantiles cmp v ~k
   else begin
     let k' = ((b * k) - n) / (b - a) in
     if k' < 1 || k' > k - 1 then
@@ -120,8 +122,8 @@ let two_sided cmp v spec =
     let g = k - k' in
     if h / g < a || ((h + g - 1) / g) > b then
       invalid_arg "Splitters.two_sided: internal error (S_high cannot be cut evenly)";
-    let low_out = if k' = 1 then Em.Vec.empty ctx else quantiles cmp low ~k:k' in
-    let high_out = if g = 1 then Em.Vec.empty ctx else quantiles cmp high ~k:g in
+    let low_out = if k' = 1 then Em.Vec.empty ctx else exact_quantiles cmp low ~k:k' in
+    let high_out = if g = 1 then Em.Vec.empty ctx else exact_quantiles cmp high ~k:g in
     let out =
       Em.Writer.with_writer ctx (fun w ->
           Emalg.Scan.append w low_out;

@@ -30,10 +30,17 @@ val right_grounded : ('a -> 'a -> int) -> 'a Em.Vec.t -> Problem.spec -> 'a Em.V
 val left_grounded : ('a -> 'a -> int) -> 'a Em.Vec.t -> Problem.spec -> 'a Em.Vec.t
 val two_sided : ('a -> 'a -> int) -> 'a Em.Vec.t -> Problem.spec -> 'a Em.Vec.t
 
+val exact_quantiles : ('a -> 'a -> int) -> 'a Em.Vec.t -> k:int -> 'a Em.Vec.t
+(** [exact_quantiles cmp v ~k] returns the exact (1/k)-quantile elements of
+    [v] (ranks [ceil (i*n/k)]) via multi-selection — the equi-depth
+    histogram boundaries from the paper's introduction, as a public
+    convenience.  Routed through {!Multi_select.select_vec}, i.e. a batch
+    drain of an {!Emalg.Online_select} session. *)
+
 val quantiles : ('a -> 'a -> int) -> 'a Em.Vec.t -> k:int -> 'a Em.Vec.t
-(** [quantiles cmp v ~k] returns the exact (1/k)-quantile elements of [v]
-    (ranks [ceil (i*n/k)]) via multi-selection — the equi-depth histogram
-    boundaries from the paper's introduction, as a public convenience. *)
+[@@deprecated "use Splitters.exact_quantiles"]
+(** Former name of {!exact_quantiles}; kept as a shim so existing examples
+    keep compiling. *)
 
 val quantile_ranks : n:int -> k:int -> int array
 (** The even cut ranks [ceil (i * n / k)] for [i = 1 .. k-1] — the

@@ -182,6 +182,18 @@ let disk_report s =
   Hashtbl.fold (fun disk n acc -> (disk, n) :: acc) s.disk_ios []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
+(* Rounds the currently-open outermost window would charge if it closed now.
+   Snapshots taken inside a window must see them: otherwise a measurement that
+   opens before the window and closes inside it (or vice versa) attributes the
+   whole window's cost to whichever bracket happens to straddle the close,
+   and a query that triggers refinement inside an already-open scheduling
+   window at D > 1 reports d_rounds = 0. *)
+let pending_window_rounds s =
+  if s.window_depth = 0 then 0
+  else Hashtbl.fold (fun _ c acc -> max c acc) s.window_counts 0
+
+let effective_rounds s = s.rounds + pending_window_rounds s
+
 type snapshot = {
   at_reads : int;
   at_writes : int;
@@ -202,7 +214,7 @@ let snapshot s =
     at_retries = s.retries;
     at_cache_hits = s.cache_hits;
     at_cache_misses = s.cache_misses;
-    at_rounds = s.rounds;
+    at_rounds = effective_rounds s;
   }
 
 let ios_since s snap = s.reads + s.writes - snap.at_reads - snap.at_writes
@@ -228,7 +240,7 @@ let delta s snap =
     d_retries = s.retries - snap.at_retries;
     d_cache_hits = s.cache_hits - snap.at_cache_hits;
     d_cache_misses = s.cache_misses - snap.at_cache_misses;
-    d_rounds = s.rounds - snap.at_rounds;
+    d_rounds = effective_rounds s - snap.at_rounds;
   }
 
 let delta_ios d = d.d_reads + d.d_writes

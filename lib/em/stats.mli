@@ -125,6 +125,19 @@ val with_window : t -> (unit -> 'a) -> 'a
 val disk_report : t -> (int * int) list
 (** Metered I/Os per disk id, sorted by disk.  Empty before any I/O. *)
 
+val pending_window_rounds : t -> int
+(** Rounds the currently-open outermost scheduling window would charge if it
+    closed now ([max] over its per-disk counts); [0] when no window is open.
+    Makes mid-window cost bracketing well-defined: see {!effective_rounds}. *)
+
+val effective_rounds : t -> int
+(** [rounds + pending_window_rounds].  {!snapshot} and {!delta} use this, so
+    a measurement opened or closed {e inside} a scheduling window still sees
+    the window's accumulated cost — e.g. an online query that triggers
+    refinement inside an already-open window at [D > 1] reports a non-zero
+    [d_rounds] instead of deferring the whole window to whichever bracket
+    straddles the close. *)
+
 type snapshot = {
   at_reads : int;
   at_writes : int;

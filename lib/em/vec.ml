@@ -26,6 +26,17 @@ let of_array ctx a =
 
 let free v = Array.iter (Device.free v.ctx.Ctx.dev) v.blocks
 
+let block_io v i =
+  if i < 0 || i >= Array.length v.blocks then
+    invalid_arg "Vec.block_io: block index out of bounds";
+  Resilient.read v.ctx.Ctx.dev v.blocks.(i)
+
+let get_io v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get_io: index out of bounds";
+  let b = Ctx.block_size v.ctx in
+  let payload = block_io v (i / b) in
+  payload.(i mod b)
+
 let concat_free vs =
   match vs with
   | [] -> invalid_arg "Vec.concat_free: empty list"

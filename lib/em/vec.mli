@@ -24,6 +24,20 @@ val of_array : 'a Ctx.t -> 'a array -> 'a t
 val free : 'a t -> unit
 (** Return all blocks of the vector to the device free list. *)
 
+val block_io : 'a t -> int -> 'a array
+(** [block_io v i] reads the [i]-th block of [v] at the metered price of one
+    block I/O (through {!Resilient}, so cache and fault policies apply).  The
+    returned array holds [block_size] elements except for the final partial
+    block.  This is the blessed metered random access: online query engines
+    pay one I/O to touch a sorted run, instead of scanning from the front. *)
+
+val get_io : 'a t -> int -> 'a
+(** [get_io v i] is element [i] of [v] for the price of one metered block
+    read (the surrounding block is fetched and discarded).  The transient
+    block-sized buffer is {e not} charged to the memory ledger — callers
+    holding it beyond the lookup must charge it themselves via
+    {!Ctx.with_words}. *)
+
 val of_blocks : 'a Ctx.t -> int array -> int -> 'a t
 (** [of_blocks ctx ids len] wraps already-written blocks; used by {!Writer}
     and by algorithms that hand off block ownership without copying. *)

@@ -1,0 +1,328 @@
+(* Online multiselection sessions; see the interface for the structure.
+
+   The tree refines lazily: a leaf is either the whole raw input (root
+   before the first refining query), an owned bucket of (key, position)
+   pairs from a distribution pass, or an owned sorted run.  Positions are
+   attached on the way out of the raw input (Split_step.split_tagging) and
+   stripped when a leaf is finally sorted, so duplicate keys resolve
+   positionally exactly like the batch algorithms. *)
+
+type query = Select of int | Quantile of float | Range of int * int
+
+type 'a reply = {
+  values : 'a array;
+  cost : Em.Stats.delta;
+  refine : Em.Stats.delta;
+  answer_ios : int;
+  splits : int;
+}
+
+type summary = {
+  queries : int;
+  refine_ios : int;
+  answer_ios : int;
+  splits : int;
+  leaves : int;
+  sorted_leaves : int;
+}
+
+type 'a leaf =
+  | Raw  (* backed by the preserved input; root only *)
+  | Unsorted of ('a * int) Em.Vec.t  (* owned, position-tagged *)
+  | Sorted of 'a Em.Vec.t  (* owned, tags stripped *)
+
+type 'a node = { lo : int; len : int; mutable state : 'a state }
+and 'a state = Leaf of 'a leaf | Split of 'a node array
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  ctx : 'a Em.Ctx.t;
+  input : 'a Em.Vec.t;
+  root : 'a node;
+  batch_plan : (ranks:int Em.Vec.t -> 'a Em.Vec.t) option;
+  prefetch : int option;
+  mutable queries : int;
+  mutable refine_ios : int;
+  mutable answer_ios : int;
+  mutable splits : int;
+  mutable touched : bool;  (* has any query refined or read the tree? *)
+  mutable closed : bool;
+}
+
+let open_session ?batch_plan ?prefetch cmp ctx v =
+  if not (Em.Vec.ctx v == ctx) then
+    invalid_arg "Online_select.open_session: vector does not live on ctx";
+  Layout.require_min_geometry ctx;
+  {
+    cmp;
+    ctx;
+    input = v;
+    root = { lo = 0; len = Em.Vec.length v; state = Leaf Raw };
+    batch_plan;
+    prefetch;
+    queries = 0;
+    refine_ios = 0;
+    answer_ios = 0;
+    splits = 0;
+    touched = false;
+    closed = false;
+  }
+
+let ensure_open t =
+  if t.closed then invalid_arg "Online_select: session is closed"
+
+let length t = t.root.len
+
+(* ---- tree navigation ---- *)
+
+let rec find_leaf node p =
+  match node.state with
+  | Leaf _ -> node
+  | Split children ->
+      (* Children partition [node.lo .. node.lo+len-1] in rank order; a
+         linear probe is fine (fanout is Θ(M/B), all in memory). *)
+      let rec probe i =
+        let c = children.(i) in
+        if p < c.lo + c.len then c else probe (i + 1)
+      in
+      find_leaf (probe 0) p
+
+let fold_leaves t f init =
+  let rec go acc node =
+    match node.state with
+    | Leaf st -> f acc node st
+    | Split children -> Array.fold_left go acc children
+  in
+  go init t.root
+
+(* ---- refinement ---- *)
+
+(* Replace a leaf by the children a split step produced, assigning rank
+   offsets cumulatively.  Buckets are in ascending value order and their
+   concatenation is a permutation of the leaf, so child [lo]s are exact
+   global ranks.  This only ever subdivides — the refinement invariant. *)
+let adopt_buckets t node buckets =
+  let offs = ref node.lo in
+  let children =
+    Array.map
+      (fun b ->
+        let len = Em.Vec.length b in
+        let child = { lo = !offs; len; state = Leaf (Unsorted b) } in
+        offs := !offs + len;
+        child)
+      buckets
+  in
+  if !offs <> node.lo + node.len then
+    invalid_arg "Online_select: internal error (split lost elements)";
+  node.state <- Split children;
+  t.splits <- t.splits + 1
+
+(* Sort the whole (small) raw input in one memory load.  The stable sort
+   gives positional tie-breaking without materialising tags. *)
+let sort_raw t node =
+  let sorted =
+    Scan.with_loaded t.input (fun a ->
+        Mem_sort.sort t.cmp a;
+        Scan.vec_of_array_io t.ctx a)
+  in
+  node.state <- Leaf (Sorted sorted)
+
+let split_raw t node =
+  let buckets =
+    Split_step.split_tagging t.cmp t.input
+      ~target_buckets:(Split_step.default_target t.ctx ~n:node.len)
+  in
+  adopt_buckets t node buckets
+
+(* Load, sort and strip a memory-sized pair leaf.  The pairs are charged by
+   [with_loaded]; the stripped keys stream out through a writer (one block
+   buffer), so the peak is [len + O(B)] words — inside the big-load
+   reservation. *)
+let sort_unsorted t node tv =
+  let tcmp = Order.tagged t.cmp in
+  let sorted =
+    Scan.with_loaded tv (fun pairs ->
+        Mem_sort.sort tcmp pairs;
+        Em.Writer.with_writer
+          ~write_behind:(Em.Ctx.disks t.ctx - 1)
+          t.ctx
+          (fun w -> Array.iter (fun (x, _) -> Em.Writer.push w x) pairs))
+  in
+  Em.Vec.free tv;
+  node.state <- Leaf (Sorted sorted)
+
+let split_unsorted t node tv =
+  let tcmp = Order.tagged t.cmp in
+  let buckets =
+    (* [split] consumes (frees) [tv]; pairs are pairwise distinct. *)
+    Split_step.split tcmp tv
+      ~target_buckets:(Split_step.default_target t.ctx ~n:node.len)
+  in
+  adopt_buckets t node buckets
+
+(* Refine until the leaf containing rank position [p] (0-based) is a sorted
+   run, and return that leaf.  Each iteration strictly shrinks the interval
+   containing [p] (Split_step guarantees progress), so this terminates. *)
+let rec refine_to t p =
+  let node = find_leaf t.root p in
+  match node.state with
+  | Leaf (Sorted _) -> node
+  | Leaf Raw ->
+      if node.len <= Layout.big_load t.ctx then sort_raw t node
+      else split_raw t node;
+      refine_to t p
+  | Leaf (Unsorted tv) ->
+      if Em.Vec.length tv <= Layout.big_load t.ctx then sort_unsorted t node tv
+      else split_unsorted t node tv;
+      refine_to t p
+  | Split _ -> refine_to t p (* unreachable: find_leaf returns leaves *)
+
+let rec refine_span t p p1 =
+  if p <= p1 then begin
+    let node = refine_to t p in
+    refine_span t (node.lo + node.len) p1
+  end
+
+(* ---- answering (post-refinement: every touched leaf is sorted) ---- *)
+
+let sorted_run t p =
+  let node = find_leaf t.root p in
+  match node.state with
+  | Leaf (Sorted sv) -> (node, sv)
+  | _ -> invalid_arg "Online_select: internal error (leaf not refined)"
+
+let answer_select t p =
+  let node, sv = sorted_run t p in
+  Em.Vec.get_io sv (p - node.lo)
+
+(* Gather ranks [p0 .. p1] by walking the sorted leaves and reading each
+   touched block once.  The result array is charged while assembled. *)
+let answer_range t p0 p1 =
+  let count = p1 - p0 + 1 in
+  let b = Em.Ctx.block_size t.ctx in
+  Em.Ctx.with_words t.ctx count (fun () ->
+      let out = ref [||] in
+      let p = ref p0 in
+      while !p <= p1 do
+        let node, sv = sorted_run t !p in
+        let li0 = !p - node.lo in
+        let li1 = min p1 (node.lo + node.len - 1) - node.lo in
+        for bi = li0 / b to li1 / b do
+          let payload = Em.Vec.block_io sv bi in
+          if !out = [||] then out := Array.make count payload.(0);
+          let lo = max li0 (bi * b) in
+          let hi = min li1 ((bi * b) + Array.length payload - 1) in
+          for li = lo to hi do
+            !out.(node.lo + li - p0) <- payload.(li - (bi * b))
+          done
+        done;
+        p := node.lo + node.len
+      done;
+      !out)
+
+(* ---- queries ---- *)
+
+let rank_of_quantile t phi =
+  if not (phi > 0. && phi <= 1.) then
+    invalid_arg "Online_select: quantile must satisfy 0 < phi <= 1";
+  max 1 (int_of_float (Float.ceil (phi *. float_of_int (length t))))
+
+let check_rank t k =
+  if k < 1 || k > length t then
+    invalid_arg "Online_select: rank out of range"
+
+let query t q =
+  ensure_open t;
+  let stats = t.ctx.Em.Ctx.stats in
+  let snap = Em.Stats.snapshot stats in
+  let splits0 = t.splits in
+  let values, refine =
+    Em.Phase.with_label t.ctx "online_select" (fun () ->
+        let answer_one p =
+          Em.Phase.with_label t.ctx "refine" (fun () -> ignore (refine_to t p));
+          let refine = Em.Stats.delta stats snap in
+          let v = Em.Phase.with_label t.ctx "answer" (fun () -> answer_select t p) in
+          ([| v |], refine)
+        in
+        match q with
+        | Select k ->
+            check_rank t k;
+            answer_one (k - 1)
+        | Quantile phi -> answer_one (rank_of_quantile t phi - 1)
+        | Range (a, bnd) ->
+            check_rank t a;
+            check_rank t bnd;
+            if bnd < a then invalid_arg "Online_select: empty range";
+            if bnd - a + 1 > Layout.half_load t.ctx then
+              invalid_arg "Online_select: range exceeds a half-memory load";
+            Em.Phase.with_label t.ctx "refine" (fun () ->
+                refine_span t (a - 1) (bnd - 1));
+            let refine = Em.Stats.delta stats snap in
+            let vs =
+              Em.Phase.with_label t.ctx "answer" (fun () ->
+                  answer_range t (a - 1) (bnd - 1))
+            in
+            (vs, refine))
+  in
+  let cost = Em.Stats.delta stats snap in
+  let answer_ios = Em.Stats.delta_ios cost - Em.Stats.delta_ios refine in
+  t.queries <- t.queries + 1;
+  t.refine_ios <- t.refine_ios + Em.Stats.delta_ios refine;
+  t.answer_ios <- t.answer_ios + answer_ios;
+  t.touched <- true;
+  { values; cost; refine; answer_ios; splits = t.splits - splits0 }
+
+let select t k = (query t (Select k)).values.(0)
+
+let drain t ~ranks =
+  ensure_open t;
+  match t.batch_plan with
+  | Some plan when not t.touched -> plan ~ranks
+  | _ ->
+      Em.Writer.with_writer t.ctx (fun w ->
+          Scan.iter ?prefetch:t.prefetch
+            (fun r -> Em.Writer.push w (select t r))
+            ranks)
+
+(* ---- introspection & teardown ---- *)
+
+let summary t =
+  let leaves, sorted_leaves =
+    fold_leaves t
+      (fun (l, s) _ st ->
+        (l + 1, s + match st with Sorted _ -> 1 | Raw | Unsorted _ -> 0))
+      (0, 0)
+  in
+  {
+    queries = t.queries;
+    refine_ios = t.refine_ios;
+    answer_ios = t.answer_ios;
+    splits = t.splits;
+    leaves;
+    sorted_leaves;
+  }
+
+let intervals t =
+  List.rev
+    (fold_leaves t
+       (fun acc node st ->
+         let sorted = match st with Sorted _ -> true | _ -> false in
+         (node.lo, node.len, sorted) :: acc)
+       [])
+
+let close ?(drop_cache = false) t =
+  if not t.closed then begin
+    t.closed <- true;
+    let rec free_node node =
+      match node.state with
+      | Leaf Raw -> ()
+      | Leaf (Unsorted tv) -> Em.Vec.free tv
+      | Leaf (Sorted sv) -> Em.Vec.free sv
+      | Split children -> Array.iter free_node children
+    in
+    free_node t.root;
+    if drop_cache then
+      match Em.Ctx.backend_pool t.ctx with
+      | Some pool -> Em.Backend.Pool.drop_all pool
+      | None -> ()
+  end

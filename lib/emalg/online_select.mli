@@ -1,0 +1,123 @@
+(** Online multiselection sessions: deferred sorting under a query stream.
+
+    A session wraps an on-device vector in a {e pivot-interval tree} whose
+    leaves are contiguous rank intervals of the (conceptually) sorted input.
+    Nothing is sorted up front.  Each [select]/[quantile]/[range] query
+    refines {e only} the intervals it touches — an unsorted leaf is split
+    with {!Split_step} (one distribution pass) until the interval containing
+    the queried rank fits a memory load, at which point it is sorted once and
+    written back as a sorted run.  Repeated or nearby queries then cost a
+    single block I/O, so the amortized I/Os per query converge toward free
+    while an adversarial stream never pays more than one full
+    distribution sort in total (Barbay–Gupta, "Near-Optimal Online
+    Multiselection in Internal and External Memory").
+
+    Refinement invariant: intervals only ever {e split}, never re-merge.
+    The tree's leaf set is a partition of [0 .. N-1] into rank intervals
+    that monotonically refines over the session's lifetime; a [Sorted] leaf
+    stays sorted forever.  This is what makes per-query costs amortizable —
+    work done for one query is never undone by another.
+
+    Cost accounting: every reply carries two {!Em.Stats.delta} brackets —
+    the {e refine} part (tree restructuring: distribution passes and leaf
+    sorts) and the whole-query [cost]; [answer_ios = cost - refine] is the
+    irreducible lookup price (one block read per touched sorted block).
+    Deltas are taken with {!Em.Stats.effective_rounds}, so a query issued
+    inside an already-open scheduling window at [D > 1] still reports its
+    own round cost.
+
+    The input vector is {e preserved} (never freed, never rewritten); all
+    tree storage is owned by the session and released by {!close}.  Under a
+    [cached] backend the hot intervals ride the shared buffer pool; pass
+    [~drop_cache:true] to {!close} to also evict the session's pages.
+
+    Optional arguments follow the library-wide canonical order
+    [?batch_plan ?prefetch] before the comparator (see DESIGN.md). *)
+
+type 'a t
+(** A live query session. *)
+
+type query =
+  | Select of int  (** [Select k]: the element of rank [k], 1-based. *)
+  | Quantile of float
+      (** [Quantile phi]: the element of rank [max 1 (ceil (phi * n))],
+          [0 < phi <= 1] — same convention as
+          {!Quantile.Exact_quantiles.phi_quantile}. *)
+  | Range of int * int
+      (** [Range (a, b)]: the elements of ranks [a .. b] inclusive
+          (1-based), in rank order.  The reply holds [b - a + 1] values and
+          must fit a half-memory load. *)
+
+type 'a reply = {
+  values : 'a array;  (** the selected elements, in rank order *)
+  cost : Em.Stats.delta;  (** whole-query cost bracket *)
+  refine : Em.Stats.delta;
+      (** the part of [cost] spent restructuring the tree (distribution
+          passes + leaf sorts); zero once the touched intervals are sorted *)
+  answer_ios : int;
+      (** I/Os of the lookup proper: [delta_ios cost - delta_ios refine] *)
+  splits : int;  (** interval splits this query caused *)
+}
+
+type summary = {
+  queries : int;  (** queries answered so far *)
+  refine_ios : int;  (** cumulative refinement I/Os *)
+  answer_ios : int;  (** cumulative lookup I/Os *)
+  splits : int;  (** cumulative interval splits *)
+  leaves : int;  (** current leaf intervals (monotone non-decreasing) *)
+  sorted_leaves : int;  (** leaves already holding sorted runs *)
+}
+(** Session-cumulative accounting; [refine_ios + answer_ios] is the total
+    metered cost of all queries, the quantity the amortized analysis (and
+    [BENCH_online.json]) divides by [queries]. *)
+
+val open_session :
+  ?batch_plan:(ranks:int Em.Vec.t -> 'a Em.Vec.t) ->
+  ?prefetch:int ->
+  ('a -> 'a -> int) ->
+  'a Em.Ctx.t ->
+  'a Em.Vec.t ->
+  'a t
+(** [open_session cmp ctx v] wraps [v] (which must live on [ctx]) in a fresh
+    session.  Costs zero I/Os — the tree starts as one raw leaf backed by
+    the preserved input.
+
+    [batch_plan] is the escape hatch that lets batch entry points
+    ({!Core.Multi_select}) be thin session wrappers without changing their
+    golden costs: a {!drain} on a {e pristine} session (no query answered
+    yet) delegates to the plan verbatim.  [prefetch] sets the reader
+    look-ahead of streaming fallbacks (default [D - 1]).
+    @raise Invalid_argument if [v] does not live on [ctx] or the geometry
+    is below the library minimum. *)
+
+val query : 'a t -> query -> 'a reply
+(** Answer one query, refining the touched intervals first.  Duplicate keys
+    resolve positionally (stable), matching batch {!Core.Multi_select}.
+    @raise Invalid_argument on an out-of-range rank/quantile or a closed
+    session. *)
+
+val select : 'a t -> int -> 'a
+(** [select t k] = the single value of [query t (Select k)]. *)
+
+val drain : 'a t -> ranks:int Em.Vec.t -> 'a Em.Vec.t
+(** Answer every rank of a strictly-increasing rank stream and return the
+    selected elements in rank order (the batch multiselection contract).
+    On a pristine session with a [batch_plan], delegates to the plan —
+    bit-identical I/Os to the historical batch path.  Otherwise streams the
+    ranks through {!query}, reusing whatever refinement earlier queries
+    already paid for. *)
+
+val summary : 'a t -> summary
+val length : 'a t -> int
+
+val intervals : 'a t -> (int * int * bool) list
+(** Current leaf partition as [(lo, len, sorted)] triples in rank order
+    ([lo] 0-based).  Successive calls refine monotonically: each new
+    partition subdivides the previous one (never re-merges), and [sorted]
+    never reverts to [false]. *)
+
+val close : ?drop_cache:bool -> 'a t -> unit
+(** Release every vector the session owns (the input is preserved).  With
+    [~drop_cache:true] also evicts the family's buffer-pool pages
+    ({!Em.Backend.Pool.drop_all}), so an idle closed session holds zero pool
+    pages.  Idempotent; further queries raise [Invalid_argument]. *)

@@ -66,7 +66,7 @@ let suite =
           (Core.Partitioning.two_sided Tu.icmp v
              { Core.Problem.n; k = 8; a = n / 64; b = n / 2 }));
     audit "quantiles" (fun _ctx v _n ->
-        Em.Vec.free (Core.Splitters.quantiles Tu.icmp v ~k:10));
+        Em.Vec.free (Core.Splitters.exact_quantiles Tu.icmp v ~k:10));
     audit "reduction precise" (fun _ctx v n ->
         Array.iter Em.Vec.free
           (Core.Reduction.precise_by_approximate Tu.icmp v ~chunk:(n / 7)));

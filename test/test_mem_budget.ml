@@ -35,7 +35,7 @@ let entry_points n =
     ("partitioning left", fun cmp v -> ignore (Core.Partitioning.solve cmp v spec_left));
     ("multi-select", fun cmp v -> ignore (Core.Multi_select.select cmp v ~ranks));
     ("multi-partition", fun cmp v -> ignore (Core.Multi_partition.partition_sizes cmp v ~sizes));
-    ("quantiles", fun cmp v -> ignore (Core.Splitters.quantiles cmp v ~k));
+    ("quantiles", fun cmp v -> ignore (Core.Splitters.exact_quantiles cmp v ~k));
     ( "reduction",
       fun cmp v -> ignore (Core.Reduction.precise_by_approximate cmp v ~chunk:(max 1 (n / 3))) );
     ("sort baseline", fun cmp v -> ignore (Core.Baseline.splitters cmp v spec_right));

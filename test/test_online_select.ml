@@ -1,0 +1,294 @@
+(* Online multiselection sessions (Emalg.Online_select): correctness against
+   the sorted oracle, equivalence with the batch engine under a full
+   adversarial rank stream, the refinement invariant (intervals only split,
+   never re-merge), and the teardown guarantees (no leaked blocks, no
+   resident buffer-pool pages after [close ~drop_cache:true]). *)
+
+module Os = Emalg.Online_select
+
+let session ctx a = Os.open_session Tu.icmp ctx (Tu.int_vec ctx a)
+
+(* ---- point queries against the sorted oracle ---- *)
+
+let test_select_oracle () =
+  let ctx = Tu.ctx ~mem:1024 ~block:16 () in
+  let n = 6_000 in
+  let a = Tu.random_perm ~seed:11 n in
+  let v = Tu.int_vec ctx a in
+  let baseline = Em.Device.live_blocks ctx.Em.Ctx.dev in
+  let s = Os.open_session Tu.icmp ctx v in
+  (* Adversarial-ish stream: extremes, the middle, then neighbours and
+     repeats that must ride refinement already paid for. *)
+  List.iter
+    (fun k -> Tu.check_int (Printf.sprintf "select %d" k) (k - 1) (Os.select s k))
+    [ n; 1; n / 2; (n / 2) + 1; 17; n - 17; n / 2; 1 ];
+  (* A repeated query finds its interval sorted: refinement is free and the
+     lookup costs at most one block read. *)
+  let r = Os.query s (Os.Select (n / 2)) in
+  Tu.check_int "repeat query refines nothing" 0 (Em.Stats.delta_ios r.Os.refine);
+  Tu.check_bool "repeat query costs <= 1 I/O" true (Em.Stats.delta_ios r.Os.cost <= 1);
+  Tu.check_int "repeat query splits nothing" 0 r.Os.splits;
+  let sum = Os.summary s in
+  Tu.check_int "summary counts the queries" 9 sum.Os.queries;
+  Tu.check_bool "session refined lazily, not fully" true
+    (sum.Os.sorted_leaves < sum.Os.leaves);
+  Os.close s;
+  Tu.check_int "ledger drained" 0 ctx.Em.Ctx.stats.Em.Stats.mem_in_use;
+  Tu.check_int "session storage freed (input preserved)" baseline
+    (Em.Device.live_blocks ctx.Em.Ctx.dev)
+
+let test_quantile_convention () =
+  let ctx = Tu.ctx ~mem:1024 ~block:16 () in
+  let n = 4_000 in
+  let a = Tu.random_perm ~seed:12 n in
+  let sorted = Tu.sorted_copy a in
+  let s = session ctx a in
+  List.iter
+    (fun phi ->
+      let rank = max 1 (int_of_float (Float.ceil (phi *. float_of_int n))) in
+      let r = Os.query s (Os.Quantile phi) in
+      Tu.check_int
+        (Printf.sprintf "quantile %g = rank %d" phi rank)
+        sorted.(rank - 1) r.Os.values.(0))
+    [ 1e-9; 0.25; 0.5; 0.999; 1.0 ];
+  List.iter
+    (fun phi ->
+      match Os.query s (Os.Quantile phi) with
+      | _ -> Alcotest.failf "quantile %g should be rejected" phi
+      | exception Invalid_argument _ -> ())
+    [ 0.0; -0.5; 1.5 ];
+  Os.close s
+
+let test_range_oracle () =
+  let ctx = Tu.ctx ~mem:1024 ~block:16 () in
+  let n = 5_000 in
+  (* Heavy duplicates: ranks must resolve like the stable batch engine. *)
+  let a = Tu.random_ints ~seed:13 ~bound:97 n in
+  let sorted = Tu.sorted_copy a in
+  let s = session ctx a in
+  List.iter
+    (fun (x, y) ->
+      let r = Os.query s (Os.Range (x, y)) in
+      Tu.check_int_array
+        (Printf.sprintf "range %d..%d" x y)
+        (Array.sub sorted (x - 1) (y - x + 1))
+        r.Os.values)
+    [ (1, 50); (2_400, 2_500); (n - 10, n); (777, 777) ];
+  (match Os.query s (Os.Range (5, 4)) with
+  | _ -> Alcotest.fail "empty range should be rejected"
+  | exception Invalid_argument _ -> ());
+  Os.close s;
+  (* A range wider than a half-memory load cannot be assembled in memory. *)
+  let small = Tu.ctx () in
+  let s2 = session small (Tu.random_perm ~seed:14 400) in
+  (match Os.query s2 (Os.Range (1, 1 + Emalg.Layout.half_load small)) with
+  | _ -> Alcotest.fail "over-wide range should be rejected"
+  | exception Invalid_argument _ -> ());
+  Os.close s2
+
+let test_out_of_range_ranks () =
+  let ctx = Tu.ctx () in
+  let s = session ctx (Tu.random_perm ~seed:15 300) in
+  List.iter
+    (fun k ->
+      match Os.select s k with
+      | _ -> Alcotest.failf "rank %d should be rejected" k
+      | exception Invalid_argument _ -> ())
+    [ 0; -3; 301 ];
+  Os.close s;
+  (match Os.select s 1 with
+  | _ -> Alcotest.fail "closed session should reject queries"
+  | exception Invalid_argument _ -> ())
+
+(* ---- the refinement invariant: partitions only ever subdivide ---- *)
+
+let check_partition n ivs =
+  let stop =
+    List.fold_left
+      (fun off (lo, len, _) ->
+        Tu.check_int "intervals contiguous" off lo;
+        Tu.check_bool "interval non-empty" true (len > 0);
+        off + len)
+      0 ivs
+  in
+  Tu.check_int "partition covers the input" n stop
+
+let check_refines prev next =
+  List.iter
+    (fun (lo, len, sorted) ->
+      match
+        List.find_opt
+          (fun (plo, plen, _) -> plo <= lo && lo + len <= plo + plen)
+          prev
+      with
+      | None -> Alcotest.fail "new interval not nested in the previous partition"
+      | Some (plo, plen, psorted) ->
+          if psorted then begin
+            (* A sorted interval is final: never re-split, never unsorted. *)
+            Tu.check_bool "sorted interval survives unchanged" true
+              (plo = lo && plen = len && sorted)
+          end)
+    next
+
+let test_intervals_monotone () =
+  let ctx = Tu.ctx () in
+  let n = 2_000 in
+  let s = session ctx (Tu.random_perm ~seed:16 n) in
+  let prev = ref (Os.intervals s) in
+  check_partition n !prev;
+  Tu.check_bool "starts as one raw leaf" true
+    (!prev = [ (0, n, false) ]);
+  List.iter
+    (fun q ->
+      ignore (Os.query s q);
+      let next = Os.intervals s in
+      check_partition n next;
+      check_refines !prev next;
+      Tu.check_bool "leaf count monotone" true
+        (List.length next >= List.length !prev);
+      prev := next)
+    [
+      Os.Select (n / 2);
+      Os.Select (n / 2);
+      Os.Range (3, 40);
+      Os.Quantile 0.9;
+      Os.Select 1;
+      Os.Range ((n / 2) - 30, (n / 2) + 30);
+      Os.Select n;
+    ];
+  Os.close s
+
+(* ---- equivalence with the batch engine under a full rank stream ---- *)
+
+(* A session answering all N ranks in adversarial (shuffled) order must
+   produce exactly the batch multiselection output, for strictly fewer
+   total I/Os than the batch engine run over the same rank set — and its
+   cumulative refinement stays within a small constant of one external
+   sort (the online algorithm's total-work guarantee; the constant covers
+   the position-tagged distribution pass a lazy tree pays and an up-front
+   sort does not). *)
+let prop_full_stream_matches_batch =
+  Tu.qcheck_case ~count:25
+    "all-rank shuffled stream == batch multiselect, for fewer total I/Os"
+    QCheck2.Gen.(pair (int_range 120 700) (int_range 0 999))
+    (fun (n, seed) ->
+      let a = Tu.random_perm ~seed n in
+      let order = Array.init n (fun i -> i + 1) in
+      Tu.shuffle (Tu.rng (seed + 1)) order;
+      (* online session, one rank per query *)
+      let ctx1 = Tu.ctx () in
+      let s = session ctx1 a in
+      let out = Array.make n (-1) in
+      Array.iter (fun k -> out.(k - 1) <- Os.select s k) order;
+      let sum = Os.summary s in
+      Os.close s;
+      let drained = ctx1.Em.Ctx.stats.Em.Stats.mem_in_use in
+      Em.Ctx.close ctx1;
+      (* batch multiselect of the same ranks on a fresh machine *)
+      let ctx2 = Tu.ctx () in
+      let v2 = Tu.int_vec ctx2 a in
+      let ranks = Array.init n (fun i -> i + 1) in
+      let batch, dbatch =
+        Em.Ctx.measured ctx2 (fun () -> Core.Multi_select.select Tu.icmp v2 ~ranks)
+      in
+      Em.Ctx.close ctx2;
+      (* one full external sort on a third fresh machine *)
+      let ctx3 = Tu.ctx () in
+      let v3 = Tu.int_vec ctx3 a in
+      let _, dsort =
+        Em.Ctx.measured ctx3 (fun () ->
+            Em.Vec.free (Emalg.External_sort.sort (Em.Ctx.counted ctx3 Tu.icmp) v3))
+      in
+      Em.Ctx.close ctx3;
+      out = batch && drained = 0
+      && sum.Os.refine_ios + sum.Os.answer_ios <= Em.Stats.delta_ios dbatch
+      && sum.Os.refine_ios <= 4 * Em.Stats.delta_ios dsort)
+
+(* ---- drains: the batch wrappers are thin session shells ---- *)
+
+let test_pristine_drain_is_batch () =
+  let ctx = Tu.ctx ~mem:1024 ~block:16 () in
+  let n = 4_000 in
+  let a = Tu.random_perm ~seed:17 n in
+  let v = Tu.int_vec ctx a in
+  let s = Core.Multi_select.open_session Tu.icmp v in
+  let ranks = Tu.int_vec ctx [| 5; 1_000; 2_500; n |] in
+  let out = Os.drain s ~ranks in
+  Tu.check_int_array "pristine drain = batch answers"
+    [| 4; 999; 2_499; n - 1 |]
+    (Em.Vec.Oracle.to_array out);
+  (* The pristine drain delegated to the batch plan: the tree is untouched
+     (still one raw leaf) and the session accounted no queries. *)
+  let sum = Os.summary s in
+  Tu.check_int "no per-query accounting" 0 sum.Os.queries;
+  Tu.check_int "tree untouched" 1 sum.Os.leaves;
+  Em.Vec.free out;
+  Em.Vec.free ranks;
+  Os.close s;
+  Tu.check_no_leaks ~live:(Em.Vec.num_blocks v) ctx
+
+let test_warm_drain_matches_batch () =
+  let ctx = Tu.ctx ~mem:1024 ~block:16 () in
+  let n = 4_000 in
+  let a = Tu.random_ints ~seed:18 ~bound:50 n in
+  let ranks = [| 3; 700; 1_999; 2_000; 3_999 |] in
+  (* warm session: a query first, then a streaming drain *)
+  let s = session ctx a in
+  ignore (Os.select s (n / 3));
+  let rv = Tu.int_vec ctx ranks in
+  let out = Em.Vec.Oracle.to_array (Os.drain s ~ranks:rv) in
+  Os.close s;
+  (* batch reference on a fresh machine *)
+  let ctx2 = Tu.ctx ~mem:1024 ~block:16 () in
+  let batch = Core.Multi_select.select Tu.icmp (Tu.int_vec ctx2 a) ~ranks in
+  Tu.check_int_array "warm streaming drain = batch answers" batch out
+
+(* ---- teardown: no resident pool pages, no leaked blocks ---- *)
+
+let test_zero_pool_pages_after_close () =
+  let ctx : int Em.Ctx.t =
+    Em.Ctx.create
+      ~backend:(Em.Backend.Cached Em.Backend.Sim)
+      (Tu.params ~mem:1024 ~block:16 ())
+  in
+  let pool =
+    match Em.Ctx.backend_pool ctx with
+    | Some p -> p
+    | None -> Alcotest.fail "cached backend must expose its pool"
+  in
+  let n = 4_000 in
+  let a = Tu.random_perm ~seed:19 n in
+  (* Idle session: open + close touches nothing, holds nothing. *)
+  let s0 = session ctx a in
+  Os.close ~drop_cache:true s0;
+  Tu.check_int "idle session holds zero pool pages" 0
+    (Em.Backend.Pool.resident pool);
+  (* Worked session: queries warm the pool; close ~drop_cache evicts. *)
+  let s = session ctx a in
+  ignore (Os.select s 1);
+  ignore (Os.select s (n / 2));
+  ignore (Os.query s (Os.Range ((n / 2) - 8, (n / 2) + 8)));
+  Tu.check_bool "queries warmed the pool" true
+    (Em.Backend.Pool.resident pool > 0);
+  Os.close ~drop_cache:true s;
+  Tu.check_int "closed session holds zero pool pages" 0
+    (Em.Backend.Pool.resident pool);
+  Tu.check_int "ledger drained" 0 ctx.Em.Ctx.stats.Em.Stats.mem_in_use;
+  Em.Ctx.close ctx
+
+let suite =
+  [
+    Alcotest.test_case "select against the sorted oracle" `Quick test_select_oracle;
+    Alcotest.test_case "quantile rank convention" `Quick test_quantile_convention;
+    Alcotest.test_case "range against the sorted oracle" `Quick test_range_oracle;
+    Alcotest.test_case "rank validation" `Quick test_out_of_range_ranks;
+    Alcotest.test_case "intervals only split, never re-merge" `Quick
+      test_intervals_monotone;
+    prop_full_stream_matches_batch;
+    Alcotest.test_case "pristine drain delegates to the batch plan" `Quick
+      test_pristine_drain_is_batch;
+    Alcotest.test_case "warm drain streams through the session" `Quick
+      test_warm_drain_matches_batch;
+    Alcotest.test_case "zero pool pages after close" `Quick
+      test_zero_pool_pages_after_close;
+  ]

@@ -277,10 +277,97 @@ let test_merge_stability_across_disks () =
         (merged d = reference))
     [ 2; 4; 8 ]
 
+(* ---- online sessions: query streams are D-invariant ---- *)
+
+module Os = Emalg.Online_select
+
+let online_stream n =
+  [
+    Os.Select (n / 2);
+    Os.Select 1;
+    Os.Range (max 1 ((n / 4) - 8), min n ((n / 4) + 8));
+    Os.Quantile 0.9;
+    Os.Select (n / 2);
+  ]
+
+let run_online ~disks ~seed ~n =
+  let ctx : int Em.Ctx.t = Em.Ctx.create ~disks (Tu.params ()) in
+  let v = Core.Workload.vec ctx Core.Workload.Random_perm ~seed ~n in
+  let cmp = Em.Ctx.counted ctx Tu.icmp in
+  let s = Os.open_session cmp ctx v in
+  let replies = List.map (Os.query s) (online_stream n) in
+  Os.close s;
+  let peak = ctx.Em.Ctx.stats.Em.Stats.mem_peak in
+  Em.Ctx.close ctx;
+  (replies, peak)
+
+let prop_online_d_invariant =
+  Tu.qcheck_case ~count:25
+    "online sessions: per-query values/reads/writes/comparisons identical at \
+     any D; rounds in band"
+    QCheck2.Gen.(triple (int_range 2 8) (int_range 200 1200) (int_range 0 999))
+    (fun (disks, n, seed) ->
+      let r1, _ = run_online ~disks:1 ~seed ~n in
+      let rk, peak = run_online ~disks ~seed ~n in
+      peak <= 256
+      && List.for_all2
+           (fun (a : int Os.reply) (b : int Os.reply) ->
+             let ios = Em.Stats.delta_ios b.Os.cost in
+             a.Os.values = b.Os.values
+             && a.Os.cost.Em.Stats.d_reads = b.Os.cost.Em.Stats.d_reads
+             && a.Os.cost.Em.Stats.d_writes = b.Os.cost.Em.Stats.d_writes
+             && a.Os.cost.Em.Stats.d_comparisons
+                = b.Os.cost.Em.Stats.d_comparisons
+             && a.Os.splits = b.Os.splits
+             (* D = 1 schedules serially; D = k stays in the band. *)
+             && a.Os.cost.Em.Stats.d_rounds = Em.Stats.delta_ios a.Os.cost
+             && b.Os.cost.Em.Stats.d_rounds <= ios
+             && b.Os.cost.Em.Stats.d_rounds >= (ios + disks - 1) / disks)
+           r1 rk)
+
+(* A query stream issued inside an already-open scheduling window must still
+   report per-query round costs (Stats.effective_rounds brackets the pending
+   window), and those brackets telescope exactly to the window's total. *)
+let test_online_window_nesting () =
+  let disks = 4 in
+  let ctx : int Em.Ctx.t = Em.Ctx.create ~disks (Tu.params ()) in
+  let n = 1_000 in
+  let v = Core.Workload.vec ctx Core.Workload.Random_perm ~seed:21 ~n in
+  let s = Os.open_session (Em.Ctx.counted ctx Tu.icmp) ctx v in
+  let stats = ctx.Em.Ctx.stats in
+  let snap = Em.Stats.snapshot stats in
+  let replies =
+    Em.Ctx.io_window ctx (fun () -> List.map (Os.query s) (online_stream n))
+  in
+  let total = Em.Stats.delta stats snap in
+  List.iter
+    (fun (r : int Os.reply) ->
+      let ios = Em.Stats.delta_ios r.Os.cost in
+      Tu.check_bool "per-query rounds bracketed inside the window" true
+        (r.Os.cost.Em.Stats.d_rounds >= 0 && r.Os.cost.Em.Stats.d_rounds <= ios))
+    replies;
+  (* The first query refines a 1000-element tree: its I/Os overlap across
+     the disks, so its in-window round bracket must compress. *)
+  (match replies with
+  | r :: _ ->
+      Tu.check_bool "refining query compresses rounds" true
+        (r.Os.cost.Em.Stats.d_rounds < Em.Stats.delta_ios r.Os.cost)
+  | [] -> Alcotest.fail "no replies");
+  Tu.check_int "per-query round brackets telescope to the window total"
+    total.Em.Stats.d_rounds
+    (List.fold_left (fun acc (r : int Os.reply) -> acc + r.Os.cost.Em.Stats.d_rounds) 0 replies);
+  Tu.check_bool "the shared window compresses the stream" true
+    (total.Em.Stats.d_rounds < Em.Stats.delta_ios total);
+  Os.close s;
+  Em.Ctx.close ctx
+
 let suite =
   [
     prop_d_invariant;
     prop_round_bounds;
+    prop_online_d_invariant;
+    Alcotest.test_case "online queries inside an open window" `Quick
+      test_online_window_nesting;
     prop_striping_balance;
     prop_reader_pipeline;
     prop_writer_pipeline;
