@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test fmt goldens bench bench-json bench-file test-backends test-disks faults serve-smoke clean
+.PHONY: all build test fmt goldens bench bench-json bench-file test-backends test-disks faults serve-smoke soak clean
 
 all: build
 
@@ -78,6 +78,22 @@ serve-smoke:
 	  --backend sim --disks 1 --seed 42 \
 	  < test/golden/serve.script | diff test/golden/serve.expected -
 	@echo "serve-smoke: transcript matches the golden."
+
+# Chaos-soak smoke: a seeded adversarial query stream on a pinned small
+# machine with 2 scheduled kill/restore cycles, diffed against a golden
+# transcript (every number is a simulated cost, so the report is
+# byte-deterministic).  The binary itself enforces the soak gate: exit 2 if
+# the restored session's answers diverge from the crash-free oracle's, 3 if
+# total I/Os exceed the k-crash overhead bound.  Regenerate after an
+# intentional cost change with:
+#   dune exec bin/em_repro.exe -- soak -n 20000 --queries 40 --kills 2 \
+#     --mem 4096 --block 64 --backend sim --disks 1 --seed 42 \
+#     > test/golden/soak.expected
+soak:
+	dune exec bin/em_repro.exe -- soak -n 20000 --queries 40 --kills 2 \
+	  --mem 4096 --block 64 --backend sim --disks 1 --seed 42 \
+	  | diff test/golden/soak.expected -
+	@echo "soak: transcript matches the golden (answers + k-crash bound hold)."
 
 clean:
 	dune clean

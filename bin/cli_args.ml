@@ -97,6 +97,66 @@ let common_t =
   Term.(
     const make $ verbose_t $ backend_t $ mem_t $ block_t $ disks_t $ seed_t $ workload_t)
 
+(* ---- shared fault/recovery flags (faults, serve, soak) ---- *)
+
+let fault_kind_conv =
+  let all =
+    [
+      Em.Fault.Transient_read;
+      Em.Fault.Permanent_read;
+      Em.Fault.Transient_write;
+      Em.Fault.Permanent_write;
+      Em.Fault.Torn_write;
+      Em.Fault.Bit_corruption;
+      Em.Fault.Crash;
+    ]
+  in
+  let parse s =
+    match List.find_opt (fun k -> Em.Fault.kind_name k = s) all with
+    | Some k -> Ok k
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown fault kind %S (expected one of: %s)" s
+               (String.concat ", " (List.map Em.Fault.kind_name all))))
+  in
+  Arg.conv (parse, fun ppf k -> Format.pp_print_string ppf (Em.Fault.kind_name k))
+
+let fault_seed_t =
+  Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Fault-schedule PRNG seed.")
+
+(* [faults] defaults to an adversarial 1/64; long-running subcommands
+   (serve, soak) default to a clean device — faults there are opt-in. *)
+let fault_p_t ?(default = 1.0 /. 64.0) () =
+  Arg.(
+    value
+    & opt float default
+    & info [ "fault-p" ] ~docv:"P" ~doc:"Per-I/O fault probability (0 disables injection).")
+
+let fault_kinds_t =
+  Arg.(
+    value
+    & opt (list fault_kind_conv) [ Em.Fault.Transient_read; Em.Fault.Transient_write ]
+    & info [ "fault-kinds" ] ~docv:"K1,K2,..."
+        ~doc:
+          "Fault kinds in the seeded mix: transient-read, permanent-read, transient-write, \
+           permanent-write, torn-write, bit-corruption, crash.  Pair the silent write kinds \
+           (torn-write, bit-corruption) with $(b,--verify-writes), or expect typed \
+           corrupt-block failures.")
+
+let max_retries_t =
+  Arg.(value & opt int 3 & info [ "max-retries" ] ~docv:"N" ~doc:"Retry budget per I/O.")
+
+(* Arm the device's recovery policy and inject a seeded plan iff [fault_p]
+   is positive — the shared preamble of every fault-capable subcommand. *)
+let arm_faults ?(verify_writes = false) ctx ~max_retries ~fault_p ~fault_seed ~fault_kinds =
+  if fault_p > 0. then begin
+    Em.Ctx.arm
+      ~policy:{ Em.Device.default_policy with Em.Device.max_retries; verify_writes }
+      ctx;
+    Em.Ctx.inject ctx (Em.Fault.seeded ~seed:fault_seed ~p:fault_p fault_kinds)
+  end
+
 (* ---- shared run-function halves ---- *)
 
 let setup_logs c =

@@ -313,54 +313,11 @@ let trace_cmd =
 
 (* ---- faults ---- *)
 
-let fault_kind_conv =
-  let all =
-    [
-      Em.Fault.Transient_read;
-      Em.Fault.Permanent_read;
-      Em.Fault.Transient_write;
-      Em.Fault.Permanent_write;
-      Em.Fault.Torn_write;
-      Em.Fault.Bit_corruption;
-      Em.Fault.Crash;
-    ]
-  in
-  let parse s =
-    match List.find_opt (fun k -> Em.Fault.kind_name k = s) all with
-    | Some k -> Ok k
-    | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown fault kind %S (expected one of: %s)" s
-               (String.concat ", " (List.map Em.Fault.kind_name all))))
-  in
-  Arg.conv (parse, fun ppf k -> Format.pp_print_string ppf (Em.Fault.kind_name k))
-
 let fault_algo_t =
   Arg.(
     required
     & pos 0 (some (enum [ ("sort", `Sort); ("multiselect", `Multiselect); ("splitters", `Splitters) ])) None
     & info [] ~docv:"ALGO" ~doc:"Algorithm to run under faults: sort, multiselect or splitters.")
-
-let fault_seed_t =
-  Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Fault-schedule PRNG seed.")
-
-let fault_p_t =
-  Arg.(
-    value
-    & opt float (1.0 /. 64.0)
-    & info [ "fault-p" ] ~docv:"P" ~doc:"Per-I/O fault probability.")
-
-let fault_kinds_t =
-  Arg.(
-    value
-    & opt (list fault_kind_conv) [ Em.Fault.Transient_read; Em.Fault.Transient_write ]
-    & info [ "fault-kinds" ] ~docv:"K1,K2,..."
-        ~doc:
-          "Fault kinds in the seeded mix: transient-read, permanent-read, transient-write, \
-           permanent-write, torn-write, bit-corruption, crash.  Pair the silent write kinds \
-           (torn-write, bit-corruption) with $(b,--verify-writes), or expect typed \
-           corrupt-block failures.")
 
 let crash_every_t =
   Arg.(
@@ -368,9 +325,6 @@ let crash_every_t =
     & opt (some int) None
     & info [ "crash-every" ] ~docv:"IOS"
         ~doc:"Additionally crash every IOS I/Os (use with --restartable).")
-
-let max_retries_t =
-  Arg.(value & opt int 3 & info [ "max-retries" ] ~docv:"N" ~doc:"Retry budget per I/O.")
 
 let verify_writes_t =
   Arg.(
@@ -475,8 +429,103 @@ let faults_cmd =
     (Cmd.info "faults" ~doc)
     Term.(
       const run_faults $ common_t $ fault_algo_t $ n_t $ k_opt_t $ ranks_opt_t $ fault_seed_t
-      $ fault_p_t $ fault_kinds_t $ crash_every_t $ max_retries_t $ verify_writes_t
+      $ fault_p_t () $ fault_kinds_t $ crash_every_t $ max_retries_t $ verify_writes_t
       $ restartable_t)
+
+(* ---- soak ---- *)
+
+let queries_t =
+  Arg.(
+    value & opt int 48
+    & info [ "queries" ] ~docv:"Q" ~doc:"Length of the seeded adversarial query stream.")
+
+let kills_t =
+  Arg.(
+    value & opt int 2
+    & info [ "kills" ] ~docv:"K"
+        ~doc:
+          "Kill/restore cycles, spread evenly through the stream.  Each kill \
+           drops the session without closing it (process RAM dies, the device \
+           and checkpoint region survive) and restores from the last \
+           checkpoint.")
+
+let checkpoint_every_t =
+  Arg.(
+    value & opt int 1
+    & info [ "checkpoint-every" ] ~docv:"SPLITS"
+        ~doc:"Automatic checkpoint policy for both the oracle and chaos runs.")
+
+let run_soak c n queries kills checkpoint_every fault_seed fault_p fault_kinds max_retries =
+  setup_logs c;
+  let crash_after = Core.Soak.spread_crashes ~queries ~k:kills in
+  let cfg =
+    {
+      Core.Soak.n;
+      mem = c.mem;
+      block = c.block;
+      disks = Option.value c.disks ~default:1;
+      backend = c.backend;
+      seed = c.seed;
+      queries;
+      crash_after;
+      every_splits = checkpoint_every;
+      fault_p;
+      fault_seed;
+      fault_kinds;
+      max_retries;
+    }
+  in
+  describe_machine ~disks:cfg.Core.Soak.disks ~mem:c.mem ~block:c.block ();
+  Printf.printf "backend:      %s\n"
+    (match c.backend with Some s -> Em.Backend.spec_name s | None -> "sim");
+  Printf.printf "soak:         n=%d queries=%d kills=%d checkpoint-every=%d fault-p=%g seed=%d\n"
+    n queries (List.length crash_after) checkpoint_every fault_p c.seed;
+  let o =
+    Core.Soak.run
+      ~on_crash:(fun r ->
+        Printf.printf "crash:        after query %d: restored %d leaves in %d resume I/Os\n"
+          r.Core.Soak.after_query r.Core.Soak.leaves_restored r.Core.Soak.resume_load_ios)
+      cfg
+  in
+  Printf.printf "oracle:       %d I/Os (uninterrupted twin)\n" o.Core.Soak.oracle_ios;
+  Printf.printf "chaos:        %d I/Os (%d saves / %d I/Os, %d loads / %d I/Os, %d retries)\n"
+    o.Core.Soak.chaos_ios o.Core.Soak.saves o.Core.Soak.save_ios o.Core.Soak.loads
+    o.Core.Soak.load_ios o.Core.Soak.retries;
+  Printf.printf
+    "bound:        allowed %d = oracle + resume loads + %d x (save + re-sort %d)\n"
+    o.Core.Soak.allowed_ios o.Core.Soak.crashes o.Core.Soak.resort_allowance;
+  Printf.printf "answers:      %s\n"
+    (if o.Core.Soak.answers_match then "restored session matches the oracle"
+     else "MISMATCH against the oracle");
+  Printf.printf "memory:       %s\n"
+    (if o.Core.Soak.mem_ok then "peak within M through every recovery" else "LEDGER BREACH");
+  if not o.Core.Soak.answers_match then begin
+    Printf.printf "verdict:      FAILED (answers diverged)\n";
+    exit 2
+  end;
+  if not (o.Core.Soak.within_bound && o.Core.Soak.mem_ok) then begin
+    Printf.printf "verdict:      FAILED (crash overhead out of bound)\n";
+    exit 3
+  end;
+  Printf.printf "verdict:      survived %d kills within the k-crash bound (%.3fx of allowed)\n"
+    o.Core.Soak.crashes
+    (float_of_int o.Core.Soak.chaos_ios /. float_of_int o.Core.Soak.allowed_ios)
+
+let soak_cmd =
+  let doc =
+    "Chaos-soak an online multiselection session: a seeded adversarial query \
+     stream under scheduled kill/restore cycles (and an optional seeded \
+     fault plan), verified against the crash-free oracle twin — answers must \
+     match and total I/Os must stay within the k-crash overhead bound (exit \
+     2 on divergence, 3 on an overhead breach)."
+  in
+  Cmd.v
+    (Cmd.info "soak" ~doc)
+    Term.(
+      const run_soak $ common_t $ n_t $ queries_t $ kills_t $ checkpoint_every_t
+      $ fault_seed_t
+      $ fault_p_t ~default:0. ()
+      $ fault_kinds_t $ max_retries_t)
 
 (* ---- metrics & profile ---- *)
 
@@ -706,6 +755,7 @@ let () =
         metrics_cmd;
         profile_cmd;
         faults_cmd;
+        soak_cmd;
         bounds_cmd;
         info_cmd;
         Serve.cmd;

@@ -1,30 +1,23 @@
 (* em_repro serve: a long-running online multiselection session.
 
-   Reads newline-delimited query batches from stdin (or a Unix socket),
-   answers them through one persistent [Emalg.Online_select] session, and
-   emits one JSON reply line per query (NDJSON).  Protocol:
+   The protocol engine (parsing, validation, typed fault replies, retries,
+   budgets, checkpoint/state-file round trips) lives in {!Core.Serve}; this
+   file is the process shell around it: flag parsing, signal-driven graceful
+   shutdown, and the stdin/socket transports.
 
-     line    := batch
-     batch   := query (";" query)*
-     query   := "select" INT          rank (1-based)
-              | "quantile" FLOAT      0 < phi <= 1
-              | "range" INT INT       inclusive 1-based rank interval
-              | "stats"               session + machine counters
-              | "metrics"             canonical Em.Metrics registry (JSON)
-              | "intervals"           current leaf partition
-              | "profile"             Em.Profile span tree (I/O counts)
-              | "quit"                close the session and exit
+   Crash survivability: with [--state PATH] every checkpoint (automatic via
+   [--checkpoint-every K], explicit via the [checkpoint] command, and the
+   final one on shutdown) is mirrored to a state file, and a later
+   [em_repro serve --state PATH --restore] resumes the session — same leaf
+   partition, same counters, same subsequent query costs.  SIGINT/SIGTERM
+   drain the batch in flight, checkpoint, emit the final summary and unlink
+   the socket.
 
-   A multi-query batch runs inside one [Ctx.io_window], so on a D-disk
-   machine its I/Os are billed in parallel rounds — per-query deltas stay
-   correct thanks to [Stats.effective_rounds].  All emitted numbers are
-   simulated costs (no wall-clock), so replies are byte-deterministic for a
-   fixed geometry/workload/seed: `make serve-smoke` diffs them against a
-   golden transcript. *)
+   All emitted numbers are simulated costs (no wall-clock), so replies are
+   byte-deterministic for a fixed geometry/workload/seed — `make
+   serve-smoke` diffs them against a golden transcript. *)
 
 open Cmdliner
-
-let icmp = Int.compare
 
 let n_t =
   Arg.(required & opt (some int) None & info [ "n" ] ~docv:"N" ~doc:"Input size.")
@@ -38,182 +31,48 @@ let socket_t =
           "Serve on a Unix domain socket at PATH instead of stdin/stdout \
            (one client at a time; the session persists across connections).")
 
-(* ---- tiny JSON emitters (NDJSON; no dependency, no wall-clock) ---- *)
+let state_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "state" ] ~docv:"PATH"
+        ~doc:
+          "Mirror every session checkpoint to a state file at PATH (written \
+           atomically), so a later $(b,--restore) survives this process's \
+           death.  By itself enables explicit checkpointing (the \
+           $(b,checkpoint) command and shutdown).")
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun ch ->
-      match ch with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let restore_t =
+  Arg.(
+    value & flag
+    & info [ "restore" ]
+        ~doc:
+          "Resume the session from $(b,--state)'s file if it exists (fresh \
+           start otherwise).  The file must match this machine geometry, \
+           workload and seed.")
 
-let json_ints a =
-  "[" ^ String.concat "," (Array.to_list (Array.map string_of_int a)) ^ "]"
+let checkpoint_every_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "checkpoint-every" ] ~docv:"K"
+        ~doc:
+          "Checkpoint automatically: mid-refinement once K splits accumulate \
+           and at the end of every query that refined the tree.")
 
-(* ---- session wrapper ---- *)
+let io_budget_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "io-budget" ] ~docv:"IOS"
+        ~doc:
+          "Abort any single query that spends more than IOS metered I/Os \
+           with a typed $(b,budget_exceeded) reply.  Refinement already paid \
+           for is kept (monotone), so later queries still benefit.")
 
-type server = {
-  ctx : int Em.Ctx.t;
-  session : int Emalg.Online_select.t;
-  profiler : Em.Profile.t;
-  registry : Em.Metrics.t;
-}
+(* ---- transports ---- *)
 
-let reply_json label (r : int Emalg.Online_select.reply) =
-  let d = r.Emalg.Online_select.cost in
-  Printf.sprintf
-    "{\"query\":\"%s\",\"values\":%s,\"ios\":%d,\"reads\":%d,\"writes\":%d,\"rounds\":%d,\"comparisons\":%d,\"refine_ios\":%d,\"answer_ios\":%d,\"splits\":%d}"
-    (json_escape label)
-    (json_ints r.Emalg.Online_select.values)
-    (Em.Stats.delta_ios d) d.Em.Stats.d_reads d.Em.Stats.d_writes d.Em.Stats.d_rounds
-    d.Em.Stats.d_comparisons
-    (Em.Stats.delta_ios r.Emalg.Online_select.refine)
-    r.Emalg.Online_select.answer_ios r.Emalg.Online_select.splits
-
-let summary_json srv =
-  let s = Emalg.Online_select.summary srv.session in
-  let st = srv.ctx.Em.Ctx.stats in
-  Printf.sprintf
-    "{\"session\":{\"queries\":%d,\"refine_ios\":%d,\"answer_ios\":%d,\"total_ios\":%d,\"splits\":%d,\"leaves\":%d,\"sorted_leaves\":%d},\"machine\":{\"reads\":%d,\"writes\":%d,\"rounds\":%d,\"comparisons\":%d,\"mem_peak\":%d}}"
-    s.Emalg.Online_select.queries s.Emalg.Online_select.refine_ios
-    s.Emalg.Online_select.answer_ios
-    (s.Emalg.Online_select.refine_ios + s.Emalg.Online_select.answer_ios)
-    s.Emalg.Online_select.splits s.Emalg.Online_select.leaves
-    s.Emalg.Online_select.sorted_leaves st.Em.Stats.reads st.Em.Stats.writes
-    (Em.Stats.effective_rounds st) st.Em.Stats.comparisons st.Em.Stats.mem_peak
-
-(* Per-session Metrics accounting: the machine's native counters plus the
-   session's own gauges, dumped in the registry's canonical JSON. *)
-let metrics_json srv =
-  let reg = srv.registry in
-  Em.Metrics.publish_stats reg srv.ctx.Em.Ctx.stats;
-  let s = Emalg.Online_select.summary srv.session in
-  let g name help v =
-    Em.Metrics.set (Em.Metrics.gauge reg ~help name) (float_of_int v)
-  in
-  g "session_queries" "queries answered by this session" s.Emalg.Online_select.queries;
-  g "session_refine_ios" "cumulative refinement I/Os" s.Emalg.Online_select.refine_ios;
-  g "session_answer_ios" "cumulative lookup I/Os" s.Emalg.Online_select.answer_ios;
-  g "session_splits" "cumulative interval splits" s.Emalg.Online_select.splits;
-  g "session_leaves" "current leaf intervals" s.Emalg.Online_select.leaves;
-  g "session_sorted_leaves" "leaves holding sorted runs" s.Emalg.Online_select.sorted_leaves;
-  String.trim (Em.Metrics.to_json reg)
-
-let intervals_json srv =
-  let items =
-    List.map
-      (fun (lo, len, sorted) ->
-        Printf.sprintf "{\"lo\":%d,\"len\":%d,\"sorted\":%b}" lo len sorted)
-      (Emalg.Online_select.intervals srv.session)
-  in
-  Printf.sprintf "{\"intervals\":[%s]}" (String.concat "," items)
-
-(* Span tree of the attached profiler, I/O counts only (wall-clock excluded
-   so transcripts stay deterministic). *)
-let profile_json srv =
-  let spans =
-    List.map
-      (fun s ->
-        Printf.sprintf "{\"path\":\"%s\",\"ios\":%d,\"calls\":%d,\"comparisons\":%d}"
-          (json_escape (Em.Profile.path_name s.Em.Profile.path))
-          (Em.Profile.span_ios s) s.Em.Profile.calls s.Em.Profile.comparisons)
-      (Em.Profile.spans srv.profiler)
-  in
-  Printf.sprintf "{\"spans\":[%s]}" (String.concat "," spans)
-
-(* ---- protocol ---- *)
-
-type command = Query of Emalg.Online_select.query | Stats | Metrics | Intervals | Profile | Quit
-
-let parse_command str =
-  let words =
-    List.filter (fun w -> w <> "") (String.split_on_char ' ' (String.trim str))
-  in
-  match words with
-  | [ "select"; k ] -> (
-      match int_of_string_opt k with
-      | Some k -> Ok (Query (Emalg.Online_select.Select k))
-      | None -> Error "select needs an integer rank")
-  | [ "quantile"; phi ] -> (
-      match float_of_string_opt phi with
-      | Some phi -> Ok (Query (Emalg.Online_select.Quantile phi))
-      | None -> Error "quantile needs a float")
-  | [ "range"; a; b ] -> (
-      match (int_of_string_opt a, int_of_string_opt b) with
-      | Some a, Some b -> Ok (Query (Emalg.Online_select.Range (a, b)))
-      | _ -> Error "range needs two integer ranks")
-  | [ "stats" ] -> Ok Stats
-  | [ "metrics" ] -> Ok Metrics
-  | [ "intervals" ] -> Ok Intervals
-  | [ "profile" ] -> Ok Profile
-  | [ "quit" ] | [ "exit" ] -> Ok Quit
-  | [] -> Error "empty query"
-  | w :: _ -> Error (Printf.sprintf "unknown query %S" w)
-
-let run_command srv emit str =
-  match parse_command str with
-  | Error msg ->
-      emit (Printf.sprintf "{\"error\":\"%s\"}" (json_escape msg));
-      true
-  | Ok Quit -> false
-  | Ok Stats ->
-      emit (summary_json srv);
-      true
-  | Ok Metrics ->
-      emit (metrics_json srv);
-      true
-  | Ok Intervals ->
-      emit (intervals_json srv);
-      true
-  | Ok Profile ->
-      emit (profile_json srv);
-      true
-  | Ok (Query q) ->
-      (match Emalg.Online_select.query srv.session q with
-      | r -> emit (reply_json (String.trim str) r)
-      | exception Invalid_argument msg ->
-          emit (Printf.sprintf "{\"error\":\"%s\"}" (json_escape msg)));
-      true
-
-(* One input line = one batch.  Multi-query batches share a scheduling
-   window, so a D-disk machine overlaps their I/Os into parallel rounds. *)
-let run_batch srv emit line =
-  let queries = String.split_on_char ';' line in
-  let go () = List.for_all (fun q -> run_command srv emit q) queries in
-  match queries with
-  | [] | [ _ ] -> go ()
-  | _ -> Em.Ctx.io_window srv.ctx go
-
-let serve_channels srv ic oc =
-  let emit line =
-    output_string oc line;
-    output_char oc '\n';
-    flush oc
-  in
-  let rec loop () =
-    match input_line ic with
-    | exception End_of_file -> true
-    | "" -> loop ()
-    | line -> if run_batch srv emit line then loop () else false
-  in
-  loop ()
-
-let final_json srv =
-  let s = Emalg.Online_select.summary srv.session in
-  Printf.sprintf "{\"closed\":true,\"queries\":%d,\"total_ios\":%d,\"pool_pages\":%d}"
-    s.Emalg.Online_select.queries
-    (s.Emalg.Online_select.refine_ios + s.Emalg.Online_select.answer_ios)
-    (match Em.Ctx.backend_pool srv.ctx with
-    | Some pool -> Em.Backend.Pool.resident pool
-    | None -> 0)
-
-let serve_socket srv path =
+let serve_socket ~should_stop srv path =
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
@@ -225,50 +84,92 @@ let serve_socket srv path =
       Unix.listen sock 1;
       Printf.eprintf "serving on %s\n%!" path;
       let rec accept_loop () =
-        let client, _ = Unix.accept sock in
-        let ic = Unix.in_channel_of_descr client in
-        let oc = Unix.out_channel_of_descr client in
-        let continue =
-          Fun.protect
-            ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
-            (fun () -> serve_channels srv ic oc)
-        in
-        if continue then accept_loop ()
+        if should_stop () then ()
+        else
+          match Unix.accept sock with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+              (* A signal interrupted the blocking accept: either the
+                 shutdown flag is now set (checked on re-entry) or it was
+                 something harmless — retry either way. *)
+              accept_loop ()
+          | client, _ ->
+              let ic = Unix.in_channel_of_descr client in
+              let oc = Unix.out_channel_of_descr client in
+              let continue =
+                Fun.protect
+                  ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
+                  (fun () ->
+                    (* A client vanishing mid-line (reset on read, EPIPE on
+                       reply) ends that client, not the server. *)
+                    try Core.Serve.serve_channels ~should_stop srv ic oc
+                    with Sys_error _ | Unix.Unix_error _ -> true)
+              in
+              if continue then accept_loop ()
       in
       accept_loop ())
 
-let run c n socket =
+let run c n socket state restore checkpoint_every io_budget fault_p fault_seed fault_kinds
+    max_retries =
   Cli_args.setup_logs c;
   let ctx = Cli_args.make_ctx c in
+  Cli_args.arm_faults ctx ~max_retries ~fault_p ~fault_seed ~fault_kinds;
   let v = Cli_args.workload_vec c ctx ~n in
-  let profiler = Em.Profile.create () in
-  Em.Profile.attach profiler ctx.Em.Ctx.stats;
-  let cmp = Em.Ctx.counted ctx icmp in
-  let session = Emalg.Online_select.open_session cmp ctx v in
-  let srv = { ctx; session; profiler; registry = Em.Metrics.create () } in
-  let greeting =
-    Printf.sprintf
-      "{\"serving\":{\"n\":%d,\"mem\":%d,\"block\":%d,\"disks\":%d,\"backend\":\"%s\",\"workload\":\"%s\",\"seed\":%d}}"
-      n c.Cli_args.mem c.Cli_args.block (Em.Ctx.disks ctx) (Em.Ctx.backend_name ctx)
-      (Core.Workload.kind_name c.Cli_args.workload)
-      c.Cli_args.seed
+  let meta =
+    {
+      Core.Serve.m_n = n;
+      m_mem = c.Cli_args.mem;
+      m_block = c.Cli_args.block;
+      m_disks = Em.Ctx.disks ctx;
+      m_workload = Core.Workload.kind_name c.Cli_args.workload;
+      m_seed = c.Cli_args.seed;
+    }
   in
+  let srv =
+    try
+      Core.Serve.create ?checkpoint_every ?io_budget ~max_retries ?state_path:state ~restore
+        ~meta ctx v
+    with Failure msg ->
+      Printf.eprintf "%s\n%!" msg;
+      exit 1
+  in
+  (* Graceful shutdown: the handlers only set a flag; the serve loop drains
+     the batch in flight, then checks it between lines (interrupted blocking
+     reads surface as EINTR/Sys_error and re-check). *)
+  let stop_reason = ref None in
+  let on_signal name = Sys.Signal_handle (fun _ -> stop_reason := Some name) in
+  Sys.set_signal Sys.sigint (on_signal "sigint");
+  Sys.set_signal Sys.sigterm (on_signal "sigterm");
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let should_stop () = !stop_reason <> None in
+  let greeting = Core.Serve.greeting_json srv in
   (match socket with
   | None ->
       print_endline greeting;
       flush Stdlib.stdout;
-      ignore (serve_channels srv Stdlib.stdin Stdlib.stdout);
-      print_endline (final_json srv)
+      ignore (Core.Serve.serve_channels ~should_stop srv Stdlib.stdin Stdlib.stdout);
+      Core.Serve.shutdown_checkpoint srv;
+      print_endline (Core.Serve.final_json ?shutdown:!stop_reason srv)
   | Some path ->
       Printf.eprintf "%s\n%!" greeting;
-      serve_socket srv path);
-  Emalg.Online_select.close ~drop_cache:true session;
+      serve_socket ~should_stop srv path;
+      Core.Serve.shutdown_checkpoint srv;
+      Printf.eprintf "%s\n%!" (Core.Serve.final_json ?shutdown:!stop_reason srv));
+  Core.Serve.close srv;
   Em.Ctx.close ctx
 
 let cmd =
   let doc =
     "Serve an online multiselection session: newline-delimited query batches \
      in (stdin or a Unix socket), JSON replies out, with per-query I/O \
-     deltas, per-session metrics and profile spans."
+     deltas, per-session metrics and profile spans.  Checkpoints the session \
+     state through the simulated checkpoint region (and a $(b,--state) file) \
+     so a killed server resumes with $(b,--restore); typed device faults \
+     under an armed $(b,--fault-p) plan become structured error replies \
+     after bounded retries."
   in
-  Cmd.v (Cmd.info "serve" ~doc) Term.(const run $ Cli_args.common_t $ n_t $ socket_t)
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ Cli_args.common_t $ n_t $ socket_t $ state_t $ restore_t
+      $ checkpoint_every_t $ io_budget_t
+      $ Cli_args.fault_p_t ~default:0. ()
+      $ Cli_args.fault_seed_t $ Cli_args.fault_kinds_t $ Cli_args.max_retries_t)

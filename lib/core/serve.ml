@@ -1,0 +1,527 @@
+(* The serve-session engine behind `em_repro serve`.
+
+   Lives in the library (rather than bin/) so the error paths — typed fault
+   replies, retry metering, budget aborts, batch-window exception safety,
+   checkpoint/restore round trips — are directly unit-testable; bin/serve.ml
+   only adds flag parsing, signal handling and the socket accept loop.
+
+   Protocol (NDJSON; one input line = one batch, ';'-separated):
+
+     select K | quantile PHI | range A B   queries
+     stats | metrics | intervals | profile introspection
+     checkpoint                            save session state now
+     quit                                  close and exit
+
+   Error-reply grammar:
+     {"error":"<message>"}                           parse / validation
+     {"error":"<code>","detail":"...","retries":N}   typed Em_error after
+                                                     bounded query retries
+                                                     (code: io_fault,
+                                                     read_failed, ...)
+     {"error":"budget_exceeded","budget":B,"spent":S}
+
+   All emitted numbers are simulated costs, so transcripts stay
+   byte-deterministic for a fixed geometry/workload/seed — including the
+   error replies under a seeded fault plan. *)
+
+let icmp = Int.compare
+
+(* ---- tiny JSON emitters (NDJSON; no dependency, no wall-clock) ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_ints a =
+  "[" ^ String.concat "," (Array.to_list (Array.map string_of_int a)) ^ "]"
+
+(* ---- the server ---- *)
+
+type meta = {
+  m_n : int;
+  m_mem : int;
+  m_block : int;
+  m_disks : int;
+  m_workload : string;
+  m_seed : int;
+}
+
+type t = {
+  ctx : int Em.Ctx.t;
+  mutable session : int Emalg.Online_select.t;
+  profiler : Em.Profile.t;
+  registry : Em.Metrics.t;
+  input : int Em.Vec.t;
+  meta : meta;
+  max_retries : int;
+  state_path : string option;
+  mutable last_saves : int;  (* state-file mirror: saves already persisted *)
+  mutable restored : bool;
+  mutable crashed : bool;
+}
+
+let session t = t.session
+let ctx t = t.ctx
+let input t = t.input
+let crashed t = t.crashed
+
+(* ---- state file (cross-process survival) ----
+
+   The in-process checkpoint slot and the sim backend's store are process
+   RAM, so surviving a real process death needs a disk artifact.  The state
+   file is the process-level stand-in for "the device survives": leaf
+   bounds plus their payloads, serialized via the zero-cost Oracle (the
+   payloads' I/O was already paid when the session wrote them; re-placing
+   them in a fresh process via [Vec.of_array] is likewise Oracle-level).
+   The metered costs of checkpointing remain with [Em.Checkpoint]: saves
+   were charged in the dead process, the restore pays its resume read. *)
+
+type payload = P_raw | P_unsorted of (int * int) array | P_sorted of int array
+
+type persisted = {
+  p_meta : meta;
+  p_queries : int;
+  p_refine_ios : int;
+  p_answer_ios : int;
+  p_splits : int;
+  p_leaves : (int * int * payload) list;
+}
+
+let state_magic = "em_repro-serve-state-v1"
+
+let persisted_of_session meta session =
+  let snap = Emalg.Online_select.snapshot session in
+  let leaves =
+    List.map
+      (fun (lo, len, h) ->
+        let payload =
+          match h with
+          | Emalg.Online_select.H_raw -> P_raw
+          | Emalg.Online_select.H_unsorted tv -> P_unsorted (Em.Vec.Oracle.to_array tv)
+          | Emalg.Online_select.H_sorted sv -> P_sorted (Em.Vec.Oracle.to_array sv)
+        in
+        (lo, len, payload))
+      snap.Emalg.Online_select.s_leaves
+  in
+  {
+    p_meta = meta;
+    p_queries = snap.Emalg.Online_select.s_queries;
+    p_refine_ios = snap.Emalg.Online_select.s_refine_ios;
+    p_answer_ios = snap.Emalg.Online_select.s_answer_ios;
+    p_splits = snap.Emalg.Online_select.s_splits;
+    p_leaves = leaves;
+  }
+
+let write_state path (p : persisted) =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Marshal.to_channel oc (state_magic, p) []);
+  Sys.rename tmp path
+
+let read_state path : (persisted, string) result =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match (Marshal.from_channel ic : string * persisted) with
+          | magic, p when magic = state_magic -> Ok p
+          | _ -> Error (path ^ ": not a serve state file")
+          | exception _ -> Error (path ^ ": unreadable or corrupt state file"))
+
+let meta_mismatch a b =
+  if a.m_n <> b.m_n then Some "n"
+  else if a.m_mem <> b.m_mem then Some "mem"
+  else if a.m_block <> b.m_block then Some "block"
+  else if a.m_disks <> b.m_disks then Some "disks"
+  else if a.m_workload <> b.m_workload then Some "workload"
+  else if a.m_seed <> b.m_seed then Some "seed"
+  else None
+
+(* Rebuild the snapshot in a fresh process: payloads are re-placed via
+   Oracle writes (the data "was already on the surviving device"), the
+   store slot is seeded with [Checkpoint.install] (same fiction), and
+   [Online_select.restore] pays the metered resume read. *)
+let session_of_persisted ?batch_plan ?every_splits ctx v (p : persisted) =
+  let cmp = Em.Ctx.counted ctx icmp in
+  let pctx : (int * int) Em.Ctx.t = Em.Ctx.linked ctx in
+  let leaves =
+    List.map
+      (fun (lo, len, payload) ->
+        let h =
+          match payload with
+          | P_raw -> Emalg.Online_select.H_raw
+          | P_unsorted pairs -> Emalg.Online_select.H_unsorted (Em.Vec.of_array pctx pairs)
+          | P_sorted keys -> Emalg.Online_select.H_sorted (Em.Vec.of_array ctx keys)
+        in
+        (lo, len, h))
+      p.p_leaves
+  in
+  let snap =
+    {
+      Emalg.Online_select.s_leaves = leaves;
+      s_queries = p.p_queries;
+      s_refine_ios = p.p_refine_ios;
+      s_answer_ios = p.p_answer_ios;
+      s_splits = p.p_splits;
+    }
+  in
+  let store = Em.Checkpoint.create ctx in
+  Em.Checkpoint.install store ~words:(Emalg.Online_select.snapshot_words snap) snap;
+  Emalg.Online_select.restore ?batch_plan ?every_splits cmp ctx v store
+
+let save_state srv =
+  match srv.state_path with
+  | None -> ()
+  | Some path ->
+      write_state path (persisted_of_session srv.meta srv.session);
+      (match Emalg.Online_select.checkpoint_store srv.session with
+      | Some store -> srv.last_saves <- Em.Checkpoint.saves store
+      | None -> ())
+
+(* Automatic policy saves happen inside the session; mirror them to the
+   state file whenever the store's save counter has advanced, so the file
+   on disk is as fresh as the in-process checkpoint. *)
+let mirror_state srv =
+  match (srv.state_path, Emalg.Online_select.checkpoint_store srv.session) with
+  | Some _, Some store when Em.Checkpoint.saves store > srv.last_saves -> save_state srv
+  | _ -> ()
+
+let create ?checkpoint_every ?io_budget ?(max_retries = 3) ?state_path
+    ?(restore = false) ~meta ctx v =
+  let cmp = Em.Ctx.counted ctx icmp in
+  let profiler = Em.Profile.create () in
+  Em.Profile.attach profiler ctx.Em.Ctx.stats;
+  let restored = ref false in
+  let session =
+    match (restore, state_path) with
+    | true, Some path when Sys.file_exists path -> (
+        match read_state path with
+        | Error msg -> failwith (Printf.sprintf "serve --restore: %s" msg)
+        | Ok p -> (
+            match meta_mismatch p.p_meta meta with
+            | Some field ->
+                failwith
+                  (Printf.sprintf
+                     "serve --restore: state file %s was written for a different %s" path
+                     field)
+            | None ->
+                restored := true;
+                session_of_persisted ?every_splits:checkpoint_every ctx v p))
+    | _ ->
+        let s = Emalg.Online_select.open_session cmp ctx v in
+        if checkpoint_every <> None || state_path <> None then
+          Emalg.Online_select.enable_checkpoints ?every_splits:checkpoint_every s;
+        s
+  in
+  Emalg.Online_select.set_io_budget session io_budget;
+  let srv =
+    {
+      ctx;
+      session;
+      profiler;
+      registry = Em.Metrics.create ();
+      input = v;
+      meta;
+      max_retries;
+      state_path;
+      last_saves = 0;
+      restored = !restored;
+      crashed = false;
+    }
+  in
+  (* A restored server re-persists immediately: the file now reflects this
+     incarnation's baseline (and proves the path is writable up front). *)
+  if srv.restored then save_state srv;
+  srv
+
+let restored srv = srv.restored
+
+(* ---- JSON views ---- *)
+
+let reply_json label (r : int Emalg.Online_select.reply) =
+  let d = r.Emalg.Online_select.cost in
+  Printf.sprintf
+    "{\"query\":\"%s\",\"values\":%s,\"ios\":%d,\"reads\":%d,\"writes\":%d,\"rounds\":%d,\"comparisons\":%d,\"refine_ios\":%d,\"answer_ios\":%d,\"splits\":%d}"
+    (json_escape label)
+    (json_ints r.Emalg.Online_select.values)
+    (Em.Stats.delta_ios d) d.Em.Stats.d_reads d.Em.Stats.d_writes d.Em.Stats.d_rounds
+    d.Em.Stats.d_comparisons
+    (Em.Stats.delta_ios r.Emalg.Online_select.refine)
+    r.Emalg.Online_select.answer_ios r.Emalg.Online_select.splits
+
+let summary_json srv =
+  let s = Emalg.Online_select.summary srv.session in
+  let st = srv.ctx.Em.Ctx.stats in
+  Printf.sprintf
+    "{\"session\":{\"queries\":%d,\"refine_ios\":%d,\"answer_ios\":%d,\"total_ios\":%d,\"splits\":%d,\"leaves\":%d,\"sorted_leaves\":%d},\"machine\":{\"reads\":%d,\"writes\":%d,\"rounds\":%d,\"comparisons\":%d,\"mem_peak\":%d}}"
+    s.Emalg.Online_select.queries s.Emalg.Online_select.refine_ios
+    s.Emalg.Online_select.answer_ios
+    (s.Emalg.Online_select.refine_ios + s.Emalg.Online_select.answer_ios)
+    s.Emalg.Online_select.splits s.Emalg.Online_select.leaves
+    s.Emalg.Online_select.sorted_leaves st.Em.Stats.reads st.Em.Stats.writes
+    (Em.Stats.effective_rounds st) st.Em.Stats.comparisons st.Em.Stats.mem_peak
+
+(* Per-session Metrics accounting: the machine's native counters plus the
+   session's own gauges, dumped in the registry's canonical JSON.  The
+   checkpoint gauges appear only once a store is attached, keeping the
+   fault-free transcript byte-identical to the historical one. *)
+let metrics_json srv =
+  let reg = srv.registry in
+  Em.Metrics.publish_stats reg srv.ctx.Em.Ctx.stats;
+  let s = Emalg.Online_select.summary srv.session in
+  let g name help v =
+    Em.Metrics.set (Em.Metrics.gauge reg ~help name) (float_of_int v)
+  in
+  g "session_queries" "queries answered by this session" s.Emalg.Online_select.queries;
+  g "session_refine_ios" "cumulative refinement I/Os" s.Emalg.Online_select.refine_ios;
+  g "session_answer_ios" "cumulative lookup I/Os" s.Emalg.Online_select.answer_ios;
+  g "session_splits" "cumulative interval splits" s.Emalg.Online_select.splits;
+  g "session_leaves" "current leaf intervals" s.Emalg.Online_select.leaves;
+  g "session_sorted_leaves" "leaves holding sorted runs" s.Emalg.Online_select.sorted_leaves;
+  (match Emalg.Online_select.checkpoint_store srv.session with
+  | None -> ()
+  | Some store ->
+      g "session_checkpoint_saves" "checkpoint saves taken" (Em.Checkpoint.saves store);
+      g "session_checkpoint_save_ios" "metered checkpoint writes"
+        (Em.Checkpoint.save_ios store);
+      g "session_resume_loads" "checkpoint resume loads" (Em.Checkpoint.loads store);
+      g "session_resume_load_ios" "metered resume reads" (Em.Checkpoint.load_ios store));
+  String.trim (Em.Metrics.to_json reg)
+
+let intervals_json srv =
+  let items =
+    List.map
+      (fun (lo, len, sorted) ->
+        Printf.sprintf "{\"lo\":%d,\"len\":%d,\"sorted\":%b}" lo len sorted)
+      (Emalg.Online_select.intervals srv.session)
+  in
+  Printf.sprintf "{\"intervals\":[%s]}" (String.concat "," items)
+
+(* Span tree of the attached profiler, I/O counts only (wall-clock excluded
+   so transcripts stay deterministic). *)
+let profile_json srv =
+  let spans =
+    List.map
+      (fun s ->
+        Printf.sprintf "{\"path\":\"%s\",\"ios\":%d,\"calls\":%d,\"comparisons\":%d}"
+          (json_escape (Em.Profile.path_name s.Em.Profile.path))
+          (Em.Profile.span_ios s) s.Em.Profile.calls s.Em.Profile.comparisons)
+      (Em.Profile.spans srv.profiler)
+  in
+  Printf.sprintf "{\"spans\":[%s]}" (String.concat "," spans)
+
+let checkpoint_json srv =
+  match Emalg.Online_select.checkpoint_store srv.session with
+  | None -> "{\"checkpointed\":false}"
+  | Some store ->
+      let s = Emalg.Online_select.summary srv.session in
+      Printf.sprintf
+        "{\"checkpointed\":true,\"saves\":%d,\"save_ios\":%d,\"leaves\":%d%s}"
+        (Em.Checkpoint.saves store) (Em.Checkpoint.save_ios store)
+        s.Emalg.Online_select.leaves
+        (match srv.state_path with
+        | Some path -> Printf.sprintf ",\"state_file\":\"%s\"" (json_escape path)
+        | None -> "")
+
+let checkpoint_now srv =
+  Emalg.Online_select.checkpoint srv.session;
+  save_state srv
+
+let error_code = function
+  | Em.Em_error.Io_fault _ -> "io_fault"
+  | Em.Em_error.Read_failed _ -> "read_failed"
+  | Em.Em_error.Write_failed _ -> "write_failed"
+  | Em.Em_error.Corrupt_block _ -> "corrupt_block"
+  | Em.Em_error.Crashed _ -> "crashed"
+  | Em.Em_error.Budget_exceeded _ -> "budget_exceeded"
+
+let em_error_json ~retries e =
+  match e with
+  | Em.Em_error.Budget_exceeded { budget; spent } ->
+      Printf.sprintf "{\"error\":\"budget_exceeded\",\"budget\":%d,\"spent\":%d}" budget spent
+  | e ->
+      Printf.sprintf "{\"error\":\"%s\",\"detail\":\"%s\",\"retries\":%d}" (error_code e)
+        (json_escape (Em.Em_error.to_string e))
+        retries
+
+(* ---- protocol ---- *)
+
+type command =
+  | Query of Emalg.Online_select.query
+  | Stats
+  | Metrics
+  | Intervals
+  | Profile
+  | Checkpoint
+  | Quit
+
+let parse_command str =
+  let words =
+    List.filter (fun w -> w <> "") (String.split_on_char ' ' (String.trim str))
+  in
+  match words with
+  | [ "select"; k ] -> (
+      match int_of_string_opt k with
+      | Some k -> Ok (Query (Emalg.Online_select.Select k))
+      | None -> Error "select needs an integer rank")
+  | [ "quantile"; phi ] -> (
+      (* float_of_string_opt happily parses "nan" and "inf"; reject anything
+         outside (0, 1] here so malformed input never reaches the session. *)
+      match float_of_string_opt phi with
+      | Some phi when Float.is_finite phi && phi > 0. && phi <= 1. ->
+          Ok (Query (Emalg.Online_select.Quantile phi))
+      | Some _ -> Error "quantile must satisfy 0 < phi <= 1"
+      | None -> Error "quantile needs a float")
+  | [ "range"; a; b ] -> (
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some a, Some b when b < a -> Error "range needs a <= b"
+      | Some a, Some b -> Ok (Query (Emalg.Online_select.Range (a, b)))
+      | _ -> Error "range needs two integer ranks")
+  | [ "stats" ] -> Ok Stats
+  | [ "metrics" ] -> Ok Metrics
+  | [ "intervals" ] -> Ok Intervals
+  | [ "profile" ] -> Ok Profile
+  | [ "checkpoint" ] -> Ok Checkpoint
+  | [ "quit" ] | [ "exit" ] -> Ok Quit
+  | [] -> Error "empty query"
+  | w :: _ -> Error (Printf.sprintf "unknown query %S" w)
+
+(* One query, with Resilient-style bounded retries at the query level: a
+   typed failure that escapes the per-I/O recovery re-runs the query (each
+   re-run metered as a retry; monotone refinement means only the unfinished
+   tail is redone). *)
+let exec_query srv ~retries q =
+  Em.Resilient.with_retries ~max_retries:srv.max_retries
+    ~on_retry:(fun ~attempt:_ _ -> incr retries)
+    srv.ctx.Em.Ctx.dev
+    (fun () -> Emalg.Online_select.query srv.session q)
+
+let run_command srv emit str =
+  match parse_command str with
+  | Error msg ->
+      emit (Printf.sprintf "{\"error\":\"%s\"}" (json_escape msg));
+      true
+  | Ok Quit -> false
+  | Ok Stats ->
+      emit (summary_json srv);
+      true
+  | Ok Metrics ->
+      emit (metrics_json srv);
+      true
+  | Ok Intervals ->
+      emit (intervals_json srv);
+      true
+  | Ok Profile ->
+      emit (profile_json srv);
+      true
+  | Ok Checkpoint ->
+      checkpoint_now srv;
+      emit (checkpoint_json srv);
+      true
+  | Ok (Query q) -> (
+      let retries = ref 0 in
+      match exec_query srv ~retries q with
+      | r ->
+          emit (reply_json (String.trim str) r);
+          mirror_state srv;
+          true
+      | exception Invalid_argument msg ->
+          emit (Printf.sprintf "{\"error\":\"%s\"}" (json_escape msg));
+          true
+      | exception Em.Em_error.Error (Em.Em_error.Crashed _ as e) ->
+          (* A crash halts the machine: reply, then stop serving.  The state
+             file (if any) still holds the last checkpoint for --restore;
+             deliberately nothing is saved now — a crashed process does not
+             get to write. *)
+          emit (em_error_json ~retries:!retries e);
+          srv.crashed <- true;
+          false
+      | exception Em.Em_error.Error e ->
+          emit (em_error_json ~retries:!retries e);
+          mirror_state srv;
+          true
+      | exception e ->
+          (* Programming errors must not kill the loop either; reply and
+             keep serving. *)
+          emit
+            (Printf.sprintf "{\"error\":\"internal\",\"detail\":\"%s\"}"
+               (json_escape (Printexc.to_string e)));
+          true)
+
+(* One input line = one batch.  Multi-query batches share a scheduling
+   window, so a D-disk machine overlaps their I/Os into parallel rounds.
+   Every per-query failure is caught inside [run_command] and answered with
+   an error reply, and [Ctx.io_window] closes its window on any unwind
+   (exception-safe bracket), so a poisoned query can neither silence the
+   rest of its batch nor leave the window open for the session. *)
+let run_batch srv emit line =
+  let queries = String.split_on_char ';' line in
+  let go () = List.for_all (fun q -> run_command srv emit q) queries in
+  match queries with
+  | [] | [ _ ] -> go ()
+  | _ -> Em.Ctx.io_window srv.ctx go
+
+let serve_channels ?(should_stop = fun () -> false) srv ic oc =
+  let emit line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  let rec loop () =
+    if should_stop () then false
+    else
+      match input_line ic with
+      | exception End_of_file -> true
+      | exception Sys_error _ ->
+          (* A signal can interrupt the blocking read; anything else on the
+             input side also ends this client without killing the server. *)
+          if should_stop () then false else true
+      | "" -> loop ()
+      | line -> if run_batch srv emit line then loop () else false
+  in
+  loop ()
+
+let final_json ?shutdown srv =
+  let s = Emalg.Online_select.summary srv.session in
+  Printf.sprintf "{\"closed\":true,\"queries\":%d,\"total_ios\":%d,\"pool_pages\":%d%s}"
+    s.Emalg.Online_select.queries
+    (s.Emalg.Online_select.refine_ios + s.Emalg.Online_select.answer_ios)
+    (match Em.Ctx.backend_pool srv.ctx with
+    | Some pool -> Em.Backend.Pool.resident pool
+    | None -> 0)
+    (match shutdown with
+    | Some reason -> Printf.sprintf ",\"shutdown\":\"%s\"" (json_escape reason)
+    | None -> "")
+
+let greeting_json srv =
+  Printf.sprintf
+    "{\"serving\":{\"n\":%d,\"mem\":%d,\"block\":%d,\"disks\":%d,\"backend\":\"%s\",\"workload\":\"%s\",\"seed\":%d%s}}"
+    srv.meta.m_n srv.meta.m_mem srv.meta.m_block srv.meta.m_disks
+    (Em.Ctx.backend_name srv.ctx) srv.meta.m_workload srv.meta.m_seed
+    (if srv.restored then
+       Printf.sprintf ",\"restored\":true,\"queries\":%d,\"leaves\":%d"
+         (Emalg.Online_select.summary srv.session).Emalg.Online_select.queries
+         (Emalg.Online_select.summary srv.session).Emalg.Online_select.leaves
+     else "")
+
+(* Graceful shutdown, step one: persist (unless the machine crashed — then
+   the last pre-crash checkpoint is the truth).  Kept separate from {!close}
+   so the final summary can still read the live session in between. *)
+let shutdown_checkpoint srv =
+  if (not srv.crashed) && Emalg.Online_select.checkpoint_store srv.session <> None then
+    checkpoint_now srv
+
+let close srv = Emalg.Online_select.close ~drop_cache:true srv.session

@@ -1,0 +1,132 @@
+(** The serve-session engine behind [em_repro serve].
+
+    One long-lived {!Emalg.Online_select} session answering newline-delimited
+    query batches with JSON reply lines (NDJSON).  Lives in the library so
+    the hardened paths — typed fault replies, query-level retries, budget
+    aborts, batch exception safety, checkpoint/state-file round trips — are
+    unit-testable without a process or a socket; [bin/serve.ml] adds flag
+    parsing, signal handling and the accept loop.
+
+    {b Protocol} (one input line = one batch, [';']-separated):
+    [select K], [quantile PHI], [range A B], [stats], [metrics],
+    [intervals], [profile], [checkpoint], [quit].
+
+    {b Error-reply grammar:}
+    - [{"error":"<message>"}] — parse or validation failure (the query never
+      reached the session);
+    - [{"error":"<code>","detail":"...","retries":N}] — a typed {!Em.Em_error}
+      escaped the per-I/O recovery and [N] query-level retries; [<code>] is
+      one of [io_fault], [read_failed], [write_failed], [corrupt_block],
+      [crashed];
+    - [{"error":"budget_exceeded","budget":B,"spent":S}] — the per-query I/O
+      budget ran out; refinement already paid for is kept.
+
+    All emitted numbers are simulated costs, so transcripts — including
+    error replies under a seeded fault plan — are byte-deterministic for a
+    fixed geometry/workload/seed. *)
+
+type t
+(** A live server: session + profiler + metrics registry + recovery
+    configuration. *)
+
+type meta = {
+  m_n : int;
+  m_mem : int;
+  m_block : int;
+  m_disks : int;
+  m_workload : string;
+  m_seed : int;
+}
+(** The machine/workload identity a state file is bound to; [--restore]
+    refuses a file written for a different one. *)
+
+val create :
+  ?checkpoint_every:int ->
+  ?io_budget:int ->
+  ?max_retries:int ->
+  ?state_path:string ->
+  ?restore:bool ->
+  meta:meta ->
+  int Em.Ctx.t ->
+  int Em.Vec.t ->
+  t
+(** [create ~meta ctx v] wraps [v] in a fresh session.  [checkpoint_every]
+    enables the automatic every-k-splits checkpoint policy; [state_path]
+    mirrors every checkpoint to a Marshal state file (and by itself enables
+    explicit-only checkpointing); [restore = true] resumes from the state
+    file if it exists (fresh start otherwise); [io_budget] bounds any single
+    query's metered I/Os; [max_retries] (default 3) bounds query-level
+    retries on typed faults.  With none of the optional arguments the server
+    is byte-identical to the historical one.
+    @raise Failure if the state file is corrupt or bound to a different
+    machine/workload. *)
+
+val session : t -> int Emalg.Online_select.t
+val ctx : t -> int Em.Ctx.t
+val input : t -> int Em.Vec.t
+
+val restored : t -> bool
+(** Whether {!create} resumed from a state file. *)
+
+val crashed : t -> bool
+(** Whether a [crashed] machine fault stopped the query loop; {!shutdown}
+    then skips the final checkpoint (a crashed process does not get to
+    write). *)
+
+(** {2 Protocol} *)
+
+type command =
+  | Query of Emalg.Online_select.query
+  | Stats
+  | Metrics
+  | Intervals
+  | Profile
+  | Checkpoint
+  | Quit
+
+val parse_command : string -> (command, string) result
+(** Parse one query.  Validation happens here so malformed input never
+    reaches the session: [quantile] requires a finite [phi] with
+    [0 < phi <= 1] (NaN/infinities rejected), [range a b] requires
+    [a <= b]. *)
+
+val run_command : t -> (string -> unit) -> string -> bool
+(** [run_command srv emit str] parses and executes one query, calling [emit]
+    with exactly one reply line.  Never raises: every failure — parse error,
+    [Invalid_argument], typed fault after retries, budget abort, even a
+    programming error — becomes an error reply.  Returns [false] when the
+    loop should stop ([quit], or a [crashed] machine fault). *)
+
+val run_batch : t -> (string -> unit) -> string -> bool
+(** One input line = one batch; multi-query batches share a scheduling
+    window ({!Em.Ctx.io_window}).  Exception-safe: a failing query inside
+    the window still closes it and the remaining queries of the batch run. *)
+
+val serve_channels : ?should_stop:(unit -> bool) -> t -> in_channel -> out_channel -> bool
+(** Serve lines from a channel until EOF (returns [true]: accept another
+    client), [quit]/crash (returns [false]), or [should_stop ()] turns true
+    (returns [false]; polled between lines and after interrupted reads, the
+    signal-handler hook for graceful shutdown). *)
+
+(** {2 JSON views} *)
+
+val greeting_json : t -> string
+val summary_json : t -> string
+val final_json : ?shutdown:string -> t -> string
+val json_escape : string -> string
+
+(** {2 Checkpoint state file} *)
+
+val checkpoint_now : t -> unit
+(** Save a session checkpoint and mirror it to the state file (if any) —
+    the [checkpoint] command, also used by signal-driven shutdown. *)
+
+val shutdown_checkpoint : t -> unit
+(** Graceful-shutdown persistence: take a final checkpoint and mirror the
+    state file — unless no store is attached (no-op) or the machine crashed
+    (a crashed process does not get to write; the pre-crash checkpoint is
+    the truth). *)
+
+val close : t -> unit
+(** Close the session and drop its cache pages.  The context stays open
+    (the caller owns it). *)

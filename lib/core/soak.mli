@@ -1,0 +1,72 @@
+(** Chaos soak harness: online sessions under scheduled kills and faults.
+
+    Runs the same seeded select/quantile stream twice over the same seeded
+    workload — once uninterrupted (the oracle), once with kills scheduled
+    between queries ([crash_after], 1-based query indices), both under the
+    identical every-k-splits checkpoint policy — and verifies the
+    crash-survivability contract end to end:
+
+    - the interrupted session's answers equal the oracle's;
+    - its total I/Os stay within the k-crash bound
+      [oracle + resume loads + k * (one checkpoint save + one re-sorted
+      memory load)] (the property the bench gates via [BENCH_soak.json]);
+    - [mem_peak <= M] holds through every recovery.
+
+    A kill drops the session object without closing it — process RAM dies,
+    the device and checkpoint region survive — then restores from the
+    attached store, exactly the failure [em_repro serve --restore] recovers
+    from across real processes.  With [fault_p > 0] the device additionally
+    runs under a seeded transient-fault plan with an armed retry policy, and
+    the comparison still holds deterministically (both runs consult the
+    identical per-I/O fault sequence). *)
+
+type config = {
+  n : int;
+  mem : int;
+  block : int;
+  disks : int;
+  backend : Em.Backend.spec option;
+  seed : int;  (** workload permutation and query-stream seed *)
+  queries : int;
+  crash_after : int list;  (** kill after these replies (1-based, between queries) *)
+  every_splits : int;  (** automatic checkpoint policy for both runs *)
+  fault_p : float;  (** per-I/O fault probability; 0 = clean *)
+  fault_seed : int;
+  fault_kinds : Em.Fault.kind list;  (** the seeded mix; default transient read+write *)
+  max_retries : int;  (** per-I/O and per-query retry budget *)
+}
+
+val default : n:int -> queries:int -> config
+(** The pinned small machine (M = 4096, B = 64, D = 1, sim backend,
+    seed 42), clean device, checkpoint every split, no crashes. *)
+
+type crash_record = {
+  after_query : int;
+  resume_load_ios : int;  (** metered ["resume"] reads this restore paid *)
+  leaves_restored : int;
+}
+
+type outcome = {
+  answers_match : bool;  (** interrupted answers = oracle answers *)
+  crashes : int;
+  oracle_ios : int;  (** uninterrupted total, saves included *)
+  chaos_ios : int;  (** interrupted total: saves + resumes included *)
+  saves : int;
+  loads : int;
+  save_ios : int;
+  load_ios : int;
+  resort_allowance : int;  (** blocks allowed per crash for redone work *)
+  allowed_ios : int;  (** the k-crash bound the gate compares against *)
+  within_bound : bool;  (** [chaos_ios <= allowed_ios] *)
+  retries : int;  (** metered retries of the interrupted run *)
+  mem_ok : bool;  (** [mem_peak <= M] in both runs *)
+  crash_log : crash_record list;  (** in schedule order *)
+}
+
+val run : ?on_crash:(crash_record -> unit) -> config -> outcome
+(** Run oracle then chaos twin and compare; [on_crash] observes each
+    kill/restore as it happens (transcript hooks). *)
+
+val spread_crashes : queries:int -> k:int -> int list
+(** [k] kill points spread evenly through the stream, never after the last
+    query. *)

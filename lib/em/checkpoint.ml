@@ -56,6 +56,10 @@ let save t ~words state =
   t.saves <- t.saves + 1;
   t.save_ios <- t.save_ios + n
 
+let install t ~words state =
+  t.slot <- Some state;
+  t.slot_words <- words
+
 let load t =
   match t.slot with
   | None -> None

@@ -21,6 +21,13 @@ val create : 'a Ctx.t -> 's t
 val save : 's t -> words:int -> 's -> unit
 (** Overwrite the slot; costs [ceil(words/B)] writes (at least one). *)
 
+val install : 's t -> words:int -> 's -> unit
+(** Seed the slot without charging any I/O.  Models state that is {e already
+    present} in the checkpoint region when the process starts — e.g. a serve
+    session resuming from a state file written by a previous incarnation.
+    The subsequent {!load} still pays its [ceil(words/B)] resume reads; only
+    the historical save cost (paid by the process that died) is elided. *)
+
 val load : 's t -> 's option
 (** The last saved state, charging [ceil(words/B)] reads (at least one);
     [None] — and no charge — if nothing was ever saved. *)

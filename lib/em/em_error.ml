@@ -4,6 +4,7 @@ type t =
   | Write_failed of { block : int; attempts : int }
   | Corrupt_block of { block : int; attempts : int }
   | Crashed of { after_ios : int }
+  | Budget_exceeded of { budget : int; spent : int }
 
 exception Error of t
 
@@ -31,6 +32,8 @@ let to_string = function
   | Corrupt_block { block; attempts } ->
       Printf.sprintf "block %d failed checksum verification (%d attempt(s))" block attempts
   | Crashed { after_ios } -> Printf.sprintf "machine crashed after %d I/Os" after_ios
+  | Budget_exceeded { budget; spent } ->
+      Printf.sprintf "I/O budget of %d exceeded (%d spent)" budget spent
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 let raise_error e = raise (Error e)

@@ -24,6 +24,12 @@ type t =
       (** Checksum verification kept failing: stored data is corrupt. *)
   | Crashed of { after_ios : int }
       (** The machine halted mid-run; only restartable drivers survive. *)
+  | Budget_exceeded of { budget : int; spent : int }
+      (** A caller-imposed I/O budget ran out mid-operation (see
+          {!Emalg.Online_select.set_io_budget}): the work already paid for is
+          kept, but the operation was aborted.  Never retried by
+          {!Resilient.with_retries} — re-running would spend the same budget
+          again. *)
 
 exception Error of t
 

@@ -5,6 +5,42 @@
    [Em_error.t] — nothing escapes half-handled.  Crashes are never caught
    here: only a restart driver can survive them. *)
 
+(* Operation-level retry: re-run a whole composite operation (e.g. one serve
+   query) when a typed failure escapes the per-I/O recovery above.  Each
+   retry is metered in [Stats.retries] and marked with a [Trace.Retry] event
+   (no extra I/O charge — the re-execution pays its own metered I/Os; any
+   backoff a real system would sleep through has no simulated cost).
+   Crashes are never retried (the process is gone) and neither are budget
+   aborts (re-running would burn the same budget again). *)
+
+let retryable = function
+  | Em_error.Crashed _ | Em_error.Budget_exceeded _ -> false
+  | Em_error.Io_fault _ | Em_error.Read_failed _ | Em_error.Write_failed _
+  | Em_error.Corrupt_block _ ->
+      true
+
+let error_block = function
+  | Em_error.Io_fault { block; _ }
+  | Em_error.Read_failed { block; _ }
+  | Em_error.Write_failed { block; _ }
+  | Em_error.Corrupt_block { block; _ } ->
+      block
+  | Em_error.Crashed _ | Em_error.Budget_exceeded _ -> -1
+
+let with_retries ?(max_retries = 3) ?on_retry d f =
+  let rec go attempt =
+    match f () with
+    | v -> v
+    | exception Em_error.Error e when retryable e && attempt <= max_retries ->
+        let s = Device.stats d in
+        s.Stats.retries <- s.Stats.retries + 1;
+        Trace.emit ~kind:Trace.Retry (Device.trace d) Trace.Read ~block:(error_block e)
+          ~phase:s.Stats.phase_stack;
+        (match on_retry with Some h -> h ~attempt e | None -> ());
+        go (attempt + 1)
+  in
+  go 1
+
 let read d id =
   match Device.recovery d with
   | None -> Device.read d id

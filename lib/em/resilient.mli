@@ -27,3 +27,21 @@
 
 val read : 'a Device.t -> int -> 'a array
 val write : 'a Device.t -> int -> 'a array -> unit
+
+val with_retries :
+  ?max_retries:int ->
+  ?on_retry:(attempt:int -> Em_error.t -> unit) ->
+  'a Device.t ->
+  (unit -> 'b) ->
+  'b
+(** [with_retries d f] runs [f], re-running it up to [max_retries] (default
+    3) more times when a typed {!Em_error.Error} escapes — the
+    operation-level analogue of the per-I/O loops above, for composite
+    operations whose partial progress is harmless to repeat (e.g. one online
+    query: refinement is monotone, so a re-run only redoes the unfinished
+    tail).  Each re-run is metered in [Stats.retries] and marked with a
+    {!Trace.Retry} event against the failing block; the re-execution's own
+    I/Os are charged as usual, so no backoff fiction is needed.
+    [Crashed] and [Budget_exceeded] are never retried.  [on_retry] observes
+    each recovery attempt (for logging / reply metadata).  When the budget
+    runs out the last error is re-raised. *)

@@ -5,7 +5,18 @@
    pairs from a distribution pass, or an owned sorted run.  Positions are
    attached on the way out of the raw input (Split_step.split_tagging) and
    stripped when a leaf is finally sorted, so duplicate keys resolve
-   positionally exactly like the batch algorithms. *)
+   positionally exactly like the batch algorithms.
+
+   Crash-survivability: because refinement is monotone (leaves only split,
+   sorted runs are final, the input is preserved), the whole session state
+   is a flat list of leaf handles plus four counters — a [snapshot].  A
+   snapshot saved through [Em.Checkpoint] stays valid as long as every
+   vector it references stays allocated, so while a checkpoint store is
+   attached the session defers the frees refinement would normally do
+   ([pending_free]) until the *next* save, at which point the store no
+   longer references them.  A crash between saves therefore loses at most
+   the refinement work since the last save (orphaning its blocks, like
+   [Restart.drive]'s crashed steps), never the saved tree. *)
 
 type query = Select of int | Quantile of float | Range of int * int
 
@@ -34,6 +45,19 @@ type 'a leaf =
 type 'a node = { lo : int; len : int; mutable state : 'a state }
 and 'a state = Leaf of 'a leaf | Split of 'a node array
 
+type 'a handle =
+  | H_raw
+  | H_unsorted of ('a * int) Em.Vec.t
+  | H_sorted of 'a Em.Vec.t
+
+type 'a snapshot = {
+  s_leaves : (int * int * 'a handle) list;
+  s_queries : int;
+  s_refine_ios : int;
+  s_answer_ios : int;
+  s_splits : int;
+}
+
 type 'a t = {
   cmp : 'a -> 'a -> int;
   ctx : 'a Em.Ctx.t;
@@ -47,26 +71,51 @@ type 'a t = {
   mutable splits : int;
   mutable touched : bool;  (* has any query refined or read the tree? *)
   mutable closed : bool;
+  (* checkpointing *)
+  mutable store : 'a snapshot Em.Checkpoint.t option;
+  mutable every_splits : int option;  (* automatic-save policy *)
+  mutable splits_since_save : int;
+  mutable dirty_since_save : bool;  (* any refinement since the last save? *)
+  mutable pending_free : (unit -> unit) list;
+  (* per-query I/O budget *)
+  mutable budget : int option;
+  mutable budget_base : Em.Stats.snapshot option;
 }
+
+let make_session ?batch_plan ?prefetch ?store ?every_splits cmp ctx v root
+    ~queries ~refine_ios ~answer_ios ~splits ~touched =
+  (match every_splits with
+  | Some k when k < 1 -> invalid_arg "Online_select: every_splits must be >= 1"
+  | _ -> ());
+  {
+    cmp;
+    ctx;
+    input = v;
+    root;
+    batch_plan;
+    prefetch;
+    queries;
+    refine_ios;
+    answer_ios;
+    splits;
+    touched;
+    closed = false;
+    store;
+    every_splits;
+    splits_since_save = 0;
+    dirty_since_save = false;
+    pending_free = [];
+    budget = None;
+    budget_base = None;
+  }
 
 let open_session ?batch_plan ?prefetch cmp ctx v =
   if not (Em.Vec.ctx v == ctx) then
     invalid_arg "Online_select.open_session: vector does not live on ctx";
   Layout.require_min_geometry ctx;
-  {
-    cmp;
-    ctx;
-    input = v;
-    root = { lo = 0; len = Em.Vec.length v; state = Leaf Raw };
-    batch_plan;
-    prefetch;
-    queries = 0;
-    refine_ios = 0;
-    answer_ios = 0;
-    splits = 0;
-    touched = false;
-    closed = false;
-  }
+  make_session ?batch_plan ?prefetch cmp ctx v
+    { lo = 0; len = Em.Vec.length v; state = Leaf Raw }
+    ~queries:0 ~refine_ios:0 ~answer_ios:0 ~splits:0 ~touched:false
 
 let ensure_open t =
   if t.closed then invalid_arg "Online_select: session is closed"
@@ -95,6 +144,164 @@ let fold_leaves t f init =
   in
   go init t.root
 
+(* ---- checkpointing ---- *)
+
+let snapshot t =
+  ensure_open t;
+  let leaves =
+    List.rev
+      (fold_leaves t
+         (fun acc node st ->
+           let h =
+             match st with
+             | Raw -> H_raw
+             | Unsorted tv -> H_unsorted tv
+             | Sorted sv -> H_sorted sv
+           in
+           (node.lo, node.len, h) :: acc)
+         [])
+  in
+  {
+    s_leaves = leaves;
+    s_queries = t.queries;
+    s_refine_ios = t.refine_ios;
+    s_answer_ios = t.answer_ios;
+    s_splits = t.splits;
+  }
+
+(* Serialized size of a snapshot in words: handles only — per leaf its
+   bounds/kind plus one word per referenced block id, plus the counters.
+   Bulk data is never written; its cost was already paid on the device. *)
+let snapshot_words s =
+  let handle_blocks = function
+    | H_raw -> 0
+    | H_unsorted tv -> Em.Vec.num_blocks tv
+    | H_sorted sv -> Em.Vec.num_blocks sv
+  in
+  List.fold_left (fun acc (_, _, h) -> acc + 3 + handle_blocks h) 5 s.s_leaves
+
+(* While a checkpoint store is attached, its saved snapshot references the
+   pre-refinement tree, so vectors refinement replaces must outlive the next
+   save; without a store, free immediately (the historical behaviour — the
+   free order stays bit-identical for golden runs). *)
+let defer_free t f =
+  match t.store with None -> f () | Some _ -> t.pending_free <- f :: t.pending_free
+
+let flush_pending t =
+  let fs = t.pending_free in
+  t.pending_free <- [];
+  List.iter (fun f -> f ()) fs
+
+let checkpoint t =
+  ensure_open t;
+  let store =
+    match t.store with
+    | Some s -> s
+    | None ->
+        let s = Em.Checkpoint.create t.ctx in
+        t.store <- Some s;
+        s
+  in
+  let snap = snapshot t in
+  Em.Checkpoint.save store ~words:(snapshot_words snap) snap;
+  (* Make the save a real durability point even on write-back backends: the
+     buffer pool's dirty pages and any file backend are flushed (no counted
+     I/O — durability is outside the Aggarwal–Vitter model). *)
+  Em.Ctx.flush t.ctx;
+  (* The fresh snapshot references only the current tree, so everything
+     orphaned since the previous save can finally go. *)
+  flush_pending t;
+  t.splits_since_save <- 0;
+  t.dirty_since_save <- false
+
+let enable_checkpoints ?every_splits t =
+  ensure_open t;
+  (match every_splits with
+  | Some k when k < 1 -> invalid_arg "Online_select: every_splits must be >= 1"
+  | _ -> ());
+  t.every_splits <- every_splits;
+  (* Establish a restorable baseline immediately: restore is valid from the
+     moment checkpointing is enabled. *)
+  checkpoint t
+
+let checkpoint_store t = t.store
+
+let restore ?batch_plan ?prefetch ?every_splits cmp ctx v store =
+  if not (Em.Vec.ctx v == ctx) then
+    invalid_arg "Online_select.restore: vector does not live on ctx";
+  Layout.require_min_geometry ctx;
+  match Em.Checkpoint.load store with
+  | None -> invalid_arg "Online_select.restore: empty checkpoint store"
+  | Some snap ->
+      let n = Em.Vec.length v in
+      (* The handles must partition [0, n) in rank order and carry payloads
+         of matching length; a raw leaf can only be the pristine root. *)
+      let expect = ref 0 in
+      List.iter
+        (fun (lo, len, h) ->
+          if lo <> !expect || len <= 0 then
+            invalid_arg "Online_select.restore: leaves do not partition the input";
+          (match h with
+          | H_raw ->
+              if not (lo = 0 && len = n) then
+                invalid_arg "Online_select.restore: raw leaf must span the input"
+          | H_unsorted tv ->
+              if Em.Vec.length tv <> len then
+                invalid_arg "Online_select.restore: handle length mismatch"
+          | H_sorted sv ->
+              if Em.Vec.length sv <> len then
+                invalid_arg "Online_select.restore: handle length mismatch");
+          expect := !expect + len)
+        snap.s_leaves;
+      if !expect <> n then
+        invalid_arg "Online_select.restore: leaves do not partition the input";
+      let leaf_of_handle = function
+        | H_raw -> Raw
+        | H_unsorted tv -> Unsorted tv
+        | H_sorted sv -> Sorted sv
+      in
+      let root =
+        match snap.s_leaves with
+        | [ (_, _, h) ] -> { lo = 0; len = n; state = Leaf (leaf_of_handle h) }
+        | leaves ->
+            (* One flat level is enough: [find_leaf] only needs a partition
+               in rank order, not the historical split hierarchy. *)
+            let children =
+              Array.of_list
+                (List.map
+                   (fun (lo, len, h) -> { lo; len; state = Leaf (leaf_of_handle h) })
+                   leaves)
+            in
+            { lo = 0; len = n; state = Split children }
+      in
+      let pristine =
+        match snap.s_leaves with [ (_, _, H_raw) ] -> true | _ -> false
+      in
+      make_session ?batch_plan ?prefetch ~store ?every_splits cmp ctx v root
+        ~queries:snap.s_queries ~refine_ios:snap.s_refine_ios
+        ~answer_ios:snap.s_answer_ios ~splits:snap.s_splits
+        ~touched:(snap.s_queries > 0 || not pristine)
+
+(* ---- per-query I/O budget ---- *)
+
+let set_io_budget t budget =
+  (match budget with
+  | Some b when b < 1 -> invalid_arg "Online_select: io budget must be >= 1"
+  | _ -> ());
+  t.budget <- budget
+
+(* Checked between refinement steps (each step = one distribution pass or
+   one leaf sort), so a single step can overshoot before the abort lands;
+   completed steps are kept — monotone refinement means the aborted query's
+   work still benefits every later query. *)
+let check_budget t =
+  match (t.budget, t.budget_base) with
+  | Some budget, Some base ->
+      let spent = Em.Stats.ios_since t.ctx.Em.Ctx.stats base in
+      if spent > budget then
+        Em.Em_error.raise_error (Em.Em_error.Budget_exceeded { budget; spent })
+  | _ -> ()
+
 (* ---- refinement ---- *)
 
 (* Replace a leaf by the children a split step produced, assigning rank
@@ -115,7 +322,12 @@ let adopt_buckets t node buckets =
   if !offs <> node.lo + node.len then
     invalid_arg "Online_select: internal error (split lost elements)";
   node.state <- Split children;
-  t.splits <- t.splits + 1
+  t.splits <- t.splits + 1;
+  t.splits_since_save <- t.splits_since_save + 1;
+  t.dirty_since_save <- true;
+  (* An aborted (faulted / over-budget) query that got this far has still
+     refined the tree: the session is no longer pristine. *)
+  t.touched <- true
 
 (* Sort the whole (small) raw input in one memory load.  The stable sort
    gives positional tie-breaking without materialising tags. *)
@@ -125,7 +337,9 @@ let sort_raw t node =
         Mem_sort.sort t.cmp a;
         Scan.vec_of_array_io t.ctx a)
   in
-  node.state <- Leaf (Sorted sorted)
+  node.state <- Leaf (Sorted sorted);
+  t.dirty_since_save <- true;
+  t.touched <- true
 
 let split_raw t node =
   let buckets =
@@ -148,17 +362,32 @@ let sort_unsorted t node tv =
           t.ctx
           (fun w -> Array.iter (fun (x, _) -> Em.Writer.push w x) pairs))
   in
-  Em.Vec.free tv;
-  node.state <- Leaf (Sorted sorted)
+  defer_free t (fun () -> Em.Vec.free tv);
+  node.state <- Leaf (Sorted sorted);
+  t.dirty_since_save <- true;
+  t.touched <- true
 
 let split_unsorted t node tv =
   let tcmp = Order.tagged t.cmp in
+  (* Without a checkpoint store [split] consumes (frees) [tv] exactly as it
+     always did; with one, [tv] is preserved through the pass and freed at
+     the next save (a crash mid-split or before that save restores a tree
+     that still references it).  Pairs are pairwise distinct. *)
+  let consume = t.store = None in
   let buckets =
-    (* [split] consumes (frees) [tv]; pairs are pairwise distinct. *)
-    Split_step.split tcmp tv
+    Split_step.split ~consume tcmp tv
       ~target_buckets:(Split_step.default_target t.ctx ~n:node.len)
   in
+  if not consume then t.pending_free <- (fun () -> Em.Vec.free tv) :: t.pending_free;
   adopt_buckets t node buckets
+
+(* Automatic checkpointing: with an every-k-splits policy armed, save as
+   soon as k splits accumulate (bounding the in-flight loss of one long
+   refining query). *)
+let maybe_policy_save t =
+  match (t.store, t.every_splits) with
+  | Some _, Some k when t.splits_since_save >= k -> checkpoint t
+  | _ -> ()
 
 (* Refine until the leaf containing rank position [p] (0-based) is a sorted
    run, and return that leaf.  Each iteration strictly shrinks the interval
@@ -168,12 +397,16 @@ let rec refine_to t p =
   match node.state with
   | Leaf (Sorted _) -> node
   | Leaf Raw ->
+      check_budget t;
       if node.len <= Layout.big_load t.ctx then sort_raw t node
       else split_raw t node;
+      maybe_policy_save t;
       refine_to t p
   | Leaf (Unsorted tv) ->
+      check_budget t;
       if Em.Vec.length tv <= Layout.big_load t.ctx then sort_unsorted t node tv
       else split_unsorted t node tv;
+      maybe_policy_save t;
       refine_to t p
   | Split _ -> refine_to t p (* unreachable: find_leaf returns leaves *)
 
@@ -235,8 +468,9 @@ let query t q =
   ensure_open t;
   let stats = t.ctx.Em.Ctx.stats in
   let snap = Em.Stats.snapshot stats in
+  t.budget_base <- Some snap;
   let splits0 = t.splits in
-  let values, refine =
+  match
     Em.Phase.with_label t.ctx "online_select" (fun () ->
         let answer_one p =
           Em.Phase.with_label t.ctx "refine" (fun () -> ignore (refine_to t p));
@@ -263,14 +497,35 @@ let query t q =
                   answer_range t (a - 1) (bnd - 1))
             in
             (vs, refine))
-  in
-  let cost = Em.Stats.delta stats snap in
-  let answer_ios = Em.Stats.delta_ios cost - Em.Stats.delta_ios refine in
-  t.queries <- t.queries + 1;
-  t.refine_ios <- t.refine_ios + Em.Stats.delta_ios refine;
-  t.answer_ios <- t.answer_ios + answer_ios;
-  t.touched <- true;
-  { values; cost; refine; answer_ios; splits = t.splits - splits0 }
+  with
+  | values, refine ->
+      t.budget_base <- None;
+      let pre_save = Em.Stats.delta stats snap in
+      let answer_ios = Em.Stats.delta_ios pre_save - Em.Stats.delta_ios refine in
+      t.queries <- t.queries + 1;
+      t.refine_ios <- t.refine_ios + Em.Stats.delta_ios refine;
+      t.answer_ios <- t.answer_ios + answer_ios;
+      t.touched <- true;
+      (* End-of-query durability: with the automatic policy armed, any
+         refinement this query did is checkpointed before the reply is
+         emitted — counters updated first, so the saved snapshot records the
+         completed query and a crash between queries loses nothing.  The
+         save's writes land in [cost] but in neither [refine] nor
+         [answer_ios]; checkpoint totals live in the store's own meters. *)
+      (match (t.store, t.every_splits) with
+      | Some _, Some _ when t.dirty_since_save ->
+          Em.Phase.with_label t.ctx "online_select" (fun () -> checkpoint t)
+      | _ -> ());
+      let cost = Em.Stats.delta stats snap in
+      { values; cost; refine; answer_ios; splits = t.splits - splits0 }
+  | exception e ->
+      (* The paid-for partial work (monotone refinement) is kept and
+         accounted as refinement; the query itself did not complete, so the
+         query counter is untouched. *)
+      t.budget_base <- None;
+      let d = Em.Stats.delta stats snap in
+      t.refine_ios <- t.refine_ios + Em.Stats.delta_ios d;
+      raise e
 
 let select t k = (query t (Select k)).values.(0)
 
@@ -313,6 +568,9 @@ let intervals t =
 let close ?(drop_cache = false) t =
   if not t.closed then begin
     t.closed <- true;
+    (* Deferred frees reference vectors no longer in the tree; they go too
+       (a snapshot left in the store is invalidated by closing). *)
+    flush_pending t;
     let rec free_node node =
       match node.state with
       | Leaf Raw -> ()

@@ -31,6 +31,19 @@
     [cached] backend the hot intervals ride the shared buffer pool; pass
     [~drop_cache:true] to {!close} to also evict the session's pages.
 
+    {b Crash survivability.}  Monotone refinement makes the whole session
+    state a flat list of {e handles}: leaf intervals with the vectors
+    backing them, plus four counters — never bulk data.  {!snapshot}
+    captures it, {!checkpoint} persists it through {!Em.Checkpoint} (saves
+    cost [ceil(words/B)] metered writes where [words] counts handles only),
+    and {!restore} rebuilds an equivalent session from the store after a
+    crash, paying the metered resume read.  While a store is attached the
+    session defers the frees refinement would normally perform until the
+    next save, so the saved snapshot's handles stay valid at every instant —
+    a crash loses at most the (orphaned) refinement work since the last
+    save.  With no store attached, nothing changes: free timing, costs and
+    traces are bit-identical to the historical behaviour.
+
     Optional arguments follow the library-wide canonical order
     [?batch_plan ?prefetch] before the comparator (see DESIGN.md). *)
 
@@ -106,6 +119,93 @@ val drain : 'a t -> ranks:int Em.Vec.t -> 'a Em.Vec.t
     bit-identical I/Os to the historical batch path.  Otherwise streams the
     ranks through {!query}, reusing whatever refinement earlier queries
     already paid for. *)
+
+(** {2 Checkpointing}
+
+    Handles are live on-device vectors: a snapshot is only meaningful inside
+    the process (and against the device family) that created it.  Treat the
+    exposed representation as read-only — it is transparent so that callers
+    (e.g. the serve state file) can serialize the payloads via
+    {!Em.Vec.Oracle} and rebuild snapshots in a fresh process. *)
+
+type 'a handle =
+  | H_raw  (** the preserved input itself; pristine root only *)
+  | H_unsorted of ('a * int) Em.Vec.t  (** position-tagged bucket *)
+  | H_sorted of 'a Em.Vec.t  (** final sorted run *)
+
+type 'a snapshot = {
+  s_leaves : (int * int * 'a handle) list;
+      (** [(lo, len, handle)] per leaf, in rank order; a partition of
+          [0 .. n-1] *)
+  s_queries : int;
+  s_refine_ios : int;
+  s_answer_ios : int;
+  s_splits : int;
+}
+
+val snapshot : 'a t -> 'a snapshot
+(** The session's current state as handles; costs no I/O (the tree skeleton
+    is in memory, the payloads stay on the device). *)
+
+val snapshot_words : 'a snapshot -> int
+(** Serialized size charged by a save: [O(leaves + referenced blocks)]
+    words, independent of [n]. *)
+
+val enable_checkpoints : ?every_splits:int -> 'a t -> unit
+(** Attach a checkpoint store (creating it on first use) and save a
+    baseline immediately, so {!restore} is valid from this point on.  With
+    [every_splits = k], additionally saves automatically: mid-refinement
+    once [k] splits accumulate, and at the end of every query that refined
+    the tree — so once a reply is emitted, the refinement it paid for is
+    durable, and a crash between queries redoes nothing.  Without
+    [every_splits] only explicit {!checkpoint} calls (and the baseline)
+    save.
+    @raise Invalid_argument if [every_splits < 1]. *)
+
+val checkpoint : 'a t -> unit
+(** Save the current snapshot now, creating the store if none is attached
+    yet.  Charges [ceil(snapshot_words/B)] writes under a ["checkpoint"]
+    phase, flushes write-back backends (durability point), and releases the
+    vectors deferred since the previous save. *)
+
+val checkpoint_store : 'a t -> 'a snapshot Em.Checkpoint.t option
+(** The attached store, for crash/restore drivers and introspection
+    ([Em.Checkpoint.saves]/[save_ios]/[loads]/[load_ios]). *)
+
+val restore :
+  ?batch_plan:(ranks:int Em.Vec.t -> 'a Em.Vec.t) ->
+  ?prefetch:int ->
+  ?every_splits:int ->
+  ('a -> 'a -> int) ->
+  'a Em.Ctx.t ->
+  'a Em.Vec.t ->
+  'a snapshot Em.Checkpoint.t ->
+  'a t
+(** [restore cmp ctx v store] rebuilds a session over the preserved input
+    [v] from the store's saved snapshot, paying the metered resume read
+    ([Em.Checkpoint.load], ["resume"] phase).  The restored session answers
+    every query exactly as the lost one would have: same values, same leaf
+    partition, same counters, and — because sorted runs and buckets are
+    re-referenced, not rebuilt — the same subsequent query costs.  The
+    restored session keeps checkpointing on the same [store] under the given
+    [every_splits] policy.  In a fresh process, first rebuild the snapshot's
+    vectors (e.g. from a serialized state file via {!Em.Vec.of_array}) and
+    seed the store with {!Em.Checkpoint.install}.
+    @raise Invalid_argument if the store is empty, the leaves do not
+    partition [0 .. length v - 1], or a handle's length disagrees with its
+    interval. *)
+
+(** {2 Per-query I/O budget} *)
+
+val set_io_budget : 'a t -> int option -> unit
+(** Bound the metered I/Os any single query may spend ([None] = unlimited,
+    the default).  The budget is checked between refinement steps (one
+    distribution pass or one leaf sort each), so a query may overshoot by
+    at most one step before aborting with
+    [Em_error.Error (Budget_exceeded _)].  Aborted queries keep the
+    refinement already paid for — monotone refinement means later queries
+    still benefit — and account it in the session's [refine_ios].
+    @raise Invalid_argument if the budget is [< 1]. *)
 
 val summary : 'a t -> summary
 val length : 'a t -> int

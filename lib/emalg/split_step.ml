@@ -23,7 +23,7 @@ let default_target ctx ~n =
   in
   max 2 (min (Sample_splitters.max_k ctx) (min (max 2 (m / 8)) (max 2 wanted)))
 
-let split cmp v ~target_buckets =
+let split ?(consume = true) cmp v ~target_buckets =
   let ctx = Em.Vec.ctx v in
   Layout.require_min_geometry ctx;
   let n = Em.Vec.length v in
@@ -35,7 +35,7 @@ let split cmp v ~target_buckets =
     let less, equal_count, greater = Distribute.three_way cmp v ~pivot:median in
     if equal_count <> 1 then
       invalid_arg "Split_step.split: duplicate keys (tag elements first)";
-    Em.Vec.free v;
+    if consume then Em.Vec.free v;
     let middle = Em.Writer.with_writer ctx (fun w -> Em.Writer.push w median) in
     [| less; middle; greater |]
   end
@@ -43,7 +43,7 @@ let split cmp v ~target_buckets =
     Log.debug (fun m -> m "split: n=%d into %d buckets" n k);
     let pivots = Sample_splitters.find cmp v ~k in
     Em.Ctx.with_words ctx (k - 1) (fun () ->
-        Distribute.by_pivots_deep cmp ~pivots ~owned:true v)
+        Distribute.by_pivots_deep cmp ~pivots ~owned:consume v)
   end
 
 (* One inline-tagged distribution pass: route each raw element, paired with

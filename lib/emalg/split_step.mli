@@ -7,14 +7,22 @@
     where the sampling bound is useless (M barely above 4B with huge N), it
     falls back to an exact median split via {!Em_select}, which always
     halves.  The input must have pairwise-distinct keys (tag with positions
-    if necessary) and is always consumed (freed).
+    if necessary) and by default is consumed (freed); pass [~consume:false]
+    to preserve it — the caller then owns the free.  Preserving the input
+    makes a failed split harmlessly repeatable (nothing of the input was
+    lost on the unwind) and lets checkpointed sessions keep a saved snapshot
+    referencing it valid until their next save ({!Online_select}).
 
     Returned buckets are in ascending value order; concatenating them is a
     permutation of the input.  Every bucket is strictly smaller than the
     input whenever the input has at least two elements. *)
 
 val split :
-  ('a -> 'a -> int) -> 'a Em.Vec.t -> target_buckets:int -> 'a Em.Vec.t array
+  ?consume:bool ->
+  ('a -> 'a -> int) ->
+  'a Em.Vec.t ->
+  target_buckets:int ->
+  'a Em.Vec.t array
 
 val split_tagging :
   ('a -> 'a -> int) -> 'a Em.Vec.t -> target_buckets:int -> ('a * int) Em.Vec.t array

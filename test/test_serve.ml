@@ -1,0 +1,322 @@
+(* The serve-session engine (Core.Serve): exception safety of the batch
+   window, typed error replies (validation, faults-after-retries, budget),
+   reply determinism under a fixed fault plan, malformed-input floods, and
+   the state-file round trip behind `em_repro serve --restore`. *)
+
+module Os = Emalg.Online_select
+
+let n = 6_000
+let mem = 1_024
+let block = 16
+
+let meta =
+  {
+    Core.Serve.m_n = n;
+    m_mem = mem;
+    m_block = block;
+    m_disks = 1;
+    m_workload = "random-perm";
+    m_seed = 5;
+  }
+
+let make_server ?checkpoint_every ?io_budget ?max_retries ?state_path ?restore () =
+  let ctx : int Em.Ctx.t = Em.Ctx.create (Em.Params.create ~mem ~block) in
+  let v = Em.Vec.of_array ctx (Tu.random_perm ~seed:5 n) in
+  let srv =
+    Core.Serve.create ?checkpoint_every ?io_budget ?max_retries ?state_path ?restore ~meta
+      ctx v
+  in
+  (ctx, srv)
+
+let teardown ctx srv =
+  Core.Serve.close srv;
+  Em.Ctx.close ctx
+
+(* Collect emitted reply lines through a buffer-backed [emit]. *)
+let collector () =
+  let lines = ref [] in
+  ((fun line -> lines := line :: !lines), fun () -> List.rev !lines)
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let contains ~sub s =
+  let ls = String.length s and lsub = String.length sub in
+  let rec go i = i + lsub <= ls && (String.sub s i lsub = sub || go (i + 1)) in
+  lsub = 0 || go 0
+
+(* ---- satellite: a query failing inside the batch window ---- *)
+
+(* A budget abort raises out of [Online_select.query] inside the batch's
+   [Ctx.io_window]; the window must close, the failing query must still
+   produce an error reply, and the rest of the batch — and the server —
+   must keep answering. *)
+let test_window_error_reply () =
+  let ctx, srv = make_server ~io_budget:3 () in
+  let emit, emitted = collector () in
+  let ok = Core.Serve.run_batch srv emit "select 3000;stats" in
+  Tu.check_bool "batch survives the failed query" true ok;
+  Tu.check_int "scheduling window closed after the raise" 0
+    ctx.Em.Ctx.stats.Em.Stats.window_depth;
+  (match emitted () with
+  | [ err; stats ] ->
+      Tu.check_bool "failed query replied with budget_exceeded" true
+        (has_prefix ~prefix:"{\"error\":\"budget_exceeded\"" err);
+      Tu.check_bool "budget reply carries the budget" true (contains ~sub:"\"budget\":3" err);
+      Tu.check_bool "rest of the batch still answered" true
+        (has_prefix ~prefix:"{\"session\":" stats)
+  | lines -> Alcotest.failf "expected 2 replies, got %d" (List.length lines));
+  (* Lift the budget: the very same query must now succeed — the server
+     loop never died. *)
+  Os.set_io_budget (Core.Serve.session srv) None;
+  let emit2, emitted2 = collector () in
+  Tu.check_bool "server keeps serving" true (Core.Serve.run_batch srv emit2 "select 3000");
+  (match emitted2 () with
+  | [ r ] -> Tu.check_bool "query answered after the error" true (contains ~sub:"\"values\":[2999]" r)
+  | _ -> Alcotest.fail "expected 1 reply");
+  teardown ctx srv
+
+(* ---- satellite: quantile/range argument validation ---- *)
+
+let test_parse_validation () =
+  let err s =
+    match Core.Serve.parse_command s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%S should be rejected at parse time" s
+  in
+  let ok s =
+    match Core.Serve.parse_command s with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.failf "%S should parse, got %s" s msg
+  in
+  List.iter err
+    [
+      "quantile nan";
+      "quantile -nan";
+      "quantile inf";
+      "quantile -inf";
+      "quantile 0";
+      "quantile 0.0";
+      "quantile -0.25";
+      "quantile 1.5";
+      "quantile";
+      "quantile x";
+      "range 9 3";
+      "range 3";
+      "range a b";
+      "select";
+      "select 1.5";
+      "";
+      "   ";
+      "bogus 3";
+    ];
+  List.iter ok
+    [ "quantile 1"; "quantile 0.5"; "quantile 1e-9"; "range 3 9"; "range 4 4"; "select 1" ]
+
+(* Malformed-line flood: every garbage line gets exactly one error reply and
+   the session is untouched (no query ever reaches it). *)
+let test_malformed_flood () =
+  let ctx, srv = make_server () in
+  let emit, emitted = collector () in
+  let rng = Tu.rng 99 in
+  for i = 0 to 199 do
+    let junk =
+      match i mod 5 with
+      | 0 -> Printf.sprintf "garbage %d" (Tu.next_int rng 1000)
+      | 1 -> "quantile nan"
+      | 2 -> "range 9 3"
+      | 3 -> String.make (1 + Tu.next_int rng 40) ';'
+      | _ -> "select x\"y\\z"
+    in
+    ignore (Core.Serve.run_batch srv emit junk)
+  done;
+  Tu.check_bool "every reply is an error" true
+    (List.for_all (has_prefix ~prefix:"{\"error\":") (emitted ()));
+  Tu.check_int "window closed" 0 ctx.Em.Ctx.stats.Em.Stats.window_depth;
+  Tu.check_int "no query reached the session" 0 (Os.summary (Core.Serve.session srv)).Os.queries;
+  let emit2, emitted2 = collector () in
+  ignore (Core.Serve.run_batch srv emit2 "select 17");
+  (match emitted2 () with
+  | [ r ] -> Tu.check_bool "real query still answered" true (contains ~sub:"\"values\":[16]" r)
+  | _ -> Alcotest.fail "expected 1 reply");
+  teardown ctx srv
+
+(* ---- typed fault replies, deterministic under a fixed plan ---- *)
+
+let faulted_transcript () =
+  let ctx, srv = make_server ~max_retries:2 () in
+  Em.Ctx.arm ~policy:{ Em.Device.default_policy with Em.Device.max_retries = 2 } ctx;
+  Em.Ctx.inject ctx (Em.Fault.seeded ~seed:9 ~p:1.0 [ Em.Fault.Permanent_read ]);
+  let emit, emitted = collector () in
+  ignore (Core.Serve.run_batch srv emit "select 3000;stats");
+  ignore (Core.Serve.run_batch srv emit "quantile 0.5");
+  let lines = emitted () in
+  Tu.check_int "window closed despite faults" 0 ctx.Em.Ctx.stats.Em.Stats.window_depth;
+  teardown ctx srv;
+  lines
+
+let test_fault_reply_determinism () =
+  let a = faulted_transcript () in
+  let b = faulted_transcript () in
+  Tu.check_bool "two runs under the same fault plan emit identical replies" true (a = b);
+  match a with
+  | [ q1; stats; q2 ] ->
+      Tu.check_bool "faulted query replied with a typed code" true
+        (has_prefix ~prefix:"{\"error\":\"read_failed\"" q1
+        || has_prefix ~prefix:"{\"error\":\"io_fault\"" q1);
+      Tu.check_bool "reply counts the query-level retries" true
+        (contains ~sub:"\"retries\":2" q1);
+      Tu.check_bool "server survived to answer stats" true
+        (has_prefix ~prefix:"{\"session\":" stats);
+      Tu.check_bool "second faulted query also typed" true (contains ~sub:"\"error\"" q2)
+  | lines -> Alcotest.failf "expected 3 replies, got %d" (List.length lines)
+
+(* ---- budget aborts keep monotone refinement ---- *)
+
+let test_budget_keeps_refinement () =
+  let ctx, srv = make_server ~io_budget:4 () in
+  let emit, emitted = collector () in
+  let rec drive tries =
+    if tries > 500 then Alcotest.fail "budgeted query never completed";
+    ignore (Core.Serve.run_batch srv emit "select 3000");
+    let last = List.hd (List.rev (emitted ())) in
+    if has_prefix ~prefix:"{\"error\":\"budget_exceeded\"" last then drive (tries + 1)
+    else last
+  in
+  let final = drive 0 in
+  Tu.check_bool "query eventually completes under a tiny budget" true
+    (contains ~sub:"\"values\":[2999]" final);
+  let all = emitted () in
+  Tu.check_bool "at least one budget abort happened first" true
+    (List.exists (has_prefix ~prefix:"{\"error\":\"budget_exceeded\"") all);
+  (* Each abort kept its refinement: total attempts stay far below what
+     re-doing the work from scratch every time would need. *)
+  Tu.check_bool "monotone refinement bounds the attempts" true (List.length all < 50);
+  let sum = Os.summary (Core.Serve.session srv) in
+  Tu.check_bool "aborted refinement accounted in the session" true (sum.Os.refine_ios > 0);
+  Tu.check_int "aborted queries not counted as answered" 1 sum.Os.queries;
+  teardown ctx srv
+
+(* ---- crashed machine halts the loop, state file survives ---- *)
+
+let test_crash_halts_loop () =
+  let state = Filename.temp_file "serve_state" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove state with Sys_error _ -> ())
+    (fun () ->
+      let ctx, srv = make_server ~checkpoint_every:2 ~state_path:state () in
+      let emit, emitted = collector () in
+      ignore (Core.Serve.run_batch srv emit "select 3000");
+      let bytes_before = In_channel.with_open_bin state In_channel.input_all in
+      Em.Ctx.arm ctx;
+      Em.Ctx.inject ctx (Em.Fault.every_nth ~n:1 Em.Fault.Crash);
+      let ok = Core.Serve.run_batch srv emit "select 17" in
+      Tu.check_bool "crash stops the serve loop" true (not ok);
+      Tu.check_bool "crash flagged on the server" true (Core.Serve.crashed srv);
+      let last = List.hd (List.rev (emitted ())) in
+      Tu.check_bool "crash replied with its typed code" true
+        (has_prefix ~prefix:"{\"error\":\"crashed\"" last);
+      (* A crashed process does not get to write: the shutdown path must
+         leave the last good state file untouched. *)
+      Core.Serve.shutdown_checkpoint srv;
+      let bytes_after = In_channel.with_open_bin state In_channel.input_all in
+      Tu.check_bool "state file untouched after the crash" true (bytes_before = bytes_after);
+      teardown ctx srv)
+
+(* ---- state-file round trip (the --restore path, in-process) ---- *)
+
+let test_state_file_round_trip () =
+  let state = Filename.temp_file "serve_state" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove state with Sys_error _ -> ())
+    (fun () ->
+      let ctx1, srv1 = make_server ~checkpoint_every:2 ~state_path:state () in
+      let emit, _ = collector () in
+      List.iter
+        (fun line -> ignore (Core.Serve.run_batch srv1 emit line))
+        [ "select 3000"; "quantile 0.1"; "select 17;range 40 45" ];
+      Core.Serve.shutdown_checkpoint srv1;
+      let intervals1 = Os.intervals (Core.Serve.session srv1) in
+      let summary1 = Os.summary (Core.Serve.session srv1) in
+      (* The dead process's RAM is gone; a fresh server resumes from the
+         file alone. *)
+      let ctx2, srv2 = make_server ~state_path:state ~restore:true () in
+      Tu.check_bool "server restored from the state file" true (Core.Serve.restored srv2);
+      Tu.check_bool "leaf partition survives the process boundary" true
+        (intervals1 = Os.intervals (Core.Serve.session srv2));
+      let summary2 = Os.summary (Core.Serve.session srv2) in
+      Tu.check_int "queries counter survives" summary1.Os.queries summary2.Os.queries;
+      Tu.check_int "refine_ios counter survives" summary1.Os.refine_ios summary2.Os.refine_ios;
+      Tu.check_int "answer_ios counter survives" summary1.Os.answer_ios summary2.Os.answer_ios;
+      Tu.check_int "splits counter survives" summary1.Os.splits summary2.Os.splits;
+      (* Refinement paid before the death is still paid: the repeated query
+         is answered from the restored sorted run at lookup cost. *)
+      let e1, got1 = collector () in
+      ignore (Core.Serve.run_batch srv1 e1 "select 3000");
+      let e2, got2 = collector () in
+      ignore (Core.Serve.run_batch srv2 e2 "select 3000");
+      Tu.check_bool "restored reply byte-identical to the survivor's" true
+        (got1 () = got2 ());
+      Tu.check_bool "restored repeat query costs lookup only" true
+        (contains ~sub:"\"refine_ios\":0" (List.hd (got2 ())));
+      teardown ctx1 srv1;
+      teardown ctx2 srv2)
+
+let test_state_file_mismatch () =
+  let state = Filename.temp_file "serve_state" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove state with Sys_error _ -> ())
+    (fun () ->
+      let ctx1, srv1 = make_server ~state_path:state () in
+      let emit, _ = collector () in
+      ignore (Core.Serve.run_batch srv1 emit "checkpoint");
+      teardown ctx1 srv1;
+      let ctx2 : int Em.Ctx.t = Em.Ctx.create (Em.Params.create ~mem ~block) in
+      let v2 = Em.Vec.of_array ctx2 (Tu.random_perm ~seed:6 n) in
+      (match
+         Core.Serve.create ~state_path:state ~restore:true
+           ~meta:{ meta with Core.Serve.m_seed = 6 }
+           ctx2 v2
+       with
+      | _ -> Alcotest.fail "restore must refuse a state file for another seed"
+      | exception Failure msg ->
+          Tu.check_bool "mismatch error names the offending field" true
+            (contains ~sub:"seed" msg));
+      Em.Ctx.close ctx2)
+
+(* serve_channels: quit stops with [false], should_stop preempts reads. *)
+let test_serve_channels_stop () =
+  let ctx, srv = make_server () in
+  let drive ~should_stop script =
+    let rd, wr = Unix.pipe () in
+    let ocw = Unix.out_channel_of_descr wr in
+    output_string ocw script;
+    close_out ocw;
+    let ic = Unix.in_channel_of_descr rd in
+    let out = open_out Filename.null in
+    Fun.protect
+      ~finally:(fun () ->
+        close_in ic;
+        close_out out)
+      (fun () -> Core.Serve.serve_channels ~should_stop srv ic out)
+  in
+  Tu.check_bool "quit ends the client with stop" false
+    (drive ~should_stop:(fun () -> false) "select 17\nquit\n");
+  Tu.check_bool "EOF keeps the server accepting" true
+    (drive ~should_stop:(fun () -> false) "select 18\n");
+  Tu.check_bool "should_stop preempts before reading" false
+    (drive ~should_stop:(fun () -> true) "select 19\n");
+  teardown ctx srv
+
+let suite =
+  [
+    Alcotest.test_case "window error reply" `Quick test_window_error_reply;
+    Alcotest.test_case "parse validation" `Quick test_parse_validation;
+    Alcotest.test_case "malformed flood" `Quick test_malformed_flood;
+    Alcotest.test_case "fault reply determinism" `Quick test_fault_reply_determinism;
+    Alcotest.test_case "budget keeps refinement" `Quick test_budget_keeps_refinement;
+    Alcotest.test_case "crash halts loop" `Quick test_crash_halts_loop;
+    Alcotest.test_case "state file round trip" `Quick test_state_file_round_trip;
+    Alcotest.test_case "state file mismatch" `Quick test_state_file_mismatch;
+    Alcotest.test_case "serve_channels stop" `Quick test_serve_channels_stop;
+  ]
