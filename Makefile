@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test fmt goldens bench bench-json bench-file test-backends test-disks faults serve-smoke soak clean
+.PHONY: all build test fmt goldens bench bench-json bench-file test-backends test-disks faults serve-smoke telemetry-smoke soak clean
 
 all: build
 
@@ -67,17 +67,38 @@ faults:
 
 # Serve-mode smoke: pipe the fixed query script through `em_repro serve` on
 # a pinned machine (sim backend, D = 1, fixed seed) and diff the NDJSON
-# transcript against the golden.  Every emitted number is a simulated cost,
-# so the transcript is byte-deterministic.  Regenerate after an intentional
-# cost change with:
+# transcript against the golden.  Every emitted number is a simulated cost
+# except inside "wall":{...} objects (the only wall-clock compartment), which
+# the sed below empties before the byte-diff.  Regenerate after an
+# intentional cost change with:
 #   dune exec bin/em_repro.exe -- serve -n 20000 --mem 4096 --block 64 \
-#     --backend sim --disks 1 --seed 42 \
-#     < test/golden/serve.script > test/golden/serve.expected
+#     --backend sim --disks 1 --seed 42 < test/golden/serve.script \
+#     | sed -E 's/"wall":\{[^}]*\}/"wall":{}/g' > test/golden/serve.expected
 serve-smoke:
 	dune exec bin/em_repro.exe -- serve -n 20000 --mem 4096 --block 64 \
 	  --backend sim --disks 1 --seed 42 \
-	  < test/golden/serve.script | diff test/golden/serve.expected -
+	  < test/golden/serve.script \
+	  | sed -E 's/"wall":\{[^}]*\}/"wall":{}/g' \
+	  | diff test/golden/serve.expected -
 	@echo "serve-smoke: transcript matches the golden."
+
+# Telemetry smoke: same pinned serve run streaming --telemetry frames to a
+# file; the frames' "cost" objects are byte-deterministic, so after emptying
+# each frame's "wall":{...} compartment the stream diffs against its golden.
+# Regenerate with:
+#   dune exec bin/em_repro.exe -- serve -n 20000 --mem 4096 --block 64 \
+#     --backend sim --disks 1 --seed 42 --telemetry /tmp/telemetry.ndjson \
+#     < test/golden/serve.script > /dev/null \
+#   && sed -E 's/"wall":\{[^}]*\}/"wall":{}/g' /tmp/telemetry.ndjson \
+#     > test/golden/telemetry.expected
+telemetry-smoke:
+	dune exec bin/em_repro.exe -- serve -n 20000 --mem 4096 --block 64 \
+	  --backend sim --disks 1 --seed 42 \
+	  --telemetry _build/telemetry-smoke.ndjson \
+	  < test/golden/serve.script > /dev/null
+	sed -E 's/"wall":\{[^}]*\}/"wall":{}/g' _build/telemetry-smoke.ndjson \
+	  | diff test/golden/telemetry.expected -
+	@echo "telemetry-smoke: frame stream matches the golden."
 
 # Chaos-soak smoke: a seeded adversarial query stream on a pinned small
 # machine with 2 scheduled kill/restore cycles, diffed against a golden
@@ -89,9 +110,12 @@ serve-smoke:
 #   dune exec bin/em_repro.exe -- soak -n 20000 --queries 40 --kills 2 \
 #     --mem 4096 --block 64 --backend sim --disks 1 --seed 42 \
 #     > test/golden/soak.expected
+# --flight-dir leaves one post-mortem JSON per scheduled kill (stderr-only
+# notices, so the golden stdout transcript is unchanged); CI uploads them.
 soak:
 	dune exec bin/em_repro.exe -- soak -n 20000 --queries 40 --kills 2 \
 	  --mem 4096 --block 64 --backend sim --disks 1 --seed 42 \
+	  --flight-dir flight-artifacts \
 	  | diff test/golden/soak.expected -
 	@echo "soak: transcript matches the golden (answers + k-crash bound hold)."
 

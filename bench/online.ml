@@ -11,7 +11,10 @@
      decreasing at every doubling (refinement is paid once and reused);
    - online_vs_batch: total session I/Os over the summed cost of re-running
      batch multiselect from scratch at every checkpoint (what a client
-     without a persistent session would pay) — must stay well below 1. *)
+     without a persistent session would pay) — must stay well below 1;
+   - online_drift: the worst running ratio the [Core.Drift] watchdog sees
+     when fed the same stream — calibrates the serve-mode drift ceiling
+     against the offline amortized envelope [sort(n) + 2q]. *)
 
 let icmp = Exp.icmp
 let n_default = 1 lsl 18
@@ -40,12 +43,16 @@ let all () =
   let s = Emalg.Online_select.open_session (Em.Ctx.counted ctx icmp) ctx v in
   let cum = ref 0 in
   let marks = ref [] in
+  (* The serve-mode watchdog fed the same stream: its worst running ratio
+     calibrates the blessed drift ceiling. *)
+  let drift = Core.Drift.create (Exp.params machine) ~n in
   Array.iteri
     (fun i k ->
       let r = Emalg.Online_select.query s (Emalg.Online_select.Select k) in
       if r.Emalg.Online_select.values.(0) <> k - 1 then
         failwith (Printf.sprintf "online bench: rank %d answered wrongly" k);
       cum := !cum + Em.Stats.delta_ios r.Emalg.Online_select.cost;
+      ignore (Core.Drift.observe drift ~queries:(i + 1) ~total_ios:!cum);
       if List.mem (i + 1) checkpoints then
         marks := (i + 1, !cum, Emalg.Online_select.summary s) :: !marks)
     ranks;
@@ -142,5 +149,28 @@ let all () =
     amort_worst;
   Printf.printf "  => session total %d I/Os vs %d batch re-run I/Os (%.3fx)\n"
     session_total batch_total vs_batch;
+  let drift_worst = Core.Drift.worst drift in
+  Printf.printf
+    "  => drift watchdog worst running ratio %.3f over envelope sort(n) + 2q (sort(n) = %.0f)\n"
+    drift_worst
+    (Core.Drift.predicted drift ~queries:0);
+  rows :=
+    Exp.Obj
+      [
+        ("row", Exp.Str "online_drift");
+        ("label", Exp.Str "serve-mode drift watchdog over the same stream");
+        ( "measured",
+          Exp.Obj
+            [
+              ("worst_ratio", Exp.Float drift_worst);
+              ("predicted_base", Exp.Float (Core.Drift.predicted drift ~queries:0));
+              ("per_query", Exp.Float 2.0);
+            ] );
+      ]
+    :: !rows;
   Exp.write_artifact ~bench:"online" (List.rev !rows);
-  [ ("online_amortized", amort_worst); ("online_vs_batch", vs_batch) ]
+  [
+    ("online_amortized", amort_worst);
+    ("online_vs_batch", vs_batch);
+    ("online_drift", drift_worst);
+  ]

@@ -248,7 +248,7 @@ let jsonl_t =
 
 let run_trace c algo n k a b ranks jsonl =
   setup_logs c;
-  let trace = Em.Trace.create () in
+  let trace = make_trace c in
   let collect, collected = Em.Trace.collector () in
   Em.Trace.add_sink trace collect;
   let jsonl_oc = Option.map open_out jsonl in
@@ -357,7 +357,7 @@ let print_restarts (o : _ Emalg.Restart.outcome) =
 let run_faults c algo n k ranks fault_seed p kinds crash_every max_retries verify_writes
     restartable =
   setup_logs c;
-  let trace = Em.Trace.create () in
+  let trace = make_trace c in
   let collect, collected = Em.Trace.collector () in
   Em.Trace.add_sink trace collect;
   let ctx = make_ctx ~trace c in
@@ -455,7 +455,18 @@ let checkpoint_every_t =
     & info [ "checkpoint-every" ] ~docv:"SPLITS"
         ~doc:"Automatic checkpoint policy for both the oracle and chaos runs.")
 
-let run_soak c n queries kills checkpoint_every fault_seed fault_p fault_kinds max_retries =
+let soak_flight_dir_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-dir" ] ~docv:"DIR"
+        ~doc:
+          "Dump a flight-recorder post-mortem (recent query records joined with their trace \
+           events) into DIR at every chaos kill.  Notices go to stderr so the stdout \
+           transcript stays golden-comparable.")
+
+let run_soak c n queries kills checkpoint_every fault_seed fault_p fault_kinds max_retries
+    flight_dir =
   setup_logs c;
   let crash_after = Core.Soak.spread_crashes ~queries ~k:kills in
   let cfg =
@@ -473,6 +484,7 @@ let run_soak c n queries kills checkpoint_every fault_seed fault_p fault_kinds m
       fault_seed;
       fault_kinds;
       max_retries;
+      flight_dir;
     }
   in
   describe_machine ~disks:cfg.Core.Soak.disks ~mem:c.mem ~block:c.block ();
@@ -487,6 +499,9 @@ let run_soak c n queries kills checkpoint_every fault_seed fault_p fault_kinds m
           r.Core.Soak.after_query r.Core.Soak.leaves_restored r.Core.Soak.resume_load_ios)
       cfg
   in
+  List.iter
+    (fun path -> Printf.eprintf "flight:       post-mortem written to %s\n%!" path)
+    o.Core.Soak.flight_dumps;
   Printf.printf "oracle:       %d I/Os (uninterrupted twin)\n" o.Core.Soak.oracle_ios;
   Printf.printf "chaos:        %d I/Os (%d saves / %d I/Os, %d loads / %d I/Os, %d retries)\n"
     o.Core.Soak.chaos_ios o.Core.Soak.saves o.Core.Soak.save_ios o.Core.Soak.loads
@@ -525,7 +540,7 @@ let soak_cmd =
       const run_soak $ common_t $ n_t $ queries_t $ kills_t $ checkpoint_every_t
       $ fault_seed_t
       $ fault_p_t ~default:0. ()
-      $ fault_kinds_t $ max_retries_t)
+      $ fault_kinds_t $ max_retries_t $ soak_flight_dir_t)
 
 (* ---- metrics & profile ---- *)
 
@@ -550,7 +565,7 @@ let observed_algo_t =
    Returns the machine, the profiler, the measured cost delta, the seek
    count and — when the algorithm has a Table 1 row — its (row, spec). *)
 let run_observed c ~algo ~n ~k ~a ~b ~ranks () =
-  let trace = Em.Trace.create () in
+  let trace = make_trace c in
   let seek_sink, seeks =
     Em.Trace.counter (fun e -> e.Em.Trace.locality = Em.Trace.Random)
   in
@@ -759,6 +774,7 @@ let () =
         bounds_cmd;
         info_cmd;
         Serve.cmd;
+        Top.cmd;
       ]
   in
   exit (Cmd.eval main)

@@ -1,0 +1,112 @@
+(* em_repro top: render a telemetry frame stream as an in-terminal live view.
+
+   Reads frames (one JSON object per line, as written by `em_repro serve
+   --telemetry`) from a file or stdin and prints the dashboard block
+   {!Em.Telemetry.summarize} renders: qps, p50/p99 latency, I/Os per query,
+   cache hit rate, refinement progress, drift ratio.  With [--follow] it
+   keeps the file open and re-renders as the server appends (tail -f
+   semantics, clearing the screen between frames); otherwise it renders
+   each frame in sequence — or only the last with [--last]. *)
+
+open Cmdliner
+
+let file_t =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE"
+        ~doc:"Telemetry stream to render (defaults to stdin).")
+
+let follow_t =
+  Arg.(
+    value & flag
+    & info [ "f"; "follow" ]
+        ~doc:
+          "Keep the stream open and re-render as frames arrive (live view; \
+           interrupt to stop).  Requires FILE.")
+
+let last_t =
+  Arg.(
+    value & flag
+    & info [ "last" ] ~doc:"Render only the final frame of the stream.")
+
+let interval_t =
+  Arg.(
+    value
+    & opt float 0.5
+    & info [ "interval" ] ~docv:"S" ~doc:"Poll interval in follow mode (seconds).")
+
+let clear_screen () = print_string "\027[2J\027[H"
+
+let render ?prev line =
+  match Em.Telemetry.summarize ?prev line with
+  | Ok block ->
+      print_string block;
+      flush Stdlib.stdout
+  | Error msg -> Printf.eprintf "top: skipping line (%s)\n%!" msg
+
+let run_stream ic ~last =
+  let prev = ref None in
+  let final = ref None in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         if last then (
+           final := Some (line, !prev);
+           prev := Some line)
+         else begin
+           render ?prev:!prev line;
+           print_newline ();
+           prev := Some line
+         end
+       end
+     done
+   with End_of_file -> ());
+  match (!final, last) with
+  | Some (line, prev), true -> render ?prev line
+  | None, true -> Printf.eprintf "top: no frames in stream\n%!"
+  | _ -> ()
+
+let run_follow path ~interval =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let prev = ref None in
+      let stop = ref false in
+      let on_signal = Sys.Signal_handle (fun _ -> stop := true) in
+      Sys.set_signal Sys.sigint on_signal;
+      Sys.set_signal Sys.sigterm on_signal;
+      while not !stop do
+        match input_line ic with
+        | line ->
+            if String.trim line <> "" then begin
+              clear_screen ();
+              render ?prev:!prev line;
+              prev := Some line
+            end
+        | exception End_of_file -> Unix.sleepf interval
+        | exception Sys_error _ -> stop := true
+      done)
+
+let run file follow last interval =
+  match (file, follow) with
+  | None, true ->
+      Printf.eprintf "top: --follow needs a FILE argument\n%!";
+      exit 1
+  | Some path, true -> run_follow path ~interval
+  | Some path, false ->
+      let ic = open_in path in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> run_stream ic ~last)
+  | None, false -> run_stream Stdlib.stdin ~last
+
+let cmd =
+  let doc =
+    "Render a serve telemetry stream (from $(b,em_repro serve --telemetry)) \
+     as an in-terminal live view: qps, p50/p99 latency, I/Os per query, \
+     cache hit rate, refinement progress and the drift watchdog's running \
+     ratio."
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(const run $ file_t $ follow_t $ last_t $ interval_t)

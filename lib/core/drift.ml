@@ -1,0 +1,62 @@
+(* Online bound-drift watchdog: the serve-mode analogue of the offline
+   `online_amortized` bench gate.
+
+   The online-multiselection bound says a session answering q queries over
+   n elements spends O(sort(n) + q) I/Os amortized, with sort(n) the
+   Aggarwal–Vitter sorting bound (Core.Bounds.sort).  The watchdog folds
+   every query's measured cumulative cost into that predicted envelope
+
+     predicted(q) = sort(n) + per_query * q
+
+   and alerts when the running ratio measured/predicted exceeds a blessed
+   ceiling.  The ratio, like every simulated-cost quantity, is
+   deterministic for a fixed geometry/workload — the ceiling is calibrated
+   by bench/online.ml and golden-gated in test/golden/ratios.expected. *)
+
+type verdict = Silent | Alert of { ratio : float; ceiling : float }
+
+type t = {
+  predicted_base : float;  (* sort(n) *)
+  per_query : float;
+  ceiling : float;
+  mutable last_ratio : float;
+  mutable worst_ratio : float;
+  mutable alerts : int;
+}
+
+(* Comfortably above the ~3.2 running ratio the golden serve workload
+   reaches (n = 20000, M = 4096, B = 64) and the bench's blessed
+   online_drift ceiling, while still an order of magnitude below what a
+   genuine cost inflation produces. *)
+let default_ceiling = 6.0
+
+let create ?(ceiling = default_ceiling) ?(per_query = 2.0) params ~n =
+  if not (ceiling > 0.) then invalid_arg "Drift.create: ceiling must be > 0";
+  if not (per_query >= 0.) then invalid_arg "Drift.create: per_query must be >= 0";
+  {
+    predicted_base = Bounds.sort params ~n;
+    per_query;
+    ceiling;
+    last_ratio = 0.;
+    worst_ratio = 0.;
+    alerts = 0;
+  }
+
+let predicted t ~queries =
+  t.predicted_base +. (t.per_query *. float_of_int queries)
+
+let observe t ~queries ~total_ios =
+  let ratio = float_of_int total_ios /. predicted t ~queries in
+  t.last_ratio <- ratio;
+  if ratio > t.worst_ratio then t.worst_ratio <- ratio;
+  if ratio > t.ceiling then begin
+    t.alerts <- t.alerts + 1;
+    Alert { ratio; ceiling = t.ceiling }
+  end
+  else Silent
+
+let ratio t = t.last_ratio
+let worst t = t.worst_ratio
+let ceiling t = t.ceiling
+let alerts t = t.alerts
+let tripped t = t.alerts > 0

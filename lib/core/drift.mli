@@ -1,0 +1,47 @@
+(** Online bound-drift watchdog for serving sessions.
+
+    Folds each query's measured cumulative I/O cost into the predicted
+    online-multiselection envelope [sort(n) + per_query * q] (with
+    [sort] = {!Bounds.sort}) and raises an {!Alert} when the running
+    ratio measured/predicted exceeds a blessed ceiling — the live
+    counterpart of the offline [online_amortized] bench gate.
+
+    The ratio is a pure function of simulated costs, so for a fixed
+    geometry, workload and seed it is byte-deterministic: a clean run
+    stays {!Silent} on every query, and an injected cost inflation trips
+    the watchdog reproducibly. *)
+
+type t
+
+type verdict = Silent | Alert of { ratio : float; ceiling : float }
+
+val default_ceiling : float
+(** 6.0 — roughly twice the worst running ratio the golden serve workload
+    exhibits, an order of magnitude below genuine inflation. *)
+
+val create : ?ceiling:float -> ?per_query:float -> Em.Params.t -> n:int -> t
+(** A watchdog for a session over [n] elements on the given machine
+    geometry.  [per_query] (default 2.0) is the amortized per-query I/O
+    allowance added to the [sort n] base.
+    @raise Invalid_argument if [ceiling <= 0] or [per_query < 0]. *)
+
+val observe : t -> queries:int -> total_ios:int -> verdict
+(** Fold the session's cumulative cost after its [queries]-th query.
+    Returns {!Alert} whenever the running ratio exceeds the ceiling
+    (every such query, not just the first — callers de-duplicate). *)
+
+val predicted : t -> queries:int -> float
+(** The envelope value [sort(n) + per_query * queries]. *)
+
+val ratio : t -> float
+(** Ratio at the most recent {!observe} (0 before the first). *)
+
+val worst : t -> float
+(** Largest ratio seen so far. *)
+
+val ceiling : t -> float
+val alerts : t -> int
+(** Number of observations that exceeded the ceiling. *)
+
+val tripped : t -> bool
+(** [alerts t > 0] — sticky; drives [serve --strict-bounds]. *)

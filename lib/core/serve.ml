@@ -12,21 +12,31 @@
      checkpoint                            save session state now
      quit                                  close and exit
 
+   Every admitted query gets a monotonically-assigned id, echoed in its
+   reply together with a compact "cost" object; the same span feeds the
+   per-session Metrics histograms, the flight recorder, the drift watchdog
+   and the optional telemetry stream.
+
    Error-reply grammar:
-     {"error":"<message>"}                           parse / validation
-     {"error":"<code>","detail":"...","retries":N}   typed Em_error after
+     {"error":"<message>"}                           parse failure (no id:
+                                                     the query was never
+                                                     admitted)
+     {"id":N,"error":"<message>"}                    validation failure
+     {"id":N,"error":"<code>","detail":"...","retries":R}
+                                                     typed Em_error after
                                                      bounded query retries
                                                      (code: io_fault,
                                                      read_failed, ...)
-     {"error":"budget_exceeded","budget":B,"spent":S}
+     {"id":N,"error":"budget_exceeded","budget":B,"spent":S}
 
-   All emitted numbers are simulated costs, so transcripts stay
-   byte-deterministic for a fixed geometry/workload/seed — including the
-   error replies under a seeded fault plan. *)
+   Determinism contract: every emitted number is a simulated cost — except
+   the fields of "wall":{...} sub-objects, the only place wall-clock-derived
+   values may appear.  Smoke tests normalise exactly those objects and
+   byte-diff everything else. *)
 
 let icmp = Int.compare
 
-(* ---- tiny JSON emitters (NDJSON; no dependency, no wall-clock) ---- *)
+(* ---- tiny JSON emitters (NDJSON; no dependency) ---- *)
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 2) in
@@ -67,12 +77,34 @@ type t = {
   mutable last_saves : int;  (* state-file mirror: saves already persisted *)
   mutable restored : bool;
   mutable crashed : bool;
+  (* live telemetry *)
+  telemetry : Em.Telemetry.t option;
+  recorder : Em.Flight_recorder.t;
+  drift : Drift.t;
+  flight_dir : string option;
+  mutable flight_dumps : int;
+  clock : unit -> float;
+  started : float;
+  wall_registry : Em.Metrics.t;
+      (* wall-clock-derived series live in their own registry so the
+         golden-gated `metrics` reply stays byte-deterministic *)
+  lat_hist : Em.Metrics.histogram;  (* wall ns, in wall_registry *)
+  ios_hist : Em.Metrics.histogram;  (* simulated, in registry *)
+  rounds_hist : Em.Metrics.histogram;  (* simulated, in registry *)
+  mutable next_id : int;
+  mutable n_select : int;
+  mutable n_quantile : int;
+  mutable n_range : int;
 }
 
 let session t = t.session
 let ctx t = t.ctx
 let input t = t.input
 let crashed t = t.crashed
+let drift t = t.drift
+let flight_recorder t = t.recorder
+let flight_dumps t = t.flight_dumps
+let queries_admitted t = t.next_id - 1
 
 (* ---- state file (cross-process survival) ----
 
@@ -93,12 +125,13 @@ type persisted = {
   p_refine_ios : int;
   p_answer_ios : int;
   p_splits : int;
+  p_by_kind : int * int * int;  (* admitted select/quantile/range queries *)
   p_leaves : (int * int * payload) list;
 }
 
-let state_magic = "em_repro-serve-state-v1"
+let state_magic = "em_repro-serve-state-v2"
 
-let persisted_of_session meta session =
+let persisted_of_session meta by_kind session =
   let snap = Emalg.Online_select.snapshot session in
   let leaves =
     List.map
@@ -118,6 +151,7 @@ let persisted_of_session meta session =
     p_refine_ios = snap.Emalg.Online_select.s_refine_ios;
     p_answer_ios = snap.Emalg.Online_select.s_answer_ios;
     p_splits = snap.Emalg.Online_select.s_splits;
+    p_by_kind = by_kind;
     p_leaves = leaves;
   }
 
@@ -182,11 +216,13 @@ let session_of_persisted ?batch_plan ?every_splits ctx v (p : persisted) =
   Em.Checkpoint.install store ~words:(Emalg.Online_select.snapshot_words snap) snap;
   Emalg.Online_select.restore ?batch_plan ?every_splits cmp ctx v store
 
+let by_kind srv = (srv.n_select, srv.n_quantile, srv.n_range)
+
 let save_state srv =
   match srv.state_path with
   | None -> ()
   | Some path ->
-      write_state path (persisted_of_session srv.meta srv.session);
+      write_state path (persisted_of_session srv.meta (by_kind srv) srv.session);
       (match Emalg.Online_select.checkpoint_store srv.session with
       | Some store -> srv.last_saves <- Em.Checkpoint.saves store
       | None -> ())
@@ -200,11 +236,13 @@ let mirror_state srv =
   | _ -> ()
 
 let create ?checkpoint_every ?io_budget ?(max_retries = 3) ?state_path
-    ?(restore = false) ~meta ctx v =
+    ?(restore = false) ?telemetry ?flight_capacity ?flight_dir ?drift_ceiling
+    ?(clock = Unix.gettimeofday) ~meta ctx v =
   let cmp = Em.Ctx.counted ctx icmp in
   let profiler = Em.Profile.create () in
   Em.Profile.attach profiler ctx.Em.Ctx.stats;
   let restored = ref false in
+  let restored_by_kind = ref (0, 0, 0) in
   let session =
     match (restore, state_path) with
     | true, Some path when Sys.file_exists path -> (
@@ -219,6 +257,7 @@ let create ?checkpoint_every ?io_budget ?(max_retries = 3) ?state_path
                      field)
             | None ->
                 restored := true;
+                restored_by_kind := p.p_by_kind;
                 session_of_persisted ?every_splits:checkpoint_every ctx v p))
     | _ ->
         let s = Emalg.Online_select.open_session cmp ctx v in
@@ -227,12 +266,15 @@ let create ?checkpoint_every ?io_budget ?(max_retries = 3) ?state_path
         s
   in
   Emalg.Online_select.set_io_budget session io_budget;
+  let registry = Em.Metrics.create () in
+  let wall_registry = Em.Metrics.create () in
+  let n_select, n_quantile, n_range = !restored_by_kind in
   let srv =
     {
       ctx;
       session;
       profiler;
-      registry = Em.Metrics.create ();
+      registry;
       input = v;
       meta;
       max_retries;
@@ -240,6 +282,26 @@ let create ?checkpoint_every ?io_budget ?(max_retries = 3) ?state_path
       last_saves = 0;
       restored = !restored;
       crashed = false;
+      telemetry;
+      recorder = Em.Flight_recorder.create ?capacity:flight_capacity ();
+      drift = Drift.create ?ceiling:drift_ceiling ctx.Em.Ctx.params ~n:meta.m_n;
+      flight_dir;
+      flight_dumps = 0;
+      clock;
+      started = clock ();
+      wall_registry;
+      lat_hist =
+        Em.Metrics.histogram wall_registry ~help:"per-query wall-clock span (ns)"
+          "query_latency_ns";
+      ios_hist =
+        Em.Metrics.histogram registry ~help:"per-query metered I/Os" "query_ios";
+      rounds_hist =
+        Em.Metrics.histogram registry ~help:"per-query effective parallel rounds"
+          "query_rounds";
+      next_id = n_select + n_quantile + n_range + 1;
+      n_select;
+      n_quantile;
+      n_range;
     }
   in
   (* A restored server re-persists immediately: the file now reflects this
@@ -251,31 +313,40 @@ let restored srv = srv.restored
 
 (* ---- JSON views ---- *)
 
-let reply_json label (r : int Emalg.Online_select.reply) =
+let reply_json ~id label (r : int Emalg.Online_select.reply) =
   let d = r.Emalg.Online_select.cost in
   Printf.sprintf
-    "{\"query\":\"%s\",\"values\":%s,\"ios\":%d,\"reads\":%d,\"writes\":%d,\"rounds\":%d,\"comparisons\":%d,\"refine_ios\":%d,\"answer_ios\":%d,\"splits\":%d}"
-    (json_escape label)
+    "{\"id\":%d,\"query\":\"%s\",\"values\":%s,\"cost\":{\"ios\":%d,\"reads\":%d,\"writes\":%d,\"rounds\":%d,\"comparisons\":%d,\"refine_ios\":%d,\"answer_ios\":%d,\"splits\":%d}}"
+    id (json_escape label)
     (json_ints r.Emalg.Online_select.values)
     (Em.Stats.delta_ios d) d.Em.Stats.d_reads d.Em.Stats.d_writes d.Em.Stats.d_rounds
     d.Em.Stats.d_comparisons
     (Em.Stats.delta_ios r.Emalg.Online_select.refine)
     r.Emalg.Online_select.answer_ios r.Emalg.Online_select.splits
 
+let by_kind_json srv =
+  Printf.sprintf "{\"select\":%d,\"quantile\":%d,\"range\":%d}" srv.n_select
+    srv.n_quantile srv.n_range
+
+let uptime_ms srv = (srv.clock () -. srv.started) *. 1000.
+
 let summary_json srv =
   let s = Emalg.Online_select.summary srv.session in
   let st = srv.ctx.Em.Ctx.stats in
   Printf.sprintf
-    "{\"session\":{\"queries\":%d,\"refine_ios\":%d,\"answer_ios\":%d,\"total_ios\":%d,\"splits\":%d,\"leaves\":%d,\"sorted_leaves\":%d},\"machine\":{\"reads\":%d,\"writes\":%d,\"rounds\":%d,\"comparisons\":%d,\"mem_peak\":%d}}"
-    s.Emalg.Online_select.queries s.Emalg.Online_select.refine_ios
-    s.Emalg.Online_select.answer_ios
+    "{\"session\":{\"queries\":%d,\"by_kind\":%s,\"refine_ios\":%d,\"answer_ios\":%d,\"total_ios\":%d,\"splits\":%d,\"leaves\":%d,\"sorted_leaves\":%d},\"machine\":{\"reads\":%d,\"writes\":%d,\"rounds\":%d,\"comparisons\":%d,\"mem_peak\":%d},\"wall\":{\"uptime_ms\":%.0f}}"
+    s.Emalg.Online_select.queries (by_kind_json srv)
+    s.Emalg.Online_select.refine_ios s.Emalg.Online_select.answer_ios
     (s.Emalg.Online_select.refine_ios + s.Emalg.Online_select.answer_ios)
     s.Emalg.Online_select.splits s.Emalg.Online_select.leaves
     s.Emalg.Online_select.sorted_leaves st.Em.Stats.reads st.Em.Stats.writes
     (Em.Stats.effective_rounds st) st.Em.Stats.comparisons st.Em.Stats.mem_peak
+    (uptime_ms srv)
 
 (* Per-session Metrics accounting: the machine's native counters plus the
-   session's own gauges, dumped in the registry's canonical JSON.  The
+   session's own gauges and the simulated-cost per-query histograms, dumped
+   in the registry's canonical JSON.  Wall-clock series (latency) live in a
+   separate registry so this reply stays byte-deterministic.  The
    checkpoint gauges appear only once a store is attached, keeping the
    fault-free transcript byte-identical to the historical one. *)
 let metrics_json srv =
@@ -291,6 +362,19 @@ let metrics_json srv =
   g "session_splits" "cumulative interval splits" s.Emalg.Online_select.splits;
   g "session_leaves" "current leaf intervals" s.Emalg.Online_select.leaves;
   g "session_sorted_leaves" "leaves holding sorted runs" s.Emalg.Online_select.sorted_leaves;
+  let kind_gauge kind v =
+    Em.Metrics.set
+      (Em.Metrics.gauge reg ~help:"admitted queries by kind"
+         ~labels:[ ("kind", kind) ] "session_queries_by_kind")
+      (float_of_int v)
+  in
+  kind_gauge "select" srv.n_select;
+  kind_gauge "quantile" srv.n_quantile;
+  kind_gauge "range" srv.n_range;
+  Em.Metrics.set
+    (Em.Metrics.gauge reg ~help:"running measured/predicted amortized-bound ratio"
+       "session_drift_ratio")
+    (Drift.ratio srv.drift);
   (match Emalg.Online_select.checkpoint_store srv.session with
   | None -> ()
   | Some store ->
@@ -348,14 +432,78 @@ let error_code = function
   | Em.Em_error.Crashed _ -> "crashed"
   | Em.Em_error.Budget_exceeded _ -> "budget_exceeded"
 
-let em_error_json ~retries e =
+let em_error_json ~id ~retries e =
   match e with
   | Em.Em_error.Budget_exceeded { budget; spent } ->
-      Printf.sprintf "{\"error\":\"budget_exceeded\",\"budget\":%d,\"spent\":%d}" budget spent
+      Printf.sprintf "{\"id\":%d,\"error\":\"budget_exceeded\",\"budget\":%d,\"spent\":%d}"
+        id budget spent
   | e ->
-      Printf.sprintf "{\"error\":\"%s\",\"detail\":\"%s\",\"retries\":%d}" (error_code e)
+      Printf.sprintf "{\"id\":%d,\"error\":\"%s\",\"detail\":\"%s\",\"retries\":%d}" id
+        (error_code e)
         (json_escape (Em.Em_error.to_string e))
         retries
+
+(* ---- telemetry frames ---- *)
+
+(* The "cost" payload of a telemetry frame: cumulative session/machine
+   simulated costs — byte-deterministic by construction. *)
+let cost_json srv =
+  let s = Emalg.Online_select.summary srv.session in
+  let st = srv.ctx.Em.Ctx.stats in
+  Printf.sprintf
+    "{\"ios\":%d,\"refine_ios\":%d,\"answer_ios\":%d,\"splits\":%d,\"leaves\":%d,\"sorted_leaves\":%d,\"reads\":%d,\"writes\":%d,\"rounds\":%d,\"comparisons\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"by_kind\":%s,\"drift_ratio\":%.4f}"
+    (s.Emalg.Online_select.refine_ios + s.Emalg.Online_select.answer_ios)
+    s.Emalg.Online_select.refine_ios s.Emalg.Online_select.answer_ios
+    s.Emalg.Online_select.splits s.Emalg.Online_select.leaves
+    s.Emalg.Online_select.sorted_leaves st.Em.Stats.reads st.Em.Stats.writes
+    (Em.Stats.effective_rounds st) st.Em.Stats.comparisons
+    st.Em.Stats.cache_hits st.Em.Stats.cache_misses (by_kind_json srv)
+    (Drift.ratio srv.drift)
+
+(* The "wall" payload: everything wall-clock-derived, and nothing else. *)
+let wall_json srv =
+  let up_s = (srv.clock () -. srv.started) in
+  let quant p =
+    let v = Em.Metrics.quantile srv.lat_hist p in
+    if Float.is_nan v then 0. else v /. 1e6
+  in
+  Printf.sprintf
+    "{\"ts_ms\":%.0f,\"uptime_ms\":%.0f,\"qps\":%.2f,\"p50_ms\":%.3f,\"p99_ms\":%.3f}"
+    (srv.clock () *. 1000.) (up_s *. 1000.)
+    (if up_s > 0. then float_of_int (queries_admitted srv) /. up_s else 0.)
+    (quant 0.5) (quant 0.99)
+
+let telemetry_tick srv =
+  match srv.telemetry with
+  | None -> ()
+  | Some tel ->
+      Em.Telemetry.tick tel ~queries:(queries_admitted srv) ~cost:(cost_json srv)
+        ~wall:(fun () -> wall_json srv)
+
+(* ---- flight recorder ---- *)
+
+let rec ensure_dir path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin
+    ensure_dir (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Post-mortem dump: the retained query records joined with their trace
+   events and a fresh registry snapshot.  Returns the artifact path, or
+   [None] when no --flight-dir is configured. *)
+let flight_dump srv ~reason =
+  match srv.flight_dir with
+  | None -> None
+  | Some dir ->
+      ignore (metrics_json srv);  (* refresh the registry snapshot *)
+      ensure_dir dir;
+      srv.flight_dumps <- srv.flight_dumps + 1;
+      let path =
+        Filename.concat dir (Printf.sprintf "postmortem-%03d.json" srv.flight_dumps)
+      in
+      Em.Flight_recorder.dump_to_file ~trace:srv.ctx.Em.Ctx.trace
+        ~metrics:srv.registry ~now:srv.clock ~reason srv.recorder ~path;
+      Some path
 
 (* ---- protocol ---- *)
 
@@ -399,6 +547,11 @@ let parse_command str =
   | [] -> Error "empty query"
   | w :: _ -> Error (Printf.sprintf "unknown query %S" w)
 
+let query_kind = function
+  | Emalg.Online_select.Select _ -> "select"
+  | Emalg.Online_select.Quantile _ -> "quantile"
+  | Emalg.Online_select.Range _ -> "range"
+
 (* One query, with Resilient-style bounded retries at the query level: a
    typed failure that escapes the per-I/O recovery re-runs the query (each
    re-run metered as a retry; monotone refinement means only the unfinished
@@ -432,32 +585,89 @@ let run_command srv emit str =
       emit (checkpoint_json srv);
       true
   | Ok (Query q) -> (
+      (* Admit the query: assign its id and open its request span. *)
+      let id = srv.next_id in
+      srv.next_id <- id + 1;
+      (match q with
+      | Emalg.Online_select.Select _ -> srv.n_select <- srv.n_select + 1
+      | Emalg.Online_select.Quantile _ -> srv.n_quantile <- srv.n_quantile + 1
+      | Emalg.Online_select.Range _ -> srv.n_range <- srv.n_range + 1);
+      let label = String.trim str in
+      let seq_lo = Em.Trace.total srv.ctx.Em.Ctx.trace in
+      let before = Em.Stats.snapshot srv.ctx.Em.Ctx.stats in
+      let splits0 = (Emalg.Online_select.summary srv.session).Emalg.Online_select.splits in
+      let t0 = srv.clock () in
+      (* Close the span: flight record + histograms + drift fold + telemetry
+         tick.  Runs on every admitted outcome, success or not. *)
+      let finish ~ios ~rounds ~splits ~outcome =
+        let wall_ns = int_of_float ((srv.clock () -. t0) *. 1e9) in
+        let seq_hi = Em.Trace.total srv.ctx.Em.Ctx.trace in
+        Em.Flight_recorder.record srv.recorder
+          { Em.Flight_recorder.id; kind = query_kind q; query = label; ios;
+            rounds; splits; wall_ns; outcome; seq_lo; seq_hi };
+        Em.Metrics.observe srv.ios_hist (float_of_int ios);
+        Em.Metrics.observe srv.rounds_hist (float_of_int rounds);
+        Em.Metrics.observe srv.lat_hist (float_of_int wall_ns);
+        let s = Emalg.Online_select.summary srv.session in
+        let verdict =
+          Drift.observe srv.drift ~queries:(queries_admitted srv)
+            ~total_ios:
+              (s.Emalg.Online_select.refine_ios + s.Emalg.Online_select.answer_ios)
+        in
+        (match (verdict, srv.telemetry) with
+        | Drift.Alert _, Some tel when Drift.alerts srv.drift = 1 ->
+            (* First trip only; the sticky ratio keeps showing in every
+               subsequent frame's drift_ratio field. *)
+            Em.Telemetry.alert tel ~queries:(queries_admitted srv)
+              ~cost:(cost_json srv)
+              ~wall:(fun () -> wall_json srv)
+        | _ -> ());
+        telemetry_tick srv
+      in
+      let err_span ~outcome =
+        let d = Em.Stats.delta srv.ctx.Em.Ctx.stats before in
+        let splits =
+          (Emalg.Online_select.summary srv.session).Emalg.Online_select.splits - splits0
+        in
+        finish ~ios:(Em.Stats.delta_ios d) ~rounds:d.Em.Stats.d_rounds ~splits ~outcome
+      in
       let retries = ref 0 in
       match exec_query srv ~retries q with
       | r ->
-          emit (reply_json (String.trim str) r);
+          finish
+            ~ios:(Em.Stats.delta_ios r.Emalg.Online_select.cost)
+            ~rounds:r.Emalg.Online_select.cost.Em.Stats.d_rounds
+            ~splits:r.Emalg.Online_select.splits ~outcome:"ok";
+          emit (reply_json ~id label r);
           mirror_state srv;
           true
       | exception Invalid_argument msg ->
-          emit (Printf.sprintf "{\"error\":\"%s\"}" (json_escape msg));
+          err_span ~outcome:"invalid";
+          emit (Printf.sprintf "{\"id\":%d,\"error\":\"%s\"}" id (json_escape msg));
           true
       | exception Em.Em_error.Error (Em.Em_error.Crashed _ as e) ->
           (* A crash halts the machine: reply, then stop serving.  The state
              file (if any) still holds the last checkpoint for --restore;
              deliberately nothing is saved now — a crashed process does not
-             get to write. *)
-          emit (em_error_json ~retries:!retries e);
+             get to write.  The flight recorder, being pure observability,
+             does get to leave its post-mortem. *)
+          err_span ~outcome:(error_code e);
+          ignore (flight_dump srv ~reason:(error_code e));
+          emit (em_error_json ~id ~retries:!retries e);
           srv.crashed <- true;
           false
       | exception Em.Em_error.Error e ->
-          emit (em_error_json ~retries:!retries e);
+          err_span ~outcome:(error_code e);
+          ignore (flight_dump srv ~reason:(error_code e));
+          emit (em_error_json ~id ~retries:!retries e);
           mirror_state srv;
           true
       | exception e ->
           (* Programming errors must not kill the loop either; reply and
              keep serving. *)
+          err_span ~outcome:"internal";
           emit
-            (Printf.sprintf "{\"error\":\"internal\",\"detail\":\"%s\"}"
+            (Printf.sprintf "{\"id\":%d,\"error\":\"internal\",\"detail\":\"%s\"}" id
                (json_escape (Printexc.to_string e)));
           true)
 
@@ -496,15 +706,36 @@ let serve_channels ?(should_stop = fun () -> false) srv ic oc =
 
 let final_json ?shutdown srv =
   let s = Emalg.Online_select.summary srv.session in
-  Printf.sprintf "{\"closed\":true,\"queries\":%d,\"total_ios\":%d,\"pool_pages\":%d%s}"
+  Printf.sprintf
+    "{\"closed\":true,\"queries\":%d,\"total_ios\":%d,\"pool_pages\":%d,\"drift\":{\"ratio\":%.4f,\"tripped\":%b}%s,\"wall\":{\"uptime_ms\":%.0f}}"
     s.Emalg.Online_select.queries
     (s.Emalg.Online_select.refine_ios + s.Emalg.Online_select.answer_ios)
     (match Em.Ctx.backend_pool srv.ctx with
     | Some pool -> Em.Backend.Pool.resident pool
     | None -> 0)
+    (Drift.ratio srv.drift) (Drift.tripped srv.drift)
     (match shutdown with
     | Some reason -> Printf.sprintf ",\"shutdown\":\"%s\"" (json_escape reason)
     | None -> "")
+    (uptime_ms srv)
+
+(* End-of-session telemetry: the final frame, the shutdown post-mortem, and
+   the closing summary line.  Kept apart from {!close} so the caller can
+   still emit the summary before tearing the session down. *)
+let finalize ?shutdown srv =
+  (match srv.telemetry with
+  | None -> ()
+  | Some tel ->
+      Em.Telemetry.final tel ~queries:(queries_admitted srv) ~cost:(cost_json srv)
+        ~wall:(fun () -> wall_json srv);
+      Em.Telemetry.close tel);
+  let reason =
+    match shutdown with
+    | Some r -> "shutdown:" ^ r
+    | None -> if srv.crashed then "shutdown:crashed" else "shutdown"
+  in
+  ignore (flight_dump srv ~reason);
+  final_json ?shutdown srv
 
 let greeting_json srv =
   Printf.sprintf

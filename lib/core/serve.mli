@@ -3,7 +3,8 @@
     One long-lived {!Emalg.Online_select} session answering newline-delimited
     query batches with JSON reply lines (NDJSON).  Lives in the library so
     the hardened paths — typed fault replies, query-level retries, budget
-    aborts, batch exception safety, checkpoint/state-file round trips — are
+    aborts, batch exception safety, checkpoint/state-file round trips,
+    telemetry frames, flight-recorder dumps, the drift watchdog — are
     unit-testable without a process or a socket; [bin/serve.ml] adds flag
     parsing, signal handling and the accept loop.
 
@@ -11,23 +12,33 @@
     [select K], [quantile PHI], [range A B], [stats], [metrics],
     [intervals], [profile], [checkpoint], [quit].
 
-    {b Error-reply grammar:}
-    - [{"error":"<message>"}] — parse or validation failure (the query never
-      reached the session);
-    - [{"error":"<code>","detail":"...","retries":N}] — a typed {!Em.Em_error}
-      escaped the per-I/O recovery and [N] query-level retries; [<code>] is
-      one of [io_fault], [read_failed], [write_failed], [corrupt_block],
-      [crashed];
-    - [{"error":"budget_exceeded","budget":B,"spent":S}] — the per-query I/O
-      budget ran out; refinement already paid for is kept.
+    {b Request spans.}  Every admitted query gets a monotonically-assigned
+    id, echoed as ["id"] in its reply next to a compact ["cost"] object.
+    The same span feeds the per-session {!Em.Metrics} histograms
+    ([query_ios], [query_rounds], and a wall-clock latency histogram kept
+    in a separate registry), the {!Em.Flight_recorder} journal, the
+    {!Drift} watchdog and the optional {!Em.Telemetry} stream.
 
-    All emitted numbers are simulated costs, so transcripts — including
-    error replies under a seeded fault plan — are byte-deterministic for a
-    fixed geometry/workload/seed. *)
+    {b Error-reply grammar:}
+    - [{"error":"<message>"}] — parse failure (no id: the query was never
+      admitted);
+    - [{"id":N,"error":"<message>"}] — validation failure after admission;
+    - [{"id":N,"error":"<code>","detail":"...","retries":R}] — a typed
+      {!Em.Em_error} escaped the per-I/O recovery and [R] query-level
+      retries; [<code>] is one of [io_fault], [read_failed],
+      [write_failed], [corrupt_block], [crashed];
+    - [{"id":N,"error":"budget_exceeded","budget":B,"spent":S}] — the
+      per-query I/O budget ran out; refinement already paid for is kept.
+
+    {b Determinism contract.}  Every emitted number is a simulated cost,
+    except inside ["wall":{...}] sub-objects — the only place
+    wall-clock-derived values appear.  Transcripts with the wall objects
+    normalised are byte-deterministic for a fixed geometry/workload/seed,
+    including error replies under a seeded fault plan. *)
 
 type t
-(** A live server: session + profiler + metrics registry + recovery
-    configuration. *)
+(** A live server: session + profiler + metrics registries + flight
+    recorder + drift watchdog + recovery configuration. *)
 
 type meta = {
   m_n : int;
@@ -46,6 +57,11 @@ val create :
   ?max_retries:int ->
   ?state_path:string ->
   ?restore:bool ->
+  ?telemetry:Em.Telemetry.t ->
+  ?flight_capacity:int ->
+  ?flight_dir:string ->
+  ?drift_ceiling:float ->
+  ?clock:(unit -> float) ->
   meta:meta ->
   int Em.Ctx.t ->
   int Em.Vec.t ->
@@ -54,10 +70,21 @@ val create :
     enables the automatic every-k-splits checkpoint policy; [state_path]
     mirrors every checkpoint to a Marshal state file (and by itself enables
     explicit-only checkpointing); [restore = true] resumes from the state
-    file if it exists (fresh start otherwise); [io_budget] bounds any single
-    query's metered I/Os; [max_retries] (default 3) bounds query-level
-    retries on typed faults.  With none of the optional arguments the server
-    is byte-identical to the historical one.
+    file if it exists (fresh start otherwise), including the admitted
+    query-id/by-kind counters; [io_budget] bounds any single query's
+    metered I/Os; [max_retries] (default 3) bounds query-level retries on
+    typed faults.
+
+    Observability: [telemetry] attaches a frame emitter (ticked after every
+    admitted query, fired unconditionally on the first drift alert and by
+    {!finalize}); [flight_capacity] sizes the flight-recorder journal
+    (default {!Em.Flight_recorder.default_capacity}); [flight_dir] enables
+    post-mortem dumps ([postmortem-NNN.json], created on demand) on typed
+    error replies, budget aborts, crashes and shutdown; [drift_ceiling]
+    overrides {!Drift.default_ceiling}; [clock] (default
+    [Unix.gettimeofday]) is the wall clock, injectable for deterministic
+    tests.  With none of the optional arguments the server's protocol
+    behaviour is unchanged.
     @raise Failure if the state file is corrupt or bound to a different
     machine/workload. *)
 
@@ -72,6 +99,22 @@ val crashed : t -> bool
 (** Whether a [crashed] machine fault stopped the query loop; {!shutdown}
     then skips the final checkpoint (a crashed process does not get to
     write). *)
+
+val queries_admitted : t -> int
+(** Queries assigned an id so far (successful or not; parse failures are
+    not admitted).  Also the id of the most recent admitted query. *)
+
+val drift : t -> Drift.t
+(** The session's bound-drift watchdog ([serve --strict-bounds] exits
+    nonzero when it {!Drift.tripped}). *)
+
+val flight_recorder : t -> Em.Flight_recorder.t
+val flight_dumps : t -> int
+(** Post-mortem files written to [flight_dir] so far. *)
+
+val flight_dump : t -> reason:string -> string option
+(** Force a post-mortem dump now; returns the artifact path, or [None]
+    when no [flight_dir] is configured. *)
 
 (** {2 Protocol} *)
 
@@ -112,7 +155,18 @@ val serve_channels : ?should_stop:(unit -> bool) -> t -> in_channel -> out_chann
 
 val greeting_json : t -> string
 val summary_json : t -> string
+
 val final_json : ?shutdown:string -> t -> string
+(** The closing summary line, including the drift verdict and a
+    wall-uptime object.  Pure view — see {!finalize} for the effectful
+    end-of-session sequence. *)
+
+val finalize : ?shutdown:string -> t -> string
+(** End-of-session telemetry: emit (and close) the final telemetry frame,
+    write the shutdown post-mortem (reason ["shutdown"],
+    ["shutdown:<reason>"] or ["shutdown:crashed"]), then return
+    {!final_json}. *)
+
 val json_escape : string -> string
 
 (** {2 Checkpoint state file} *)

@@ -33,6 +33,7 @@ type config = {
   fault_seed : int;
   fault_kinds : Em.Fault.kind list;
   max_retries : int;
+  flight_dir : string option;
 }
 
 let default ~n ~queries =
@@ -50,11 +51,13 @@ let default ~n ~queries =
     fault_seed = 1;
     fault_kinds = [ Em.Fault.Transient_read; Em.Fault.Transient_write ];
     max_retries = 3;
+    flight_dir = None;
   }
 
 type crash_record = { after_query : int; resume_load_ios : int; leaves_restored : int }
 
 type outcome = {
+  flight_dumps : string list;
   answers_match : bool;
   crashes : int;
   oracle_ios : int;
@@ -82,7 +85,23 @@ let gen_queries cfg =
           (float_of_int (1 + Workload.Rng.int rng 1000) /. 1000.)
       else Emalg.Online_select.Select (1 + Workload.Rng.int rng cfg.n))
 
-let run_session ?(on_crash = fun _ -> ()) cfg ~crash_after =
+let query_label = function
+  | Emalg.Online_select.Select k -> Printf.sprintf "select %d" k
+  | Emalg.Online_select.Quantile phi -> Printf.sprintf "quantile %g" phi
+  | Emalg.Online_select.Range (a, b) -> Printf.sprintf "range %d %d" a b
+
+let query_kind = function
+  | Emalg.Online_select.Select _ -> "select"
+  | Emalg.Online_select.Quantile _ -> "quantile"
+  | Emalg.Online_select.Range _ -> "range"
+
+let rec ensure_dir path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin
+    ensure_dir (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let run_session ?(on_crash = fun _ -> ()) ?flight_dir cfg ~crash_after =
   let ctx =
     Em.Ctx.create ?backend:cfg.backend ~disks:cfg.disks
       (Em.Params.create ~mem:cfg.mem ~block:cfg.block)
@@ -102,14 +121,45 @@ let run_session ?(on_crash = fun _ -> ()) cfg ~crash_after =
   let queries = gen_queries cfg in
   let answers = Array.make cfg.queries [||] in
   let crash_log = ref [] in
+  let recorder = Em.Flight_recorder.create () in
+  let dumps = ref [] in
   Array.iteri
     (fun i q ->
+      let seq_lo = Em.Trace.total ctx.Em.Ctx.trace in
+      let t0 = Unix.gettimeofday () in
       let r =
         Em.Resilient.with_retries ~max_retries:cfg.max_retries ctx.Em.Ctx.dev (fun () ->
             Emalg.Online_select.query !session q)
       in
       answers.(i) <- r.Emalg.Online_select.values;
+      Em.Flight_recorder.record recorder
+        {
+          Em.Flight_recorder.id = i + 1;
+          kind = query_kind q;
+          query = query_label q;
+          ios = Em.Stats.delta_ios r.Emalg.Online_select.cost;
+          rounds = r.Emalg.Online_select.cost.Em.Stats.d_rounds;
+          splits = r.Emalg.Online_select.splits;
+          wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9);
+          outcome = "ok";
+          seq_lo;
+          seq_hi = Em.Trace.total ctx.Em.Ctx.trace;
+        };
       if List.mem (i + 1) crash_after then begin
+        (* Every chaos kill leaves a post-mortem artifact: the journal as it
+           stood at the moment of death, before the restore overwrites
+           anything. *)
+        (match flight_dir with
+        | None -> ()
+        | Some dir ->
+            ensure_dir dir;
+            let path =
+              Filename.concat dir (Printf.sprintf "postmortem-kill-after-q%03d.json" (i + 1))
+            in
+            Em.Flight_recorder.dump_to_file ~trace:ctx.Em.Ctx.trace
+              ~reason:(Printf.sprintf "kill_after_q%d" (i + 1))
+              recorder ~path;
+            dumps := path :: !dumps);
         let store =
           match Emalg.Online_select.checkpoint_store !session with
           | Some s -> s
@@ -145,14 +195,14 @@ let run_session ?(on_crash = fun _ -> ()) cfg ~crash_after =
   let total = Em.Stats.ios stats in
   let mem_ok = stats.Em.Stats.mem_peak <= cfg.mem in
   let retries = stats.Em.Stats.retries in
-  (answers, total, store, mem_ok, retries, List.rev !crash_log)
+  (answers, total, store, mem_ok, retries, List.rev !crash_log, List.rev !dumps)
 
 let run ?on_crash cfg =
-  let oracle_answers, oracle_ios, _, oracle_mem_ok, _, _ =
+  let oracle_answers, oracle_ios, _, oracle_mem_ok, _, _, _ =
     run_session cfg ~crash_after:[]
   in
-  let answers, chaos_ios, store, chaos_mem_ok, retries, crash_log =
-    run_session ?on_crash cfg ~crash_after:cfg.crash_after
+  let answers, chaos_ios, store, chaos_mem_ok, retries, crash_log, flight_dumps =
+    run_session ?on_crash ?flight_dir:cfg.flight_dir cfg ~crash_after:cfg.crash_after
   in
   let crashes = List.length crash_log in
   let saves = Em.Checkpoint.saves store in
@@ -181,6 +231,7 @@ let run ?on_crash cfg =
     && Array.for_all2 (fun a b -> a = b) answers oracle_answers
   in
   {
+    flight_dumps;
     answers_match;
     crashes;
     oracle_ios;

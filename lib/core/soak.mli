@@ -34,6 +34,9 @@ type config = {
   fault_seed : int;
   fault_kinds : Em.Fault.kind list;  (** the seeded mix; default transient read+write *)
   max_retries : int;  (** per-I/O and per-query retry budget *)
+  flight_dir : string option;
+      (** when set, every kill in the chaos run dumps a flight-recorder
+          post-mortem ([postmortem-kill-after-qNNN.json]) there *)
 }
 
 val default : n:int -> queries:int -> config
@@ -47,6 +50,7 @@ type crash_record = {
 }
 
 type outcome = {
+  flight_dumps : string list;  (** post-mortem artifacts, in kill order *)
   answers_match : bool;  (** interrupted answers = oracle answers *)
   crashes : int;
   oracle_ios : int;  (** uninterrupted total, saves included *)

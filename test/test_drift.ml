@@ -1,0 +1,130 @@
+(* The online drift watchdog (Core.Drift): envelope arithmetic, alert
+   semantics, and the serve-level contract — a clean session stays silent,
+   injected cost inflation trips the watchdog (and its telemetry alert
+   frame) reproducibly. *)
+
+let feps = Alcotest.float 1e-9
+let params = Em.Params.create ~mem:1_024 ~block:16
+
+let test_envelope () =
+  let d = Core.Drift.create ~per_query:2. params ~n:6_000 in
+  Alcotest.check feps "base is sort(n)"
+    (Core.Bounds.sort params ~n:6_000)
+    (Core.Drift.predicted d ~queries:0);
+  Alcotest.check feps "per-query allowance accumulates"
+    (Core.Bounds.sort params ~n:6_000 +. 20.)
+    (Core.Drift.predicted d ~queries:10);
+  Alcotest.check feps "default ceiling exposed" Core.Drift.default_ceiling
+    (Core.Drift.ceiling d)
+
+let test_validation () =
+  (match Core.Drift.create ~ceiling:0. params ~n:100 with
+  | _ -> Alcotest.fail "ceiling 0 must raise"
+  | exception Invalid_argument _ -> ());
+  match Core.Drift.create ~per_query:(-1.) params ~n:100 with
+  | _ -> Alcotest.fail "negative per_query must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_observe_accounting () =
+  let d = Core.Drift.create ~ceiling:2. ~per_query:10. params ~n:6_000 in
+  let base = Core.Drift.predicted d ~queries:0 in
+  Alcotest.check feps "ratio is 0 before any observation" 0. (Core.Drift.ratio d);
+  (* Under the envelope: silent. *)
+  (match Core.Drift.observe d ~queries:1 ~total_ios:(int_of_float base) with
+  | Core.Drift.Silent -> ()
+  | Core.Drift.Alert _ -> Alcotest.fail "within the envelope must stay silent");
+  Tu.check_bool "not tripped yet" false (Core.Drift.tripped d);
+  (* Far over it: alert, with the running ratio. *)
+  let inflated = int_of_float (3. *. (base +. 10.)) + 1 in
+  (match Core.Drift.observe d ~queries:1 ~total_ios:inflated with
+  | Core.Drift.Alert { ratio; ceiling } ->
+      Tu.check_bool "alert ratio exceeds the ceiling" true (ratio > ceiling);
+      Alcotest.check feps "alert carries the configured ceiling" 2. ceiling
+  | Core.Drift.Silent -> Alcotest.fail "3x the envelope must alert");
+  (* Alerts repeat on every offending observation (callers de-duplicate),
+     and [worst]/[tripped] are sticky. *)
+  (match Core.Drift.observe d ~queries:2 ~total_ios:inflated with
+  | Core.Drift.Alert _ -> ()
+  | Core.Drift.Silent -> Alcotest.fail "still over: must alert again");
+  Tu.check_int "each offending observation counted" 2 (Core.Drift.alerts d);
+  Tu.check_bool "tripped is sticky" true (Core.Drift.tripped d);
+  (match Core.Drift.observe d ~queries:1_000_000 ~total_ios:1 with
+  | Core.Drift.Silent -> ()
+  | Core.Drift.Alert _ -> Alcotest.fail "back under the envelope: silent");
+  Tu.check_bool "worst keeps the peak after recovery" true
+    (Core.Drift.worst d > 2.)
+
+(* ---- serve-level: clean runs silent, inflation trips ---- *)
+
+let n = 6_000
+
+let meta =
+  {
+    Core.Serve.m_n = n;
+    m_mem = 1_024;
+    m_block = 16;
+    m_disks = 1;
+    m_workload = "random-perm";
+    m_seed = 5;
+  }
+
+let run_session ?drift_ceiling ?telemetry queries =
+  let ctx : int Em.Ctx.t = Em.Ctx.create params in
+  let v = Em.Vec.of_array ctx (Tu.random_perm ~seed:5 n) in
+  let srv = Core.Serve.create ?drift_ceiling ?telemetry ~meta ctx v in
+  List.iter (fun line -> ignore (Core.Serve.run_batch srv (fun _ -> ()) line)) queries;
+  let d = Core.Serve.drift srv in
+  let out = (Core.Drift.tripped d, Core.Drift.alerts d, Core.Drift.worst d) in
+  Core.Serve.close srv;
+  Em.Ctx.close ctx;
+  out
+
+let workload =
+  [ "select 3000"; "quantile 0.25"; "range 40 45"; "select 17"; "quantile 0.9" ]
+
+let test_clean_run_silent () =
+  let tripped, alerts, worst = run_session workload in
+  Tu.check_bool "clean run never trips the default ceiling" false tripped;
+  Tu.check_int "no alerts" 0 alerts;
+  Tu.check_bool "clean worst ratio well under the ceiling" true
+    (Float.is_finite worst && worst < Core.Drift.default_ceiling)
+
+let test_inflation_trips () =
+  (* Shrinking the ceiling below the session's real running ratio stands in
+     for cost inflation: the measured/predicted ratio the watchdog folds is
+     the same — only the blessed envelope moves. *)
+  let _, _, clean_worst = run_session workload in
+  let tight = clean_worst /. 2. in
+  let alerts_seen = ref [] in
+  let telemetry =
+    Em.Telemetry.create ~every_queries:1_000_000
+      ~now:(fun () -> 0.)
+      (Em.Telemetry.fn_sink (fun l -> alerts_seen := l :: !alerts_seen))
+  in
+  let tripped, alerts, worst = run_session ~drift_ceiling:tight ~telemetry workload in
+  Tu.check_bool "inflated run trips" true tripped;
+  Tu.check_bool "at least one alert" true (alerts >= 1);
+  Tu.check_bool "worst ratio beyond the tightened ceiling" true (worst > tight);
+  (* The serve layer de-duplicates: exactly one alert frame, on the first
+     offending query. *)
+  let alert_frames =
+    List.filter (Tu.contains ~sub:"\"frame\":\"alert\"") !alerts_seen
+  in
+  Tu.check_int "exactly one alert frame emitted" 1 (List.length alert_frames);
+  Tu.check_bool "alert frame carries the drift ratio" true
+    (Tu.contains ~sub:"\"drift_ratio\":" (List.hd alert_frames))
+
+let test_determinism () =
+  let a = run_session workload in
+  let b = run_session workload in
+  Tu.check_bool "drift verdicts are byte-deterministic across runs" true (a = b)
+
+let suite =
+  [
+    Alcotest.test_case "envelope arithmetic" `Quick test_envelope;
+    Alcotest.test_case "parameter validation" `Quick test_validation;
+    Alcotest.test_case "observe accounting" `Quick test_observe_accounting;
+    Alcotest.test_case "clean serve run stays silent" `Quick test_clean_run_silent;
+    Alcotest.test_case "inflation trips the watchdog" `Quick test_inflation_trips;
+    Alcotest.test_case "verdicts deterministic" `Quick test_determinism;
+  ]

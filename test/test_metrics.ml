@@ -93,6 +93,56 @@ let test_quantiles () =
   | _ -> Alcotest.fail "q outside [0, 1] must raise"
   | exception Invalid_argument _ -> ()
 
+(* Quantiles under a non-default bucket base: coarser buckets shift the
+   rank estimate to the wider boundary, but the [min, max] clamp still
+   pins the extremes to observed samples. *)
+let test_quantile_non_default_base () =
+  let reg = Em.Metrics.create () in
+  let h = Em.Metrics.histogram reg ~base:10. "coarse" in
+  List.iter (Em.Metrics.observe h) [ 2.; 3.; 50.; 700. ];
+  (* 2 and 3 share the (1, 10] bucket; 50 is in (10, 100]; 700 in
+     (100, 1000].  Rank 2 of 4 lands in the first bucket: estimate is its
+     upper boundary. *)
+  Alcotest.check feps "median at the coarse bucket boundary" 10.
+    (Em.Metrics.quantile h 0.5);
+  (* q=0 is the first non-empty bucket's boundary — here above both small
+     samples, so the min clamp does not bite. *)
+  Alcotest.check feps "q=0 reports the first coarse boundary" 10.
+    (Em.Metrics.quantile h 0.);
+  Alcotest.check feps "q=1 clamps to observed max" 700. (Em.Metrics.quantile h 1.)
+
+(* Values far beyond any precomputed boundary still bucket, export and
+   clamp without overflow. *)
+let test_very_large_values () =
+  let reg = Em.Metrics.create () in
+  let h = Em.Metrics.histogram reg ~base:2. "huge" in
+  List.iter (Em.Metrics.observe h) [ 1.; 1e300 ];
+  Tu.check_int "both samples counted" 2 (Em.Metrics.hist_count h);
+  Alcotest.check feps "max clamps to the huge sample" 1e300
+    (Em.Metrics.quantile h 1.);
+  Alcotest.check feps "min clamps to the small sample" 1. (Em.Metrics.quantile h 0.);
+  let m = Em.Metrics.quantile h 0.5 in
+  Tu.check_bool "median is finite" true (Float.is_finite m);
+  Tu.check_bool "median is bracketed by the samples" true (m >= 1. && m <= 1e300);
+  Tu.check_bool "export stays well-formed" true
+    (String.length (Em.Metrics.to_prometheus reg) > 0)
+
+(* Property: for any sample set, quantile 1.0 is exactly the observed
+   maximum (the clamp, not a bucket boundary). *)
+let prop_quantile_one_is_max =
+  let gen =
+    let open QCheck2.Gen in
+    let* samples = list_size (int_range 1 60) (float_range 0.001 1e6) in
+    let* base = float_range 1.1 16. in
+    return (samples, base)
+  in
+  Tu.qcheck_case ~count:200 "quantile 1.0 = observed max" gen (fun (samples, base) ->
+      let reg = Em.Metrics.create () in
+      let h = Em.Metrics.histogram reg ~base "h" in
+      List.iter (Em.Metrics.observe h) samples;
+      let max_obs = List.fold_left Float.max neg_infinity samples in
+      Em.Metrics.quantile h 1.0 = max_obs)
+
 let test_nan_observe_raises () =
   let reg = Em.Metrics.create () in
   let h = Em.Metrics.histogram reg "h" in
@@ -188,6 +238,9 @@ let suite =
     Alcotest.test_case "gauge set/add" `Quick test_gauge;
     Alcotest.test_case "histogram bucket boundaries" `Quick test_histogram_buckets;
     Alcotest.test_case "quantile estimates" `Quick test_quantiles;
+    Alcotest.test_case "quantile non-default base" `Quick test_quantile_non_default_base;
+    Alcotest.test_case "very large values" `Quick test_very_large_values;
+    prop_quantile_one_is_max;
     Alcotest.test_case "NaN observation raises" `Quick test_nan_observe_raises;
     Alcotest.test_case "prometheus export" `Quick test_prometheus_export;
     Alcotest.test_case "prometheus histogram export" `Quick

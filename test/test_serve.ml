@@ -61,7 +61,7 @@ let test_window_error_reply () =
   (match emitted () with
   | [ err; stats ] ->
       Tu.check_bool "failed query replied with budget_exceeded" true
-        (has_prefix ~prefix:"{\"error\":\"budget_exceeded\"" err);
+        (contains ~sub:"\"error\":\"budget_exceeded\"" err);
       Tu.check_bool "budget reply carries the budget" true (contains ~sub:"\"budget\":3" err);
       Tu.check_bool "rest of the batch still answered" true
         (has_prefix ~prefix:"{\"session\":" stats)
@@ -162,8 +162,8 @@ let test_fault_reply_determinism () =
   match a with
   | [ q1; stats; q2 ] ->
       Tu.check_bool "faulted query replied with a typed code" true
-        (has_prefix ~prefix:"{\"error\":\"read_failed\"" q1
-        || has_prefix ~prefix:"{\"error\":\"io_fault\"" q1);
+        (contains ~sub:"\"error\":\"read_failed\"" q1
+        || contains ~sub:"\"error\":\"io_fault\"" q1);
       Tu.check_bool "reply counts the query-level retries" true
         (contains ~sub:"\"retries\":2" q1);
       Tu.check_bool "server survived to answer stats" true
@@ -180,7 +180,7 @@ let test_budget_keeps_refinement () =
     if tries > 500 then Alcotest.fail "budgeted query never completed";
     ignore (Core.Serve.run_batch srv emit "select 3000");
     let last = List.hd (List.rev (emitted ())) in
-    if has_prefix ~prefix:"{\"error\":\"budget_exceeded\"" last then drive (tries + 1)
+    if contains ~sub:"\"error\":\"budget_exceeded\"" last then drive (tries + 1)
     else last
   in
   let final = drive 0 in
@@ -188,7 +188,7 @@ let test_budget_keeps_refinement () =
     (contains ~sub:"\"values\":[2999]" final);
   let all = emitted () in
   Tu.check_bool "at least one budget abort happened first" true
-    (List.exists (has_prefix ~prefix:"{\"error\":\"budget_exceeded\"") all);
+    (List.exists (contains ~sub:"\"error\":\"budget_exceeded\"") all);
   (* Each abort kept its refinement: total attempts stay far below what
      re-doing the work from scratch every time would need. *)
   Tu.check_bool "monotone refinement bounds the attempts" true (List.length all < 50);
@@ -215,7 +215,7 @@ let test_crash_halts_loop () =
       Tu.check_bool "crash flagged on the server" true (Core.Serve.crashed srv);
       let last = List.hd (List.rev (emitted ())) in
       Tu.check_bool "crash replied with its typed code" true
-        (has_prefix ~prefix:"{\"error\":\"crashed\"" last);
+        (contains ~sub:"\"error\":\"crashed\"" last);
       (* A crashed process does not get to write: the shutdown path must
          leave the last good state file untouched. *)
       Core.Serve.shutdown_checkpoint srv;
@@ -284,6 +284,88 @@ let test_state_file_mismatch () =
             (contains ~sub:"seed" msg));
       Em.Ctx.close ctx2)
 
+(* ---- request spans: ids, cost objects, by-kind counters ---- *)
+
+(* Every admitted query — success, typed error, budget abort — carries a
+   monotonically increasing "id"; parse errors are rejected before admission
+   and carry none. *)
+let test_query_ids_monotone () =
+  let ctx, srv = make_server ~io_budget:3 () in
+  let emit, emitted = collector () in
+  ignore (Core.Serve.run_batch srv emit "select 3000");
+  ignore (Core.Serve.run_batch srv emit "bogus line");
+  ignore (Core.Serve.run_batch srv emit "quantile 0.5;range 40 45");
+  (match emitted () with
+  | [ q1; parse_err; q2; q3 ] ->
+      Tu.check_bool "first admitted query is id 1" true (has_prefix ~prefix:"{\"id\":1," q1);
+      Tu.check_bool "budget abort still carries its id" true
+        (contains ~sub:"\"error\":\"budget_exceeded\"" q1);
+      Tu.check_bool "parse errors carry no id" true
+        (has_prefix ~prefix:"{\"error\":" parse_err);
+      Tu.check_bool "ids skip nothing across outcomes" true
+        (has_prefix ~prefix:"{\"id\":2," q2);
+      Tu.check_bool "ids increase within a batch" true (has_prefix ~prefix:"{\"id\":3," q3)
+  | lines -> Alcotest.failf "expected 4 replies, got %d" (List.length lines));
+  Tu.check_int "admitted counter matches the last id" 3 (Core.Serve.queries_admitted srv);
+  teardown ctx srv
+
+(* Successful replies expose a compact simulated-cost object. *)
+let test_reply_cost_object () =
+  let ctx, srv = make_server () in
+  let emit, emitted = collector () in
+  ignore (Core.Serve.run_batch srv emit "select 3000");
+  (match emitted () with
+  | [ r ] ->
+      List.iter
+        (fun sub ->
+          Tu.check_bool (Printf.sprintf "reply cost carries %s" sub) true (contains ~sub r))
+        [
+          "\"cost\":{";
+          "\"ios\":";
+          "\"reads\":";
+          "\"writes\":";
+          "\"rounds\":";
+          "\"comparisons\":";
+          "\"refine_ios\":";
+          "\"answer_ios\":";
+          "\"splits\":";
+        ]
+  | _ -> Alcotest.fail "expected 1 reply");
+  teardown ctx srv
+
+(* summary_json counts admitted queries by kind, and the counters survive
+   the state-file round trip (persisted format v2). *)
+let test_by_kind_counters () =
+  let state = Filename.temp_file "serve_state" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove state with Sys_error _ -> ())
+    (fun () ->
+      let ctx1, srv1 = make_server ~checkpoint_every:2 ~state_path:state () in
+      let emit, emitted = collector () in
+      List.iter
+        (fun line -> ignore (Core.Serve.run_batch srv1 emit line))
+        [ "select 3000"; "select 17"; "quantile 0.5"; "range 40 45"; "stats" ];
+      let stats_line = List.hd (List.rev (emitted ())) in
+      Tu.check_bool "summary counts selects" true
+        (contains ~sub:"\"by_kind\":{\"select\":2,\"quantile\":1,\"range\":1}" stats_line);
+      Tu.check_bool "summary carries a wall object" true (contains ~sub:"\"wall\":{" stats_line);
+      Core.Serve.shutdown_checkpoint srv1;
+      let ctx2, srv2 = make_server ~state_path:state ~restore:true () in
+      Tu.check_bool "restored" true (Core.Serve.restored srv2);
+      Tu.check_int "restored next id resumes after the persisted count" 4
+        (Core.Serve.queries_admitted srv2);
+      let e2, got2 = collector () in
+      ignore (Core.Serve.run_batch srv2 e2 "select 17");
+      Tu.check_bool "restored ids continue monotonically" true
+        (has_prefix ~prefix:"{\"id\":5," (List.hd (got2 ())));
+      let e3, got3 = collector () in
+      ignore (Core.Serve.run_batch srv2 e3 "stats");
+      Tu.check_bool "by-kind counters survive the process boundary" true
+        (contains ~sub:"\"by_kind\":{\"select\":3,\"quantile\":1,\"range\":1}"
+           (List.hd (got3 ())));
+      teardown ctx1 srv1;
+      teardown ctx2 srv2)
+
 (* serve_channels: quit stops with [false], should_stop preempts reads. *)
 let test_serve_channels_stop () =
   let ctx, srv = make_server () in
@@ -316,6 +398,9 @@ let suite =
     Alcotest.test_case "fault reply determinism" `Quick test_fault_reply_determinism;
     Alcotest.test_case "budget keeps refinement" `Quick test_budget_keeps_refinement;
     Alcotest.test_case "crash halts loop" `Quick test_crash_halts_loop;
+    Alcotest.test_case "query ids monotone" `Quick test_query_ids_monotone;
+    Alcotest.test_case "reply cost object" `Quick test_reply_cost_object;
+    Alcotest.test_case "by-kind counters" `Quick test_by_kind_counters;
     Alcotest.test_case "state file round trip" `Quick test_state_file_round_trip;
     Alcotest.test_case "state file mismatch" `Quick test_state_file_mismatch;
     Alcotest.test_case "serve_channels stop" `Quick test_serve_channels_stop;

@@ -47,3 +47,12 @@ let check_no_leaks ?(live = 0) (c : int Em.Ctx.t) =
 
 let qcheck_case ?(count = 100) name gen prop =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+(* Substring assertions over JSON reply/frame lines. *)
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let contains ~sub s =
+  let ls = String.length s and lsub = String.length sub in
+  let rec go i = i + lsub <= ls && (String.sub s i lsub = sub || go (i + 1)) in
+  lsub = 0 || go 0
