@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test fmt goldens bench bench-json bench-file test-backends test-disks faults serve-smoke telemetry-smoke soak clean
+.PHONY: all build test fmt goldens bench bench-json bench-file test-backends test-disks faults serve-smoke telemetry-smoke soak cluster clean
 
 all: build
 
@@ -118,6 +118,26 @@ soak:
 	  --flight-dir flight-artifacts \
 	  | diff test/golden/soak.expected -
 	@echo "soak: transcript matches the golden (answers + k-crash bound hold)."
+
+# Cluster smoke: the same sharded partition on P=1 and P=4 machines, diffed
+# as one transcript against a golden.  Every number is a simulated cost
+# (counted I/Os, comparisons, communication rounds/words), so the output is
+# byte-deterministic; the P=1 half shows an empty communication ledger and
+# the binary itself exits 2 if either run's merged output diverges from the
+# sorted oracle — the "shards change communication, never work" gate in its
+# smallest form.  Regenerate after an intentional cost change with:
+#   ( dune exec bin/em_repro.exe -- cluster partition -n 4096 -k 8 \
+#       --shards 1 --mem 1024 --block 32 --seed 42 ; \
+#     dune exec bin/em_repro.exe -- cluster partition -n 4096 -k 8 \
+#       --shards 4 --mem 1024 --block 32 --seed 42 ) \
+#     > test/golden/cluster.expected
+cluster:
+	( dune exec bin/em_repro.exe -- cluster partition -n 4096 -k 8 \
+	    --shards 1 --mem 1024 --block 32 --seed 42 ; \
+	  dune exec bin/em_repro.exe -- cluster partition -n 4096 -k 8 \
+	    --shards 4 --mem 1024 --block 32 --seed 42 ) \
+	| diff test/golden/cluster.expected -
+	@echo "cluster: transcript matches the golden (P=1 and P=4 agree)."
 
 clean:
 	dune clean

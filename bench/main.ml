@@ -14,6 +14,7 @@ let sections =
   [
     ("table1", fun () -> Table1.all ());
     ("online", fun () -> Online.all ());
+    ("cluster", fun () -> Cluster.all ());
     ("soak", fun () -> Soak.all ());
     ("figures", fun () -> Figures.all (); []);
     ("ablations", fun () -> Ablations.all (); []);

@@ -38,6 +38,17 @@ let disks_t =
            and prefetch/write-behind batching change.  When omitted, honours the EM_DISKS \
            environment variable (default 1).")
 
+let shards_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards"; "P" ] ~docv:"P"
+        ~doc:
+          "Number of cluster shards: independent EM machines joined by a metered BSP \
+           interconnect.  Outputs and counted work are identical at any P; only the \
+           communication ledger (rounds and words) changes.  When omitted, honours the \
+           EM_SHARDS environment variable (default 1).")
+
 let workload_conv =
   let parse s =
     match String.split_on_char ':' s with

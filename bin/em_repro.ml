@@ -29,6 +29,16 @@ let b_opt_t =
 let baseline_t =
   Arg.(value & flag & info [ "baseline" ] ~doc:"Run the sort-based baseline instead.")
 
+let k_opt_t =
+  Arg.(value & opt int 16 & info [ "k" ] ~docv:"K" ~doc:"Partition / quantile count.")
+
+let ranks_opt_t =
+  Arg.(
+    value
+    & opt (some (list int)) None
+    & info [ "ranks" ] ~docv:"R1,R2,..."
+        ~doc:"Ranks for multiselect (default: the K quantile ranks).")
+
 (* ---- splitters ---- *)
 
 let run_splitters c n k a b baseline =
@@ -181,6 +191,173 @@ let quantiles_cmd =
   let doc = "Report the exact (1/K)-quantile elements (equi-depth boundaries)." in
   Cmd.v (Cmd.info "quantiles" ~doc) Term.(const run_quantiles $ common_t $ n_t $ k_t)
 
+(* ---- cluster (sharded drivers) ---- *)
+
+type cluster_algo = Csort | Cpartition | Cmultiselect | Csplitters
+
+let cluster_algo_t =
+  let algos =
+    [
+      ("sort", Csort); ("partition", Cpartition); ("multiselect", Cmultiselect);
+      ("splitters", Csplitters);
+    ]
+  in
+  Arg.(
+    required
+    & pos 0 (some (enum algos)) None
+    & info [] ~docv:"ALGO" ~doc:"Sharded driver: sort, partition, multiselect or splitters.")
+
+let eps_t =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "eps" ] ~docv:"EPS"
+        ~doc:
+          "Balance slack of the splitter agreement: cut ranks may land within eps*N/(2K) of \
+           the exact quantile targets (0 = exact).")
+
+(* The exchange is exactly one superstep, so the agreement's own round count
+   is the ledger total minus it (clamped: a perfectly pre-placed input posts
+   no transfers and its superstep is free). *)
+let cluster_report t ~algo_name ~boundaries (ag : int Core.Cluster.agreement option) =
+  let reads, writes, comparisons = Core.Cluster.totals t in
+  Printf.printf "work:         %d I/Os (reads %d, writes %d), %d comparisons\n" (reads + writes)
+    reads writes comparisons;
+  let s = Core.Cluster.comm t in
+  Printf.printf "comm:         %d rounds, %d words\n" s.Em.Stats.comm_rounds s.Em.Stats.comm_words;
+  let recv = Em.Stats.recv_report s in
+  List.iter
+    (fun (i, sent) ->
+      let got = Option.value (List.assoc_opt i recv) ~default:0 in
+      Printf.printf "shard %-7d sent %d, recv %d words\n" i sent got)
+    (Em.Stats.sent_report s);
+  match ag with
+  | None -> Printf.printf "agreement:    none (single shard)\n"
+  | Some ag ->
+      let exchange_rounds =
+        match algo_name with "sort" | "partition" -> 1 | _ -> 0
+      in
+      let agree_rounds = max 0 (s.Em.Stats.comm_rounds - exchange_rounds) in
+      let round_ratio, sample_ratio =
+        Core.Bound_track.publish_cluster (Em.Metrics.create ()) ~shards:(Core.Cluster.size t)
+          ~algo:algo_name ~boundaries ~rounds_budget:ag.Core.Cluster.rounds_budget
+          ~per_round:ag.Core.Cluster.per_round ~iterations:ag.Core.Cluster.iterations
+          ~samples:ag.Core.Cluster.samples ~comm_rounds:agree_rounds
+      in
+      Printf.printf "agreement:    %d boundaries in %d iterations (budget %d, m=%d per round)\n"
+        (Array.length ag.Core.Cluster.values)
+        ag.Core.Cluster.iterations ag.Core.Cluster.rounds_budget ag.Core.Cluster.per_round;
+      Printf.printf "agree rounds: %d vs 2r+2 budget (ratio %.2f)\n" agree_rounds round_ratio;
+      Printf.printf "samples:      %d vs rTPm budget (ratio %.2f)\n" ag.Core.Cluster.samples
+        sample_ratio;
+      Printf.printf "gather:       %d words finished exactly\n" ag.Core.Cluster.gathered
+
+let run_cluster c algo n k ranks eps shards fault_seed fault_p fault_kinds max_retries =
+  setup_logs c;
+  let trace = make_trace c in
+  let t : int Core.Cluster.t =
+    Core.Cluster.create ~trace ?backend:c.backend ?disks:c.disks ?shards
+      (Em.Params.create ~mem:c.mem ~block:c.block)
+  in
+  let p = Core.Cluster.size t in
+  for i = 0 to p - 1 do
+    arm_faults (Core.Cluster.ctx t i) ~max_retries ~fault_p ~fault_seed:(fault_seed + i)
+      ~fault_kinds
+  done;
+  describe c (Core.Cluster.ctx t 0);
+  Printf.printf "cluster:      P=%d shards\n" p;
+  let a = Core.Workload.generate c.workload ~seed:c.seed ~n ~block:c.block in
+  let parts = Core.Cluster.place t a in
+  let expect () =
+    let e = Array.copy a in
+    Array.sort icmp e;
+    e
+  in
+  (match algo with
+  | Csort ->
+      Printf.printf "problem:      sharded sort of %d elements (eps=%.2f)\n" n eps;
+      let out, ag = Core.Cluster.sort ~eps icmp t parts in
+      Array.iteri
+        (fun i v -> Printf.printf "shard %-7d holds %d sorted elements\n" i (Em.Vec.length v))
+        out;
+      let merged = Array.concat (Array.to_list (Array.map Em.Vec.Oracle.to_array out)) in
+      Array.iter Em.Vec.free out;
+      cluster_report t ~algo_name:"sort" ~boundaries:(p - 1) ag;
+      print_verified
+        (if merged = expect () then Ok () else Error "merged shards <> sorted input")
+  | Cpartition ->
+      Printf.printf "problem:      sharded partition of %d elements into %d parts (eps=%.2f)\n" n
+        k eps;
+      let out, ag = Core.Cluster.partition ~eps icmp t parts ~k in
+      Array.iteri
+        (fun g v ->
+          Printf.printf "part %-8d %d elements on shard %d\n" g (Em.Vec.length v)
+            (Core.Cluster.owner ~p ~k g))
+        out;
+      let merged = Array.concat (Array.to_list (Array.map Em.Vec.Oracle.to_array out)) in
+      Array.iter Em.Vec.free out;
+      cluster_report t ~algo_name:"partition" ~boundaries:(k - 1) ag;
+      print_verified
+        (if merged = expect () then Ok () else Error "concatenated parts <> sorted input")
+  | Cmultiselect ->
+      let ranks =
+        match ranks with
+        | Some rs -> Array.of_list rs
+        | None -> Array.of_list (List.sort_uniq compare [ max 1 (n / 4); max 1 (n / 2); max 1 (3 * n / 4) ])
+      in
+      Printf.printf "problem:      sharded multi-selection of %d ranks from %d elements\n"
+        (Array.length ranks) n;
+      let values, ag = Core.Cluster.multiselect icmp t parts ~ranks in
+      Array.iteri (fun j _ -> Printf.printf "rank %-8d -> %d\n" ranks.(j) values.(j)) ranks;
+      cluster_report t ~algo_name:"multiselect" ~boundaries:(Array.length ranks) (Some ag);
+      print_verified (Core.Verify.multi_select icmp ~input:a ~ranks values)
+  | Csplitters ->
+      Printf.printf "problem:      sharded (1+eps)-splitters of %d elements, K=%d (eps=%.2f)\n" n
+        k eps;
+      let ag = Core.Cluster.splitters ~eps icmp t parts ~k in
+      Array.iteri
+        (fun j v ->
+          Printf.printf "splitter %-4d -> %d (rank %d, target %d)\n" (j + 1) v
+            ag.Core.Cluster.ranks.(j) ag.Core.Cluster.targets.(j))
+        ag.Core.Cluster.values;
+      cluster_report t ~algo_name:"splitters" ~boundaries:(k - 1) (Some ag);
+      let e = expect () in
+      let rank_le x =
+        (* first index with e.(i) > x, i.e. |{ y <= x }| *)
+        let lo = ref 0 and hi = ref (Array.length e) in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if e.(mid) <= x then lo := mid + 1 else hi := mid
+        done;
+        !lo
+      in
+      let err = ref None in
+      Array.iteri
+        (fun j v ->
+          let r = rank_le v in
+          if r <> ag.Core.Cluster.ranks.(j) then
+            err := Some (Printf.sprintf "splitter %d: claimed rank %d, oracle %d" (j + 1)
+                           ag.Core.Cluster.ranks.(j) r)
+          else if abs (r - ag.Core.Cluster.targets.(j)) > ag.Core.Cluster.tol then
+            err := Some (Printf.sprintf "splitter %d: rank %d off target %d by more than tol %d"
+                           (j + 1) r ag.Core.Cluster.targets.(j) ag.Core.Cluster.tol))
+        ag.Core.Cluster.values;
+      print_verified (match !err with None -> Ok () | Some m -> Error m));
+  Array.iter Em.Vec.free parts;
+  Core.Cluster.close t
+
+let cluster_cmd =
+  let doc =
+    "Run a sharded driver on a P-shard cluster (EM machines joined by a metered BSP \
+     interconnect).  Outputs are identical at every P; only the communication ledger varies."
+  in
+  Cmd.v (Cmd.info "cluster" ~doc)
+    Term.(
+      const run_cluster $ common_t $ cluster_algo_t $ n_t $ k_opt_t $ ranks_opt_t $ eps_t
+      $ shards_t $ fault_seed_t
+      $ fault_p_t ~default:0. ()
+      $ fault_kinds_t $ max_retries_t)
+
 (* ---- reduce (Section 3) ---- *)
 
 let chunk_t =
@@ -229,16 +406,6 @@ let trace_algo_t =
     required
     & pos 0 (some traceable_conv) None
     & info [] ~docv:"ALGO" ~doc:"Algorithm to trace: splitters, partition, multiselect or quantiles.")
-
-let k_opt_t =
-  Arg.(value & opt int 16 & info [ "k" ] ~docv:"K" ~doc:"Partition / quantile count.")
-
-let ranks_opt_t =
-  Arg.(
-    value
-    & opt (some (list int)) None
-    & info [ "ranks" ] ~docv:"R1,R2,..."
-        ~doc:"Ranks for multiselect (default: the K quantile ranks).")
 
 let jsonl_t =
   Arg.(
@@ -765,6 +932,7 @@ let () =
         multiselect_cmd;
         multipartition_cmd;
         quantiles_cmd;
+        cluster_cmd;
         reduce_cmd;
         trace_cmd;
         metrics_cmd;

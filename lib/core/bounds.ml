@@ -63,6 +63,60 @@ let multi_select p ~n ~k =
 
 let multi_partition p ~n ~k = scan p ~n *. lg p (fi k)
 
+(* Histogram sort with sampling (Yang–Harsh–Solomonik): iterative splitter
+   agreement across P shards.  Each refinement iteration has every shard
+   contribute [m] evenly-spaced (by local rank) candidates per unresolved
+   boundary; one allgather of candidates plus one allgather of local
+   histograms shrinks each boundary's global-rank uncertainty from [W] to at
+   most [W/(m+1) + P + 1].  Summing the slop geometrically, [r] iterations
+   take the initial uncertainty [N] down to [N/(m+1)^r + 2(P+1)], after
+   which a single gather of the residual interval finishes exactly.  The
+   formulas below are that guarantee made evaluable: [hss_per_round] is the
+   smallest [m] whose [r]-iteration shrink reaches the resolution target,
+   and the round/sample budgets are the corresponding worst cases that
+   [Bound_track] gates measured agreements against. *)
+
+let hss_slop ~shards = 2 * (shards + 1)
+
+(* Residual interval size at which gathering the whole interval is cheaper
+   than refining further.  Must exceed the accumulated slop so the gather is
+   guaranteed to trigger once the multiplicative shrink is exhausted. *)
+let hss_gather_cap ~shards = max 64 (6 * (shards + 1))
+
+(* Effective shrink target: resolve down to the tolerance (or the gather
+   cap, whichever is coarser), discounting the additive slop the shrink
+   cannot remove. *)
+let hss_resolve ~shards ~tol =
+  max 1 (max tol (hss_gather_cap ~shards) - hss_slop ~shards)
+
+let hss_per_round ~shards ~tol ~rounds ~n =
+  let x = fdiv n (hss_resolve ~shards ~tol) in
+  if x <= 1. then 1
+  else max 1 (int_of_float (ceil (x ** (1. /. fi rounds))) - 1)
+
+(* Round-optimal iteration count: minimise the [r * x^(1/r)] sample-volume
+   shape (the Yang–Harsh–Solomonik tradeoff with the problem's shrink ratio
+   [x]) over small [r].  Ties go to fewer iterations — rounds are the
+   expensive resource. *)
+let hss_rounds ~shards ~tol ~n =
+  let x = Float.max 2. (fdiv n (hss_resolve ~shards ~tol)) in
+  let cost r = fi r *. (x ** (1. /. fi r)) in
+  let best = ref 1 in
+  for r = 2 to 8 do
+    if cost r < cost !best then best := r
+  done;
+  !best
+
+(* Two allgather supersteps per refinement iteration (candidates, then
+   histograms), plus one gather and one broadcast superstep for the exact
+   finish of any boundaries the tolerance did not already resolve. *)
+let hss_comm_rounds_upper ~rounds = fi ((2 * rounds) + 2)
+
+(* Total candidates drawn: [m] per shard per unresolved boundary per
+   iteration. *)
+let hss_sample_upper ~shards ~boundaries ~rounds ~per_round =
+  fi (rounds * boundaries * shards * per_round)
+
 let dispatch spec ~unconstrained ~right ~left ~two =
   match Problem.classify spec with
   | Problem.Unconstrained -> unconstrained

@@ -67,6 +67,48 @@ val multi_select : Em.Params.t -> n:int -> k:int -> float
 val multi_partition : Em.Params.t -> n:int -> k:int -> float
 (** [(N/B) lg_{M/B} K] — Aggarwal–Vitter, tight (Lemma 5). *)
 
+(** {2 Distributed splitter agreement (histogram sort with sampling)}
+
+    The Yang–Harsh–Solomonik round/sample tradeoff for agreeing on global
+    splitters across [P] shards, specialised to {!Cluster.agree}'s
+    deterministic refinement: with [m] evenly-spaced candidates per shard
+    per unresolved boundary per iteration, every iteration shrinks a
+    boundary's global-rank uncertainty from [W] to at most
+    [W/(m+1) + P + 1], so [r] iterations reach
+    [N/(m+1)^r + 2(P+1)], after which one gather of the residual interval
+    finishes exactly.  All budgets are deterministic worst cases — measured
+    agreements must land at ratio <= 1 against them, which the bench gates
+    via {!Bound_track}. *)
+
+val hss_slop : shards:int -> int
+(** [2(P+1)]: the additive uncertainty per-iteration interleaving leaves
+    behind, summed geometrically over all iterations. *)
+
+val hss_gather_cap : shards:int -> int
+(** Residual interval size at which {!Cluster.agree} stops refining and
+    gathers the whole interval ([max 64 (6(P+1))] — comfortably above
+    {!hss_slop}, so the gather is guaranteed to trigger). *)
+
+val hss_resolve : shards:int -> tol:int -> int
+(** The effective multiplicative shrink target:
+    [max tol (gather_cap) - slop], floored at 1. *)
+
+val hss_rounds : shards:int -> tol:int -> n:int -> int
+(** Round-optimal refinement-iteration budget: the [r] (in 1..8) minimising
+    the [r * x^(1/r)] sample-volume shape, where [x = N / resolve]. *)
+
+val hss_per_round : shards:int -> tol:int -> rounds:int -> n:int -> int
+(** [m]: candidates per shard per unresolved boundary per iteration — the
+    smallest [m >= 1] with [(m+1)^rounds >= N / resolve]. *)
+
+val hss_comm_rounds_upper : rounds:int -> float
+(** [2 * rounds + 2] communication rounds: two allgather supersteps per
+    iteration plus a gather and a broadcast for the exact finish. *)
+
+val hss_sample_upper : shards:int -> boundaries:int -> rounds:int -> per_round:int -> float
+(** [rounds * boundaries * P * m]: total candidates drawn across the
+    agreement, the Yang–Harsh–Solomonik sample volume. *)
+
 (** Dispatchers over the spec's variant. *)
 
 val splitters_lower : Em.Params.t -> Problem.spec -> float

@@ -450,14 +450,25 @@ let em_error_json ~id ~retries e =
 let cost_json srv =
   let s = Emalg.Online_select.summary srv.session in
   let st = srv.ctx.Em.Ctx.stats in
+  (* Communication counters are simulated costs, so they belong in this
+     compartment — but a serve session's machine only accrues them when it
+     runs as a cluster shard, so they are emitted gated (like the shard id
+     on trace events): absent when zero, keeping the frame goldens of every
+     single-machine session byte-identical. *)
+  let comm =
+    if st.Em.Stats.comm_rounds > 0 || st.Em.Stats.comm_words > 0 then
+      Printf.sprintf ",\"comm_rounds\":%d,\"comm_words\":%d"
+        (Em.Stats.effective_comm_rounds st) st.Em.Stats.comm_words
+    else ""
+  in
   Printf.sprintf
-    "{\"ios\":%d,\"refine_ios\":%d,\"answer_ios\":%d,\"splits\":%d,\"leaves\":%d,\"sorted_leaves\":%d,\"reads\":%d,\"writes\":%d,\"rounds\":%d,\"comparisons\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\"by_kind\":%s,\"drift_ratio\":%.4f}"
+    "{\"ios\":%d,\"refine_ios\":%d,\"answer_ios\":%d,\"splits\":%d,\"leaves\":%d,\"sorted_leaves\":%d,\"reads\":%d,\"writes\":%d,\"rounds\":%d,\"comparisons\":%d,\"cache_hits\":%d,\"cache_misses\":%d%s,\"by_kind\":%s,\"drift_ratio\":%.4f}"
     (s.Emalg.Online_select.refine_ios + s.Emalg.Online_select.answer_ios)
     s.Emalg.Online_select.refine_ios s.Emalg.Online_select.answer_ios
     s.Emalg.Online_select.splits s.Emalg.Online_select.leaves
     s.Emalg.Online_select.sorted_leaves st.Em.Stats.reads st.Em.Stats.writes
     (Em.Stats.effective_rounds st) st.Em.Stats.comparisons
-    st.Em.Stats.cache_hits st.Em.Stats.cache_misses (by_kind_json srv)
+    st.Em.Stats.cache_hits st.Em.Stats.cache_misses comm (by_kind_json srv)
     (Drift.ratio srv.drift)
 
 (* The "wall" payload: everything wall-clock-derived, and nothing else. *)

@@ -4,29 +4,33 @@ type 'a t = {
   trace : Trace.t;
   backend : Backend.instance;
   dev : 'a Device.t;
+  shard : int option;
 }
 
-let create ?trace ?backend ?backend_dir ?pool_pages ?disks params =
+let create ?trace ?backend ?backend_dir ?pool_pages ?disks ?shard params =
   let params = match disks with None -> params | Some d -> Params.with_disks params d in
   let stats = Stats.create () in
   let trace = match trace with Some t -> t | None -> Trace.create () in
   let spec = match backend with Some s -> s | None -> Backend.default_spec () in
   let backend = Backend.instance ?dir:backend_dir ?pool_pages spec params stats in
   { params; stats; trace; backend;
-    dev = Device.create ~trace ~backend:(Backend.make backend) params stats }
+    dev = Device.create ~trace ~backend:(Backend.make backend) ?shard params stats;
+    shard }
 
 let linked ctx =
   (* The linked device inherits the family's backend instance: same spec,
      same backing directory, and — crucially — the same buffer pool when
      cached, while keeping its own (disjoint) slot space. *)
   let dev =
-    Device.create ~trace:ctx.trace ~backend:(Backend.make ctx.backend) ctx.params ctx.stats
+    Device.create ~trace:ctx.trace ~backend:(Backend.make ctx.backend) ?shard:ctx.shard
+      ctx.params ctx.stats
   in
   (* Auxiliary streams face the same disk: one fault plan sees the family's
      interleaved I/O stream, and recovery counters aggregate across it. *)
   (match Device.injector ctx.dev with None -> () | Some plan -> Device.inject dev plan);
   (match Device.recovery ctx.dev with None -> () | Some r -> Device.arm ~share:r dev);
-  { params = ctx.params; stats = ctx.stats; trace = ctx.trace; backend = ctx.backend; dev }
+  { params = ctx.params; stats = ctx.stats; trace = ctx.trace; backend = ctx.backend; dev;
+    shard = ctx.shard }
 
 let backend_name ctx = Backend.name ctx.backend
 let backend_pool ctx = Backend.pool ctx.backend
@@ -47,6 +51,7 @@ let measured ctx f =
   let result = f () in
   (result, Stats.delta ctx.stats snap)
 
+let shard ctx = ctx.shard
 let mem_capacity ctx = ctx.params.Params.mem
 let block_size ctx = ctx.params.Params.block
 let fanout ctx = Params.fanout ctx.params

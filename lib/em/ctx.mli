@@ -11,11 +11,12 @@ type 'a t = {
   trace : Trace.t;
   backend : Backend.instance;
   dev : 'a Device.t;
+  shard : int option;  (** cluster shard identity; [None] on single machines *)
 }
 
 val create :
   ?trace:Trace.t -> ?backend:Backend.spec -> ?backend_dir:string -> ?pool_pages:int ->
-  ?disks:int -> Params.t -> 'a t
+  ?disks:int -> ?shard:int -> Params.t -> 'a t
 (** Fresh machine with zeroed counters.  Pass [~trace] to route I/O events
     into a tracer you configured (extra sinks, larger ring); otherwise a
     default ring-buffered tracer is attached.
@@ -28,12 +29,18 @@ val create :
 
     [disks] overrides the parameter record's disk count (itself defaulted
     from [$EM_DISKS]); it changes round accounting and slot striping, never
-    per-block [reads]/[writes] or algorithm results. *)
+    per-block [reads]/[writes] or algorithm results.
+
+    [shard] names the machine's position in a {!Core.Cluster}: each shard is
+    a fully independent machine (own backend instance, own M-word ledger,
+    own D disks) whose trace events carry the shard id.  Omit it on single
+    machines — shard annotations are only emitted when present, so
+    single-machine traces and goldens are unchanged. *)
 
 val linked : 'a t -> 'b t
 (** A context over a fresh device for elements of another type, sharing the
-    parameters, I/O counters, tracer and memory ledger of the original
-    machine.  Used for auxiliary streams (rank lists, tagged pairs): all
+    parameters, I/O counters, tracer, memory ledger — and shard identity —
+    of the original machine.  Used for auxiliary streams (rank lists, tagged pairs): all
     their I/Os and buffers are charged to the same meters.  The linked
     device inherits the parent's backend instance — file-backed families
     write under the same directory and cached families share one buffer
@@ -83,6 +90,9 @@ val fanout : 'a t -> int
 
 val disks : 'a t -> int
 (** D: the machine's parallel disk count (see {!Params}). *)
+
+val shard : 'a t -> int option
+(** The machine's cluster shard identity, when it is part of one. *)
 
 val with_words : 'a t -> int -> (unit -> 'b) -> 'b
 (** Charge the memory ledger around a computation; see {!Mem.with_words}. *)

@@ -46,6 +46,7 @@ type 'a t = {
   stats : Stats.t;
   trace : Trace.t;
   backend : 'a Backend.t;  (* physical slot storage; see [Backend] *)
+  shard : int option;  (* cluster shard identity; [None] on single machines *)
   mutable next_id : int;  (* watermark: every issued id is < next_id *)
   mutable live : int;
   freed : (int, unit) Hashtbl.t;  (* ids currently on the free list *)
@@ -54,7 +55,7 @@ type 'a t = {
   mutable recovery : recovery option;
 }
 
-let create ?trace ?backend params stats =
+let create ?trace ?backend ?shard params stats =
   let trace = match trace with Some t -> t | None -> Trace.create () in
   let backend =
     match backend with
@@ -66,6 +67,7 @@ let create ?trace ?backend params stats =
     stats;
     trace;
     backend;
+    shard;
     next_id = 0;
     live = 0;
     freed = Hashtbl.create 64;
@@ -77,6 +79,7 @@ let create ?trace ?backend params stats =
 let params d = d.params
 let stats d = d.stats
 let trace d = d.trace
+let shard d = d.shard
 let backend_name d = d.backend.Backend.name
 let flush d = d.backend.Backend.flush ()
 let close d = d.backend.Backend.close ()
@@ -256,7 +259,7 @@ let charge ?cache d (op : Trace.op) ~block ~fault ~attempt =
   Trace.emit ~kind:(trace_kind fault attempt) ~backend:d.backend.Backend.name ?cache
     ?disk:(if multi then Some disk else None)
     ?round:(if multi then Some round else None)
-    d.trace op ~block ~phase:d.stats.Stats.phase_stack
+    ?shard:d.shard d.trace op ~block ~phase:d.stats.Stats.phase_stack
 
 (* A sticky fault fires before the injector is even consulted; permanent
    faults injected by the plan become sticky on their physical slot. *)

@@ -69,17 +69,25 @@ type recovery = {
 
 type 'a t
 
-val create : ?trace:Trace.t -> ?backend:'a Backend.t -> Params.t -> Stats.t -> 'a t
+val create :
+  ?trace:Trace.t -> ?backend:'a Backend.t -> ?shard:int -> Params.t -> Stats.t -> 'a t
 (** [create ?trace ?backend params stats] makes a device whose metered
     operations are counted in [stats] and emitted to [trace] (a fresh
     default tracer if omitted), storing bytes in [backend] (a fresh
     {!Backend.sim} sized by {!Backend.default_slots} if omitted).  Devices
     created through {!Ctx.linked} share one tracer.  The device starts with
-    no injector and unarmed. *)
+    no injector and unarmed.
+
+    [shard] is the device's cluster shard identity (see {!Core.Cluster});
+    when set, every trace event the device emits carries it.  Omitted on
+    single machines, so single-machine traces keep their historical shape. *)
 
 val params : 'a t -> Params.t
 val stats : 'a t -> Stats.t
 val trace : 'a t -> Trace.t
+
+val shard : 'a t -> int option
+(** The device's cluster shard identity, when it is part of one. *)
 
 val backend_name : 'a t -> string
 (** e.g. ["sim"], ["file"], ["cached"]; stamped on every trace event. *)

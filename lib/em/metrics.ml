@@ -335,6 +335,33 @@ let publish_stats t (s : Stats.t) =
       (gauge t ~help:"Buffer-pool page evictions" "cache_evictions_total")
       (float_of_int s.Stats.cache_evictions)
   end;
+  (* Communication gauges appear only once the machine has actually moved
+     words between shards, so single-machine runs — and the pinned exporter
+     goldens — keep their shape. *)
+  if s.Stats.comm_rounds > 0 || s.Stats.comm_words > 0 then begin
+    set
+      (gauge t ~help:"Communication rounds (one per BSP superstep)" "comm_rounds_total")
+      (float_of_int s.Stats.comm_rounds);
+    set
+      (gauge t ~help:"Words moved between shards" "comm_words_total")
+      (float_of_int s.Stats.comm_words);
+    List.iter
+      (fun (shard, words) ->
+        set
+          (gauge t ~help:"Words sent per source shard"
+             ~labels:[ ("shard", string_of_int shard) ]
+             "shard_sent_words")
+          (float_of_int words))
+      (Stats.sent_report s);
+    List.iter
+      (fun (shard, words) ->
+        set
+          (gauge t ~help:"Words received per destination shard"
+             ~labels:[ ("shard", string_of_int shard) ]
+             "shard_recv_words")
+          (float_of_int words))
+      (Stats.recv_report s)
+  end;
   List.iter
     (fun (path, ios) ->
       set

@@ -80,4 +80,9 @@ val publish_stats : t -> Stats.t -> unit
     [faults_total], [retries_total], [mem_peak_words], and one
     [phase_ios{path=...}] gauge per phase path.  When a cached backend has
     been active (any nonzero cache counter), additionally
-    [cache_hits_total], [cache_misses_total] and [cache_evictions_total]. *)
+    [cache_hits_total], [cache_misses_total] and [cache_evictions_total].
+    When the communication ledger is live (a {!Core.Cluster} has been
+    metering transfers), additionally [comm_rounds_total],
+    [comm_words_total] and per-shard [shard_sent_words{shard=...}] /
+    [shard_recv_words{shard=...}] gauges — all simulated costs, like every
+    other gauge here. *)

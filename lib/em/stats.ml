@@ -19,6 +19,12 @@ type t = {
   disk_ios : (int, int) Hashtbl.t;
   mutable window_depth : int;
   window_counts : (int, int) Hashtbl.t;
+  mutable comm_rounds : int;
+  mutable comm_words : int;
+  shard_sent : (int, int) Hashtbl.t;
+  shard_recv : (int, int) Hashtbl.t;
+  mutable comm_depth : int;
+  mutable comm_pending : int;
   mutable mem_in_use : int;
   mutable pool_words : int;
   mutable mem_peak : int;
@@ -45,6 +51,12 @@ let create () =
     disk_ios = Hashtbl.create 8;
     window_depth = 0;
     window_counts = Hashtbl.create 8;
+    comm_rounds = 0;
+    comm_words = 0;
+    shard_sent = Hashtbl.create 8;
+    shard_recv = Hashtbl.create 8;
+    comm_depth = 0;
+    comm_pending = 0;
     mem_in_use = 0;
     pool_words = 0;
     mem_peak = 0;
@@ -70,6 +82,12 @@ let reset s =
   Hashtbl.reset s.disk_ios;
   s.window_depth <- 0;
   Hashtbl.reset s.window_counts;
+  s.comm_rounds <- 0;
+  s.comm_words <- 0;
+  Hashtbl.reset s.shard_sent;
+  Hashtbl.reset s.shard_recv;
+  s.comm_depth <- 0;
+  s.comm_pending <- 0;
   s.mem_in_use <- 0;
   s.pool_words <- 0;
   s.mem_peak <- 0;
@@ -194,6 +212,51 @@ let pending_window_rounds s =
 
 let effective_rounds s = s.rounds + pending_window_rounds s
 
+(* Communication ledger.  The discipline mirrors the I/O scheduling windows:
+   outside a superstep every transfer is its own communication round; inside
+   one, transfers pile up and the outermost close charges exactly one round
+   (BSP semantics: all messages posted in a superstep are delivered together).
+   Volume ([comm_words], per-shard send/recv) is window-independent, like
+   [reads]/[writes] — supersteps change rounds, never words. *)
+let tbl_add tbl key n =
+  Hashtbl.replace tbl key (n + Option.value (Hashtbl.find_opt tbl key) ~default:0)
+
+let record_comm s ~src ~dst ~words =
+  if src <> dst && words > 0 then begin
+    s.comm_words <- s.comm_words + words;
+    tbl_add s.shard_sent src words;
+    tbl_add s.shard_recv dst words;
+    if s.comm_depth > 0 then s.comm_pending <- s.comm_pending + 1
+    else s.comm_rounds <- s.comm_rounds + 1
+  end
+
+let begin_comm_round s = s.comm_depth <- s.comm_depth + 1
+
+let end_comm_round s =
+  if s.comm_depth > 0 then begin
+    s.comm_depth <- s.comm_depth - 1;
+    if s.comm_depth = 0 then begin
+      if s.comm_pending > 0 then s.comm_rounds <- s.comm_rounds + 1;
+      s.comm_pending <- 0
+    end
+  end
+
+let with_comm_round s f =
+  begin_comm_round s;
+  Fun.protect ~finally:(fun () -> end_comm_round s) f
+
+(* Rounds the currently-open outermost superstep would charge if it closed
+   now, so mid-superstep snapshots telescope just like mid-window ones. *)
+let pending_comm_rounds s = if s.comm_depth > 0 && s.comm_pending > 0 then 1 else 0
+let effective_comm_rounds s = s.comm_rounds + pending_comm_rounds s
+
+let shard_report tbl =
+  Hashtbl.fold (fun shard n acc -> (shard, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let sent_report s = shard_report s.shard_sent
+let recv_report s = shard_report s.shard_recv
+
 type snapshot = {
   at_reads : int;
   at_writes : int;
@@ -203,6 +266,8 @@ type snapshot = {
   at_cache_hits : int;
   at_cache_misses : int;
   at_rounds : int;
+  at_comm_rounds : int;
+  at_comm_words : int;
 }
 
 let snapshot s =
@@ -215,6 +280,8 @@ let snapshot s =
     at_cache_hits = s.cache_hits;
     at_cache_misses = s.cache_misses;
     at_rounds = effective_rounds s;
+    at_comm_rounds = effective_comm_rounds s;
+    at_comm_words = s.comm_words;
   }
 
 let ios_since s snap = s.reads + s.writes - snap.at_reads - snap.at_writes
@@ -229,6 +296,8 @@ type delta = {
   d_cache_hits : int;
   d_cache_misses : int;
   d_rounds : int;
+  d_comm_rounds : int;
+  d_comm_words : int;
 }
 
 let delta s snap =
@@ -241,6 +310,8 @@ let delta s snap =
     d_cache_hits = s.cache_hits - snap.at_cache_hits;
     d_cache_misses = s.cache_misses - snap.at_cache_misses;
     d_rounds = effective_rounds s - snap.at_rounds;
+    d_comm_rounds = effective_comm_rounds s - snap.at_comm_rounds;
+    d_comm_words = s.comm_words - snap.at_comm_words;
   }
 
 let delta_ios d = d.d_reads + d.d_writes
@@ -253,7 +324,9 @@ let pp_delta ppf d =
   if d.d_cache_hits > 0 || d.d_cache_misses > 0 then
     Format.fprintf ppf " [cache hits = %d; misses = %d]" d.d_cache_hits d.d_cache_misses;
   if d.d_rounds <> delta_ios d then
-    Format.fprintf ppf " [rounds = %d]" d.d_rounds
+    Format.fprintf ppf " [rounds = %d]" d.d_rounds;
+  if d.d_comm_rounds > 0 || d.d_comm_words > 0 then
+    Format.fprintf ppf " [comm rounds = %d; words = %d]" d.d_comm_rounds d.d_comm_words
 
 let pp ppf s =
   Format.fprintf ppf
@@ -263,4 +336,6 @@ let pp ppf s =
     Format.fprintf ppf " [faults = %d; retries = %d]" s.faults s.retries;
   if s.cache_hits > 0 || s.cache_misses > 0 then
     Format.fprintf ppf " [cache hits = %d; misses = %d]" s.cache_hits s.cache_misses;
-  if s.rounds <> ios s then Format.fprintf ppf " [rounds = %d]" s.rounds
+  if s.rounds <> ios s then Format.fprintf ppf " [rounds = %d]" s.rounds;
+  if s.comm_rounds > 0 || s.comm_words > 0 then
+    Format.fprintf ppf " [comm rounds = %d; words = %d]" s.comm_rounds s.comm_words

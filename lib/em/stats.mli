@@ -42,6 +42,17 @@ type t = {
   mutable window_depth : int;  (** open {!begin_window} nesting depth *)
   window_counts : (int, int) Hashtbl.t;
       (** per-disk I/O counts of the currently open outermost window *)
+  mutable comm_rounds : int;
+      (** communication rounds: outside a superstep every metered transfer
+          is its own round; a {!with_comm_round} superstep costs one round
+          no matter how many messages it posts.  Zero on a single-shard
+          machine — communication is a cluster-level cost. *)
+  mutable comm_words : int;  (** total words moved between shards *)
+  shard_sent : (int, int) Hashtbl.t;  (** words sent, per source shard *)
+  shard_recv : (int, int) Hashtbl.t;  (** words received, per destination shard *)
+  mutable comm_depth : int;  (** open {!begin_comm_round} nesting depth *)
+  mutable comm_pending : int;
+      (** transfers posted in the currently open outermost superstep *)
   mutable mem_in_use : int;  (** words currently charged by algorithms *)
   mutable pool_words : int;
       (** words held by buffer-pool pages (see {!Backend.Pool}); counted
@@ -125,6 +136,42 @@ val with_window : t -> (unit -> 'a) -> 'a
 val disk_report : t -> (int * int) list
 (** Metered I/Os per disk id, sorted by disk.  Empty before any I/O. *)
 
+val record_comm : t -> src:int -> dst:int -> words:int -> unit
+(** Attribute a [words]-word transfer from shard [src] to shard [dst]
+    (called by {!Core.Cluster}'s collectives).  Self-sends ([src = dst]) and
+    empty messages move nothing over the interconnect and are free.  Outside
+    a superstep the transfer is its own communication round; inside one it
+    joins the open superstep, which costs a single round at its outermost
+    close.  Volume counters are window-independent: supersteps change
+    rounds, never words. *)
+
+val begin_comm_round : t -> unit
+(** Open a BSP superstep.  Nested supersteps merge into the outermost one,
+    exactly like {!begin_window} merges scheduling windows. *)
+
+val end_comm_round : t -> unit
+(** Close one superstep level.  Closing the outermost level charges one
+    communication round iff any transfer was posted inside it. *)
+
+val with_comm_round : t -> (unit -> 'a) -> 'a
+(** [with_comm_round s f] brackets [f] with
+    {!begin_comm_round}/{!end_comm_round} (exception-safe). *)
+
+val pending_comm_rounds : t -> int
+(** The round the currently-open outermost superstep would charge if it
+    closed now ([1] iff it has posted a transfer, [0] otherwise), so
+    mid-superstep cost bracketing telescopes: see {!effective_comm_rounds}. *)
+
+val effective_comm_rounds : t -> int
+(** [comm_rounds + pending_comm_rounds].  {!snapshot} and {!delta} use this,
+    mirroring {!effective_rounds} for the I/O ledger. *)
+
+val sent_report : t -> (int * int) list
+(** Words sent per source shard, sorted by shard.  Empty before any comm. *)
+
+val recv_report : t -> (int * int) list
+(** Words received per destination shard, sorted by shard. *)
+
 val pending_window_rounds : t -> int
 (** Rounds the currently-open outermost scheduling window would charge if it
     closed now ([max] over its per-disk counts); [0] when no window is open.
@@ -147,6 +194,8 @@ type snapshot = {
   at_cache_hits : int;
   at_cache_misses : int;
   at_rounds : int;
+  at_comm_rounds : int;
+  at_comm_words : int;
 }
 
 val snapshot : t -> snapshot
@@ -165,6 +214,8 @@ type delta = {
   d_cache_hits : int;
   d_cache_misses : int;
   d_rounds : int;
+  d_comm_rounds : int;
+  d_comm_words : int;
 }
 (** Cost of a bracketed computation, as reported by {!Ctx.measured}.
     [d_reads]/[d_writes] already include retry I/Os; [d_faults]/[d_retries]

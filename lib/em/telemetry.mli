@@ -16,9 +16,13 @@
     byte-deterministic quantities; anything derived from the wall clock
     (timestamps, qps, latency quantiles) is confined to ["wall"], so smoke
     tests normalise exactly one sub-object per line and byte-diff the
-    rest.  Both payloads are supplied by the caller as pre-rendered JSON
-    object strings; the wall payload is a thunk, evaluated only for frames
-    that are actually emitted. *)
+    rest.  Communication-ledger counters ([comm_rounds], [comm_words] —
+    BSP supersteps and inter-shard words, see {!Stats.record_comm}) are
+    simulated costs and therefore belong to the ["cost"] compartment;
+    emitters include them gated — absent when zero — so single-machine
+    frame streams stay byte-identical.  Both payloads are supplied by the
+    caller as pre-rendered JSON object strings; the wall payload is a
+    thunk, evaluated only for frames that are actually emitted. *)
 
 type t
 type sink

@@ -14,6 +14,7 @@ type event = {
   cache : cache option;
   disk : int option;
   round : int option;
+  shard : int option;
 }
 
 type ring = {
@@ -104,7 +105,10 @@ let event_to_json e =
           Printf.sprintf ",\"disk\":%d%s" d
             (match e.round with
             | None -> ""
-            | Some r -> Printf.sprintf ",\"round\":%d" r)))
+            | Some r -> Printf.sprintf ",\"round\":%d" r))
+    ^ (match e.shard with
+      | None -> ""
+      | Some s -> Printf.sprintf ",\"shard\":%d" s))
 
 let ring_push r e =
   if Array.length r.buf = 0 then r.buf <- Array.make r.capacity e;
@@ -125,10 +129,10 @@ let classify t block =
   else if block = t.last_block || block = t.last_block + 1 then Sequential
   else Random
 
-let emit ?(kind = Io) ?(backend = "sim") ?cache ?disk ?round t op ~block ~phase =
+let emit ?(kind = Io) ?(backend = "sim") ?cache ?disk ?round ?shard t op ~block ~phase =
   let e =
     { seq = t.next_seq; op; kind; block; phase; locality = classify t block;
-      backend; cache; disk; round }
+      backend; cache; disk; round; shard }
   in
   t.next_seq <- t.next_seq + 1;
   t.last_block <- block;

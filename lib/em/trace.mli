@@ -38,6 +38,8 @@ type event = {
       (** disk the block is striped onto; [None] on a single-disk machine *)
   round : int option;
       (** parallel round id; I/Os batched in one scheduling window share it *)
+  shard : int option;
+      (** cluster shard that issued the I/O; [None] on a single machine *)
 }
 
 type sink
@@ -84,10 +86,11 @@ val add_sink : t -> sink -> unit
 
 val emit :
   ?kind:kind -> ?backend:string -> ?cache:cache -> ?disk:int -> ?round:int ->
-  t -> op -> block:int -> phase:string list -> unit
+  ?shard:int -> t -> op -> block:int -> phase:string list -> unit
 (** Record one I/O (called by {!Device}; [kind] defaults to {!Io}, [backend]
-    to ["sim"], [cache]/[disk]/[round] to [None]).  The first event on a
-    tracer is classified {!Random} (the head must seek to the first block). *)
+    to ["sim"], [cache]/[disk]/[round]/[shard] to [None]).  The first event
+    on a tracer is classified {!Random} (the head must seek to the first
+    block). *)
 
 val events : t -> event list
 (** Retained events of the first ring sink, oldest first. *)
@@ -113,7 +116,8 @@ val kind_name : kind -> string
 val cache_name : cache -> string
 
 val event_to_json : event -> string
-(** One JSON object.  The [backend], [cache] and [disk]/[round] fields are
-    omitted when they carry no information (backend ["sim"], cache [None],
-    disk [None] — i.e. a single-disk machine), so traces from the default
-    simulated backend keep their historical shape. *)
+(** One JSON object.  The [backend], [cache], [disk]/[round] and [shard]
+    fields are omitted when they carry no information (backend ["sim"],
+    cache [None], disk [None] — i.e. a single-disk machine — shard [None]
+    — i.e. not part of a cluster), so traces from the default simulated
+    backend keep their historical shape. *)

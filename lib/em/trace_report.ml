@@ -125,6 +125,23 @@ let disk_balance events =
   Hashtbl.fold (fun d n acc -> (d, n) :: acc) per_disk []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
+(* Per-shard I/O counts, from events carrying a shard id (emitted only by
+   devices that are part of a cluster — single-machine traces yield an
+   empty report).  Same shape as [disk_balance] one level up: disks stripe
+   blocks inside one machine, shards stripe data across machines. *)
+let shard_balance events =
+  let per_shard = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.shard with
+      | Some s ->
+          Hashtbl.replace per_shard s
+            (1 + Option.value (Hashtbl.find_opt per_shard s) ~default:0)
+      | None -> ())
+    events;
+  Hashtbl.fold (fun s n acc -> (s, n) :: acc) per_shard []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
 (* Distinct round ids: I/Os sharing one id were issued in the same
    scheduling window and overlap on a parallel-disk machine. *)
 let scheduling_windows events =
@@ -192,10 +209,25 @@ let pp_disk_balance ppf events =
         mx mn;
       Format.fprintf ppf "sched windows:    %d@." (scheduling_windows events)
 
+(* Printed only for clustered traces, so single-machine reports — and their
+   goldens — keep their exact shape. *)
+let pp_shard_balance ppf events =
+  match shard_balance events with
+  | [] -> ()
+  | per_shard ->
+      let counts = List.map snd per_shard in
+      let mx = List.fold_left max 0 counts
+      and mn = List.fold_left min max_int counts in
+      Format.fprintf ppf "shard balance:    %s (max/min = %d/%d)@."
+        (String.concat ", "
+           (List.map (fun (s, n) -> Printf.sprintf "s%d:%d" s n) per_shard))
+        mx mn
+
 let pp_summary ppf events =
   let s = summarize events in
   Format.fprintf ppf "totals:           %a@." pp_counts s.totals;
   pp_disk_balance ppf events;
+  pp_shard_balance ppf events;
   Format.fprintf ppf "random seeks:     %d@." s.totals.random;
   Format.fprintf ppf "distinct blocks:  %d@." s.distinct_blocks;
   Format.fprintf ppf "block re-reads (times read -> blocks):@.";

@@ -58,6 +58,12 @@ val disk_balance : Trace.event list -> (int * int) list
     carrying a disk id.  Empty for single-disk traces (the id is emitted
     only when [D > 1]). *)
 
+val shard_balance : Trace.event list -> (int * int) list
+(** Per-shard I/O counts [(shard, ios)], ascending by shard, from events
+    carrying a shard id.  Empty for single-machine traces (the id is
+    emitted only by devices created with a shard identity, i.e. by
+    {!Core.Cluster} members). *)
+
 val scheduling_windows : Trace.event list -> int
 (** Number of distinct round ids among events carrying one: I/Os sharing an
     id were issued in the same scheduling window and overlap on a

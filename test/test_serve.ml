@@ -19,12 +19,16 @@ let meta =
     m_seed = 5;
   }
 
+(* A frozen injected clock keeps every wall-derived reply field (uptime_ms)
+   deterministic, so transcript-equality checks — notably the fault-reply
+   determinism pair — can byte-compare whole replies without flaking when a
+   run straddles a millisecond boundary under load. *)
 let make_server ?checkpoint_every ?io_budget ?max_retries ?state_path ?restore () =
   let ctx : int Em.Ctx.t = Em.Ctx.create (Em.Params.create ~mem ~block) in
   let v = Em.Vec.of_array ctx (Tu.random_perm ~seed:5 n) in
   let srv =
-    Core.Serve.create ?checkpoint_every ?io_budget ?max_retries ?state_path ?restore ~meta
-      ctx v
+    Core.Serve.create ?checkpoint_every ?io_budget ?max_retries ?state_path ?restore
+      ~clock:(fun () -> 0.) ~meta ctx v
   in
   (ctx, srv)
 
