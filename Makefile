@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test fmt goldens bench bench-json bench-file test-backends test-disks faults serve-smoke telemetry-smoke soak cluster clean
+.PHONY: all build test fmt goldens bench bench-json bench-file test-backends test-disks test-async test-async-stress faults serve-smoke telemetry-smoke soak cluster clean
 
 all: build
 
@@ -54,6 +54,19 @@ test-backends:
 	EM_BACKEND=file dune runtest --force
 	EM_BACKEND=cached dune runtest --force
 	EM_BACKEND=cached:file dune runtest --force
+
+# Tier-1 suite re-run with asynchronous file I/O (the async matrix leg).
+# Async moves wall-clock time, never work: outputs, counted I/Os, rounds,
+# traces and every golden must be byte-identical, so the whole suite —
+# golden cost diff included — passes unchanged with the domain pool on.
+test-async:
+	EM_ASYNC=1 EM_BACKEND=file dune runtest --force
+
+# The async race battery on a long leash: the determinism matrix plus the
+# qcheck stress property (interleaved reader/writer pipelines over a
+# private pool with worker-side latency jitter) at 50 iterations.
+test-async-stress:
+	EM_ASYNC_STRESS_ITERS=50 dune exec test/test_main.exe -- test async
 
 # Fault-injection smoke: one recoverable run per algorithm family, plus a
 # crash-restart run.  Each exits non-zero on an unexpected failure (exit 2:

@@ -18,7 +18,7 @@ let sections =
     ("soak", fun () -> Soak.all ());
     ("figures", fun () -> Figures.all (); []);
     ("ablations", fun () -> Ablations.all (); []);
-    ("timing", fun () -> Timing.all (); []);
+    ("timing", fun () -> Timing.all ());
   ]
 
 (* ratios.expected: one "<row_name> <ceiling>" pair per line; '#' comments. *)

@@ -14,6 +14,7 @@ type common = {
   mem : int;
   block : int;
   disks : int option;
+  async : bool option;
   seed : int;
   workload : Core.Workload.kind;
   trace_ring : int option;
@@ -99,6 +100,19 @@ let backend_t =
            over sim/file).  Counted I/Os are identical on all of them.  When omitted, \
            honours the EM_BACKEND environment variable.")
 
+let async_t =
+  Arg.(
+    value
+    & opt ~vopt:(Some true) (some bool) None
+    & info [ "async" ] ~docv:"BOOL"
+        ~doc:
+          "Execute file-backend I/O asynchronously on a pool of worker domains (one per \
+           disk in flight; reads are prefetched, writes retire behind the computation).  \
+           Counted reads/writes/rounds/comparisons and all outputs are identical with or \
+           without it — async moves wall-clock time, never work.  No effect on the pure \
+           $(b,sim) backend.  When omitted, honours the EM_ASYNC environment variable \
+           (default off).")
+
 let verbose_t =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print debug logs of the recursions.")
 
@@ -112,12 +126,12 @@ let trace_ring_t =
            omitted, honours the EM_TRACE_RING environment variable (default 8192).")
 
 let common_t =
-  let make verbose backend mem block disks seed workload trace_ring =
-    { verbose; backend; mem; block; disks; seed; workload; trace_ring }
+  let make verbose backend mem block disks async seed workload trace_ring =
+    { verbose; backend; mem; block; disks; async; seed; workload; trace_ring }
   in
   Term.(
-    const make $ verbose_t $ backend_t $ mem_t $ block_t $ disks_t $ seed_t $ workload_t
-    $ trace_ring_t)
+    const make $ verbose_t $ backend_t $ mem_t $ block_t $ disks_t $ async_t $ seed_t
+    $ workload_t $ trace_ring_t)
 
 (* ---- shared fault/recovery flags (faults, serve, soak) ---- *)
 
@@ -190,7 +204,7 @@ let make_trace c = Em.Trace.create ?ring_capacity:c.trace_ring ()
 
 let make_ctx ?trace c : int Em.Ctx.t =
   let trace = match trace with Some t -> t | None -> make_trace c in
-  Em.Ctx.create ~trace ?backend:c.backend ?disks:c.disks
+  Em.Ctx.create ~trace ?backend:c.backend ?async:c.async ?disks:c.disks
     (Em.Params.create ~mem:c.mem ~block:c.block)
 
 let workload_vec c ctx ~n = Core.Workload.vec ctx c.workload ~seed:c.seed ~n
@@ -199,7 +213,9 @@ let describe_machine ?(disks = 1) ~mem ~block () =
   Printf.printf "machine:      M=%d, B=%d (fanout M/B = %d)%s\n" mem block (mem / block)
     (if disks > 1 then Printf.sprintf ", D=%d disks" disks else "")
 
-let describe_backend ctx = Printf.printf "backend:      %s\n" (Em.Ctx.backend_name ctx)
+let describe_backend ctx =
+  Printf.printf "backend:      %s%s\n" (Em.Ctx.backend_name ctx)
+    (if Em.Ctx.async ctx then " (async)" else "")
 
 let describe c ctx =
   describe_machine ~disks:(Em.Ctx.disks ctx) ~mem:c.mem ~block:c.block ();

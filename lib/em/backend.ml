@@ -19,6 +19,7 @@ type 'a t = {
   store : int -> 'a array -> unit;  (* owns copying: caller's array is not retained *)
   free : int -> unit;  (* recycle the slot; subsequent [load] is [None] *)
   probe : int -> Trace.cache option;  (* pre-read residency check; [None] = uncached *)
+  prefetch : int -> unit;  (* advisory: start fetching a slot's bytes early *)
   pin : int -> unit;  (* protect a resident page from eviction (no-op if uncached) *)
   unpin : int -> unit;
   flush : unit -> unit;  (* write back dirty pages / fsync to stable storage *)
@@ -103,6 +104,7 @@ let sim ?(slots = 64) ?disks () =
         !store.(s) <- None;
         free_slot a s);
     probe = (fun _ -> None);
+    prefetch = (fun _ -> ());
     pin = (fun _ -> ());
     unpin = (fun _ -> ());
     flush = (fun () -> ());
@@ -141,7 +143,22 @@ let backing_dir dir =
       | Some d when d <> "" -> d
       | _ -> Filename.get_temp_dir_name ())
 
-let file (type elt) ?dir ?(disks = 1) ~slot_bytes () : elt t =
+let latency_env_var = "EM_FILE_LATENCY_US"
+
+let default_file_delay () =
+  match Sys.getenv_opt latency_env_var with
+  | None | Some "" -> None
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some us when us = 0. -> None
+      | Some us when us > 0. -> Some (fun () -> Unix.sleepf (us *. 1e-6))
+      | _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Backend: %s must be a non-negative number of microseconds (got %S)"
+               latency_env_var s))
+
+let file (type elt) ?dir ?delay ?io ?(disks = 1) ~slot_bytes () : elt t =
   if slot_bytes < slot_header + 8 then
     invalid_arg "Backend.file: slot_bytes is too small to hold any payload";
   if disks < 1 then invalid_arg "Backend.file: disks must be >= 1";
@@ -159,27 +176,26 @@ let file (type elt) ?dir ?(disks = 1) ~slot_bytes () : elt t =
         fd)
   in
   let closed = ref false in
-  let close () =
-    if not !closed then begin
-      closed := true;
-      Array.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) fds
-    end
+  let close_fds () =
+    Array.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) fds
   in
   let check_open () = if !closed then invalid_arg "Backend.file: backend is closed" in
   let a = allocator ~disks () in
   let written : (int, unit) Hashtbl.t = Hashtbl.create 64 in
-  (* Backstop for backends dropped without an explicit close (tests, bench
-     iterations): release the fds once the backend is unreachable.  The
-     finaliser hangs off [written] — captured by the closures below, so it
-     stays alive as long as *any* copy of the record does (the record itself
-     may be functionally updated, e.g. renamed by [make]). *)
-  Gc.finalise (fun (_ : (int, unit) Hashtbl.t) -> close ()) written;
+  (* [delay] models per-access device latency (bench gates, stress jitter).
+     It runs on whichever domain executes the raw I/O — the caller under the
+     synchronous assembly, a pool worker under the asynchronous one — which
+     is exactly what lets the async path overlap it. *)
+  let pause () = match delay with Some f -> f () | None -> () in
   let seek s =
     let fd = fds.(s mod disks) in
     ignore (Unix.lseek fd (s / disks * slot_bytes) Unix.SEEK_SET);
     fd
   in
-  let write_slot s (payload : elt array) =
+  (* Marshalling (and the [Slot_overflow] check) always happens on the
+     caller's domain so oversized payloads raise synchronously under either
+     assembly; only the raw pread/pwrite-equivalents below are offloadable. *)
+  let encode s (payload : elt array) =
     let data = Marshal.to_bytes payload [] in
     let len = Bytes.length data in
     if len + slot_header > slot_bytes then
@@ -187,39 +203,162 @@ let file (type elt) ?dir ?(disks = 1) ~slot_bytes () : elt t =
     let buf = Bytes.create (len + slot_header) in
     Bytes.set_int64_le buf 0 (Int64.of_int len);
     Bytes.blit data 0 buf slot_header len;
-    let fd = seek s in
-    really_write fd buf;
-    Hashtbl.replace written s ()
+    buf
   in
-  let read_slot s : elt array =
+  let write_raw s buf =
+    pause ();
+    really_write (seek s) buf
+  in
+  let read_raw s : elt array =
+    pause ();
     let fd = seek s in
     let len = Int64.to_int (Bytes.get_int64_le (really_read fd slot_header) 0) in
     Marshal.from_bytes (really_read fd len) 0
   in
-  {
-    name = "file";
-    alloc = (fun () -> alloc_slot a);
-    load =
-      (fun s ->
-        check_open ();
-        if Hashtbl.mem written s then Some (read_slot s) else None);
-    store =
-      (fun s payload ->
-        check_open ();
-        write_slot s payload);
-    free =
-      (fun s ->
-        Hashtbl.remove written s;
-        free_slot a s);
-    probe = (fun _ -> None);
-    pin = (fun _ -> ());
-    unpin = (fun _ -> ());
-    flush =
-      (fun () ->
-        check_open ();
-        Array.iter Unix.fsync fds);
-    close;
-  }
+  match io with
+  | None ->
+      (* Synchronous assembly: the exact historical code path. *)
+      let close () =
+        if not !closed then begin
+          closed := true;
+          close_fds ()
+        end
+      in
+      (* Backstop for backends dropped without an explicit close (tests,
+         bench iterations): release the fds once the backend is unreachable.
+         The finaliser hangs off [written] — captured by the closures below,
+         so it stays alive as long as *any* copy of the record does (the
+         record itself may be functionally updated, e.g. renamed by
+         [make]). *)
+      Gc.finalise (fun (_ : (int, unit) Hashtbl.t) -> close ()) written;
+      {
+        name = "file";
+        alloc = (fun () -> alloc_slot a);
+        load =
+          (fun s ->
+            check_open ();
+            if Hashtbl.mem written s then Some (read_raw s) else None);
+        store =
+          (fun s payload ->
+            check_open ();
+            let buf = encode s payload in
+            write_raw s buf;
+            Hashtbl.replace written s ());
+        free =
+          (fun s ->
+            Hashtbl.remove written s;
+            free_slot a s);
+        probe = (fun _ -> None);
+        prefetch = (fun _ -> ());
+        pin = (fun _ -> ());
+        unpin = (fun _ -> ());
+        flush =
+          (fun () ->
+            check_open ();
+            Array.iter Unix.fsync fds);
+        close;
+      }
+  | Some pool ->
+      (* Asynchronous assembly over the same raw primitives.  All bookkeeping
+         the model observes — the [written] set, the allocator, overflow
+         checks — stays on the caller's domain in the same order as the
+         synchronous path; only raw slot reads/writes cross into the pool.
+         Routing key [key_base + (s mod disks)] pins each disk's fd to one
+         worker, so shared seek offsets are never raced and two requests on
+         one slot retire in submission order (that worker's FIFO). *)
+      let key_base = Io_pool.fresh_key_base () in
+      let key s = key_base + (s mod disks) in
+      (* Reads staged by [prefetch], consumed (or discarded) exactly once. *)
+      let staged : (int, elt array Io_pool.task) Hashtbl.t = Hashtbl.create 64 in
+      (* Latest write-behind ticket per slot: an older ticket replaced here
+         targets the same worker FIFO, so awaiting only the newest one at
+         flush time still covers it. *)
+      let pending_stores : (int, Io_pool.ticket) Hashtbl.t = Hashtbl.create 64 in
+      let discard_staged s =
+        match Hashtbl.find_opt staged s with
+        | None -> ()
+        | Some task ->
+            Hashtbl.remove staged s;
+            (try ignore (Io_pool.wait task) with _ -> ())
+      in
+      let close_async ~await_pending () =
+        if not !closed then begin
+          if await_pending then begin
+            Hashtbl.iter (fun _ tk -> try Io_pool.await tk with _ -> ()) pending_stores;
+            Hashtbl.iter (fun _ task -> try ignore (Io_pool.wait task) with _ -> ()) staged
+          end;
+          closed := true;
+          Hashtbl.reset pending_stores;
+          Hashtbl.reset staged;
+          close_fds ()
+        end
+      in
+      (* The GC backstop must not [await]: finalisers can run on a worker
+         domain mid-allocation, where waiting on that worker's own queue
+         would deadlock.  Jobs re-check [closed] so a backstopped close (the
+         backend is unreachable — nobody will read the data) degrades to
+         dropped byte shuffling, never I/O on a recycled fd number. *)
+      Gc.finalise
+        (fun (_ : (int, unit) Hashtbl.t) -> close_async ~await_pending:false ())
+        written;
+      {
+        name = "file";
+        alloc = (fun () -> alloc_slot a);
+        load =
+          (fun s ->
+            check_open ();
+            if not (Hashtbl.mem written s) then None
+            else
+              match Hashtbl.find_opt staged s with
+              | Some task ->
+                  Hashtbl.remove staged s;
+                  Some (Io_pool.wait task)
+              | None ->
+                  (* Demand reads also route through the owning worker: fd
+                     offsets are only ever touched on one domain. *)
+                  Some
+                    (Io_pool.wait
+                       (Io_pool.run pool ~key:(key s) (fun () ->
+                            if !closed then failwith "Backend.file: backend is closed"
+                            else read_raw s))));
+        store =
+          (fun s payload ->
+            check_open ();
+            let buf = encode s payload in
+            Hashtbl.replace written s ();
+            (* A read staged before this write holds the slot's *old* bytes;
+               retire it now so no later load can observe them. *)
+            discard_staged s;
+            let tk =
+              Io_pool.submit pool ~key:(key s) (fun () ->
+                  if not !closed then write_raw s buf)
+            in
+            Hashtbl.replace pending_stores s tk);
+        free =
+          (fun s ->
+            Hashtbl.remove written s;
+            discard_staged s;
+            free_slot a s);
+        probe = (fun _ -> None);
+        prefetch =
+          (fun s ->
+            if (not !closed) && Hashtbl.mem written s && not (Hashtbl.mem staged s)
+            then
+              Hashtbl.replace staged s
+                (Io_pool.run pool ~key:(key s) (fun () ->
+                     if !closed then failwith "Backend.file: backend is closed"
+                     else read_raw s)));
+        pin = (fun _ -> ());
+        unpin = (fun _ -> ());
+        flush =
+          (fun () ->
+            check_open ();
+            let tickets = Hashtbl.fold (fun _ tk acc -> tk :: acc) pending_stores [] in
+            Hashtbl.reset pending_stores;
+            List.iter Io_pool.await tickets;
+            Array.iter Unix.fsync fds);
+        close = (fun () -> close_async ~await_pending:true ());
+      }
 
 (* ------------------------------------------------------------------ *)
 (* Pool: a buffer pool shared by a linked device family.              *)
@@ -408,6 +547,8 @@ let cached ~pool inner =
         Pool.forget pool ~owner ~slot;
         inner.free slot);
     probe = (fun slot -> Some (if Hashtbl.mem pages slot then Trace.Hit else Trace.Miss));
+    prefetch =
+      (fun slot -> if not (Hashtbl.mem pages slot) then inner.prefetch slot);
     pin =
       (fun slot -> if Hashtbl.mem pages slot then Pool.pin pool ~owner ~slot);
     unpin = (fun slot -> Pool.unpin pool ~owner ~slot);
@@ -469,6 +610,11 @@ let default_spec () =
 
 let uses_pool = function Cached _ -> true | Sim | File -> false
 
+let rec spec_uses_file = function
+  | File -> true
+  | Sim -> false
+  | Cached inner -> spec_uses_file inner
+
 (* Generous per-slot budget for the file backend: B boxed words marshal to a
    few dozen bytes each for the scalar payloads the algorithms move around. *)
 let default_slot_bytes p = (32 * p.Params.block) + 512
@@ -480,19 +626,39 @@ type instance = {
   dir : string option;
   slot_bytes : int;
   pool : Pool.t option;
+  io : Io_pool.t option;  (* Some = async file I/O via this pool *)
+  file_delay : (unit -> unit) option;  (* modeled per-access device latency *)
 }
 
-let instance ?dir ?slot_bytes ?pool_pages spec params stats =
+let instance ?dir ?slot_bytes ?pool_pages ?async ?io_pool ?file_delay spec params
+    stats =
   let slot_bytes =
     match slot_bytes with Some n -> n | None -> default_slot_bytes params
   in
   let pool =
     if uses_pool spec then Some (Pool.create ?pages:pool_pages params stats) else None
   in
-  { spec; params; stats; dir; slot_bytes; pool }
+  let file_delay =
+    match file_delay with Some _ as d -> d | None -> default_file_delay ()
+  in
+  (* Async execution only concerns real file I/O: a pure sim family has
+     nothing to offload, so it never touches (or spawns) the domain pool. *)
+  let io =
+    if not (spec_uses_file spec) then None
+    else
+      match io_pool with
+      | Some _ as p -> p
+      | None ->
+          let enabled =
+            match async with Some b -> b | None -> Params.default_async ()
+          in
+          if enabled then Some (Io_pool.global ()) else None
+  in
+  { spec; params; stats; dir; slot_bytes; pool; io; file_delay }
 
 let name i = spec_name i.spec
 let pool i = i.pool
+let async_enabled i = match i.io with Some _ -> true | None -> false
 
 (* One typed backend per device.  Within a linked family every call shares
    the instance — and therefore the buffer pool — while each device gets its
@@ -501,7 +667,9 @@ let make i =
   let disks = i.params.Params.disks in
   let rec build = function
     | Sim -> sim ~slots:(default_slots i.params) ~disks ()
-    | File -> file ?dir:i.dir ~disks ~slot_bytes:i.slot_bytes ()
+    | File ->
+        file ?dir:i.dir ?delay:i.file_delay ?io:i.io ~disks
+          ~slot_bytes:i.slot_bytes ()
     | Cached inner ->
         let pool =
           match i.pool with

@@ -31,6 +31,13 @@ type 'a t = {
   free : int -> unit;  (** recycle the slot; subsequent [load] is [None] *)
   probe : int -> Trace.cache option;
       (** residency check {e before} a metered read; [None] = uncached *)
+  prefetch : int -> unit;
+      (** advisory, unmetered: start fetching the slot's bytes early.  A
+          no-op everywhere except the {e asynchronous} file assembly, where
+          it stages a read on the slot's worker domain; a later
+          {!field-load} of the same slot consumes the staged bytes instead
+          of blocking on a fresh seek.  Never changes what a load returns —
+          only when the wall-clock wait happens. *)
   pin : int -> unit;  (** protect a resident page from eviction (no-op if uncached) *)
   unpin : int -> unit;
   flush : unit -> unit;  (** write back dirty pages / [fsync] to stable storage *)
@@ -50,7 +57,14 @@ val sim : ?slots:int -> ?disks:int -> unit -> 'a t
     recycles its own slots LIFO; at D = 1 the allocator is the historical
     single free list. *)
 
-val file : ?dir:string -> ?disks:int -> slot_bytes:int -> unit -> 'a t
+val file :
+  ?dir:string ->
+  ?delay:(unit -> unit) ->
+  ?io:Io_pool.t ->
+  ?disks:int ->
+  slot_bytes:int ->
+  unit ->
+  'a t
 (** Marshalled blocks in fixed [slot_bytes]-sized slots of temp files — one
     backing file per disk ([disks], default 1), with slot [s] stored on disk
     [s mod D] at offset [(s / D) * slot_bytes].
@@ -62,8 +76,28 @@ val file : ?dir:string -> ?disks:int -> slot_bytes:int -> unit -> 'a t
     backstop, by a GC finaliser.
 
     A payload whose marshalled form exceeds the slot raises
-    {!Em_error.Slot_overflow}; size [slot_bytes] from the block size via
-    {!default_slot_bytes}. *)
+    {!Em_error.Slot_overflow} — synchronously, under either assembly, since
+    marshalling always happens on the caller's domain; size [slot_bytes]
+    from the block size via {!default_slot_bytes}.
+
+    [delay] models per-access device latency: it is invoked once before
+    every raw slot read or write, on whichever domain performs it (bench
+    speedup gates and stress-test jitter hang off this hook).
+
+    [io] selects the {e asynchronous} assembly: raw slot I/O executes on
+    the pool's worker domains — stores become write-behind (awaited by
+    {!field-flush} and {!field-close}), {!field-prefetch} stages reads —
+    while every observable decision ([written] set, allocator order,
+    overflow checks) stays on the caller's domain in the synchronous
+    order.  Requests are keyed by (backend, disk), so one worker owns each
+    fd (no seek races) and same-slot requests retire in submission order. *)
+
+val latency_env_var : string  (** ["EM_FILE_LATENCY_US"] *)
+
+val default_file_delay : unit -> (unit -> unit) option
+(** Delay hook implied by the environment: [Some sleep] of
+    [$EM_FILE_LATENCY_US] microseconds when set and positive, else [None].
+    @raise Invalid_argument when set but unparseable or negative. *)
 
 val default_slot_bytes : Params.t -> int
 (** [32*B + 512] bytes: a generous budget for [B] marshalled scalars. *)
@@ -143,10 +177,29 @@ val default_spec : unit -> spec
 type instance
 
 val instance :
-  ?dir:string -> ?slot_bytes:int -> ?pool_pages:int -> spec -> Params.t -> Stats.t -> instance
+  ?dir:string ->
+  ?slot_bytes:int ->
+  ?pool_pages:int ->
+  ?async:bool ->
+  ?io_pool:Io_pool.t ->
+  ?file_delay:(unit -> unit) ->
+  spec ->
+  Params.t ->
+  Stats.t ->
+  instance
+(** [async] (default: {!Params.default_async}, i.e. [$EM_ASYNC]) executes
+    file I/O on the shared {!Io_pool.global} pool; [io_pool] overrides the
+    pool itself (tests).  Both are ignored for spec families containing no
+    [File] layer — a pure sim machine never touches the domain pool.
+    [file_delay] (default: {!default_file_delay}, i.e. [$EM_FILE_LATENCY_US])
+    is threaded to every {!file} backend of the family. *)
 
 val name : instance -> string
 val pool : instance -> Pool.t option
+
+val async_enabled : instance -> bool
+(** Whether this family's file backends run the asynchronous assembly. *)
+
 val make : instance -> 'a t
 (** A fresh typed backend for one device of the family, striped across the
     machine's [Params.disks]. *)

@@ -7,12 +7,16 @@ type 'a t = {
   shard : int option;
 }
 
-let create ?trace ?backend ?backend_dir ?pool_pages ?disks ?shard params =
+let create ?trace ?backend ?backend_dir ?pool_pages ?async ?io_pool ?file_delay
+    ?disks ?shard params =
   let params = match disks with None -> params | Some d -> Params.with_disks params d in
   let stats = Stats.create () in
   let trace = match trace with Some t -> t | None -> Trace.create () in
   let spec = match backend with Some s -> s | None -> Backend.default_spec () in
-  let backend = Backend.instance ?dir:backend_dir ?pool_pages spec params stats in
+  let backend =
+    Backend.instance ?dir:backend_dir ?pool_pages ?async ?io_pool ?file_delay
+      spec params stats
+  in
   { params; stats; trace; backend;
     dev = Device.create ~trace ~backend:(Backend.make backend) ?shard params stats;
     shard }
@@ -34,6 +38,7 @@ let linked ctx =
 
 let backend_name ctx = Backend.name ctx.backend
 let backend_pool ctx = Backend.pool ctx.backend
+let async ctx = Backend.async_enabled ctx.backend
 let flush ctx = Device.flush ctx.dev
 let close ctx = Device.close ctx.dev
 

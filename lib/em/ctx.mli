@@ -16,6 +16,7 @@ type 'a t = {
 
 val create :
   ?trace:Trace.t -> ?backend:Backend.spec -> ?backend_dir:string -> ?pool_pages:int ->
+  ?async:bool -> ?io_pool:Io_pool.t -> ?file_delay:(unit -> unit) ->
   ?disks:int -> ?shard:int -> Params.t -> 'a t
 (** Fresh machine with zeroed counters.  Pass [~trace] to route I/O events
     into a tracer you configured (extra sinks, larger ring); otherwise a
@@ -26,6 +27,15 @@ val create :
     [backend_dir] places file-backed storage, and [pool_pages] sizes the
     buffer pool of cached backends.  The choice is invisible to counted
     I/Os — see {!Backend}.
+
+    [async] (default: [$EM_ASYNC], see {!Params.default_async}) runs the
+    family's file I/O asynchronously on the {!Io_pool.global} worker
+    domains; [io_pool] substitutes a private pool (tests), and [file_delay]
+    injects a modeled per-access device latency into file backends (default:
+    [$EM_FILE_LATENCY_US]).  All three move wall-clock time only: every
+    counted read/write/round/comparison, trace event, fault decision and
+    golden is identical with async on or off — see {!Backend} and
+    {!Io_pool}.
 
     [disks] overrides the parameter record's disk count (itself defaulted
     from [$EM_DISKS]); it changes round accounting and slot striping, never
@@ -54,6 +64,9 @@ val backend_name : 'a t -> string
 
 val backend_pool : 'a t -> Backend.Pool.t option
 (** The family's shared buffer pool, when the backend is cached. *)
+
+val async : 'a t -> bool
+(** Whether this machine's file I/O executes on {!Io_pool} worker domains. *)
 
 val flush : 'a t -> unit
 (** Push pending state to stable storage; see {!Device.flush}. *)

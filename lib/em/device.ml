@@ -114,6 +114,13 @@ let phys d id =
 let pin d id = d.backend.Backend.pin (phys d id)
 let unpin d id = d.backend.Backend.unpin (phys d id)
 
+(* Advisory and unmetered: stage the blocks' bytes on the async pool (a
+   no-op on every synchronous backend).  No charge, no trace, no fault
+   decision — those all happen at the [read] that later consumes the bytes,
+   so counted costs cannot depend on prefetch placement. *)
+let prefetch d ids =
+  Array.iter (fun id -> d.backend.Backend.prefetch (phys d id)) ids
+
 (* Order-sensitive polymorphic checksum, seeded with the length so torn
    writes (prefix truncation) always change it. *)
 let checksum payload =

@@ -107,6 +107,13 @@ val pin : 'a t -> int -> unit
 
 val unpin : 'a t -> int -> unit
 
+val prefetch : 'a t -> int array -> unit
+(** Advisory, {e unmetered}: hint that the blocks [ids] will be read soon so
+    an asynchronous backend can stage their bytes on its worker domains
+    (no-op on synchronous backends).  Charges nothing, emits nothing, and
+    makes no fault decision — all of that happens at the {!read} that later
+    consumes the bytes, so counted costs are independent of prefetching. *)
+
 (** {2 Fault injection and recovery configuration} *)
 
 val inject : 'a t -> Fault.plan -> unit

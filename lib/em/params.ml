@@ -13,6 +13,16 @@ let default_disks () =
             (Printf.sprintf "Params: %s must be a positive integer (got %S)"
                disks_env_var s))
 
+let async_env_var = "EM_ASYNC"
+
+let default_async () =
+  match Sys.getenv_opt async_env_var with
+  | None | Some "" | Some "0" -> false
+  | Some "1" -> true
+  | Some s ->
+      invalid_arg
+        (Printf.sprintf "Params: %s must be 0 or 1 (got %S)" async_env_var s)
+
 let make ~mem ~block ~disks =
   if block < 1 then invalid_arg "Params.create: block size must be >= 1";
   if mem < 2 * block then

@@ -24,6 +24,18 @@ val default_disks : unit -> int
     integer, else [1].
     @raise Invalid_argument when [$EM_DISKS] is set but not a positive int. *)
 
+val async_env_var : string
+(** Name of the environment variable ("EM_ASYNC") consulted when [?async] is
+    omitted from [Ctx.create]: [1] executes file-backend I/O asynchronously
+    on the {!Io_pool} worker domains, [0] (the default) keeps the exact
+    synchronous code path.  Either way every counted cost is identical —
+    async moves wall-clock time, never work. *)
+
+val default_async : unit -> bool
+(** Async execution implied by the environment: [$EM_ASYNC = "1"], else
+    [false].
+    @raise Invalid_argument when [$EM_ASYNC] is set but neither 0 nor 1. *)
+
 val create : mem:int -> block:int -> t
 (** [create ~mem ~block] validates [block >= 1] and [mem >= 2 * block]; the
     disk count comes from {!default_disks} [()] (i.e. [$EM_DISKS], else 1) —

@@ -62,6 +62,11 @@ let refill r =
    with Mem.Memory_exceeded _ -> ());
   r.extra <- r.extra + !extra;
   let batch = 1 + !extra in
+  (* Unmetered hint: on an async backend the batch's raw reads start on the
+     worker domains now and the metered reads below consume the staged
+     bytes; on a sync backend this is a no-op.  Counted I/Os, their order,
+     and the window shape are identical either way. *)
+  Device.prefetch ctx.Ctx.dev (Array.sub ids bi batch);
   let read_all () =
     for i = 0 to batch - 1 do
       Queue.push (bi + i, Resilient.read ctx.Ctx.dev ids.(bi + i)) r.bufs
@@ -212,6 +217,14 @@ let take r n =
       let covered bi =
         bi < nblocks && (bi * b) + min b (veclen - (bi * b)) <= r.pos + (count - !filled)
       in
+      (* Hint every block this take will read — the covered extent plus the
+         trailing partial block — so an async backend overlaps them all.
+         [r.pos + (count - !filled)] is invariant across the loop below
+         (blits advance both terms in lockstep), so the extent is exact. *)
+      let first_bi = r.pos / b in
+      let last_bi = min (nblocks - 1) ((r.pos + (count - !filled) - 1) / b) in
+      if last_bi >= first_bi then
+        Device.prefetch ctx.Ctx.dev (Array.sub ids first_bi (last_bi - first_bi + 1));
       while !filled < count && covered (r.pos / b) do
         let first = r.pos / b in
         let group = ref 1 in
